@@ -1,0 +1,203 @@
+package repro_test
+
+// One benchmark per table/figure of the paper's evaluation (see DESIGN.md's
+// experiment index). Each benchmark runs the corresponding experiment on the
+// discrete-event simulator at reduced scale (n=31, one virtual minute) so
+// `go test -bench=.` finishes in minutes; cmd/sftbench runs the same
+// experiments at paper scale (n=100, five virtual minutes).
+//
+// Reported custom metrics are the paper's own units: seconds of commit
+// latency per resilience level (lat_1.0f_s ... lat_2.0f_s), transactions per
+// second, and messages per block decision.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+)
+
+const (
+	benchN        = 31
+	benchF        = 10
+	benchDuration = 60 * time.Second
+)
+
+func benchScale(seed int64) harness.Scale {
+	return harness.Scale{N: benchN, F: benchF, Duration: benchDuration, Seed: seed}
+}
+
+func reportLevels(b *testing.B, res *harness.Result, f int) {
+	b.Helper()
+	for _, lv := range harness.DefaultLevels(f) {
+		s := res.LevelLatency[lv]
+		if s.Count > 0 {
+			b.ReportMetric(s.Mean, "lat_"+harness.LevelLabel(lv, f)+"_s")
+		}
+	}
+	b.ReportMetric(res.RegularLatency.Mean, "regular_s")
+	b.ReportMetric(float64(res.CommittedBlocks), "blocks")
+}
+
+// BenchmarkFigure7a — strong commit latency vs x, symmetric geo-distribution
+// (Figure 7a), δ ∈ {100ms, 200ms}.
+func BenchmarkFigure7a(b *testing.B) {
+	for _, delta := range []time.Duration{100 * time.Millisecond, 200 * time.Millisecond} {
+		b.Run(fmt.Sprintf("delta=%v", delta), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := harness.Figure7a(benchScale(int64(i+1)), delta)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportLevels(b, res, benchF)
+			}
+		})
+	}
+}
+
+// BenchmarkFigure7b — strong commit latency vs x, asymmetric geo-distribution
+// (Figure 7b). At δ=200ms levels above ~1.7f are unreachable (outcast region).
+func BenchmarkFigure7b(b *testing.B) {
+	for _, delta := range []time.Duration{100 * time.Millisecond, 200 * time.Millisecond} {
+		b.Run(fmt.Sprintf("delta=%v", delta), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := harness.Figure7b(benchScale(int64(i+1)), delta)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportLevels(b, res, benchF)
+			}
+		})
+	}
+}
+
+// BenchmarkFigure8 — regular vs strong commit latency trade-off as the
+// leader extra-wait grows (Figure 8).
+func BenchmarkFigure8(b *testing.B) {
+	for _, wait := range []time.Duration{0, 100 * time.Millisecond, 250 * time.Millisecond} {
+		b.Run(fmt.Sprintf("wait=%v", wait), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				points, err := harness.Figure8(benchScale(int64(i+1)), []time.Duration{wait})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := points[0].Result
+				b.ReportMetric(res.RegularLatency.Mean, "regular_s")
+				if s := res.LevelLatency[2*benchF]; s.Count > 0 {
+					b.ReportMetric(s.Mean, "lat_2.0f_s")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkThroughput — §4's throughput/latency parity claim: DiemBFT vs
+// SFT-DiemBFT.
+func BenchmarkThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base, sft, err := harness.ThroughputComparison(benchScale(int64(i+1)), 100*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(base.ThroughputTPS, "diembft_tps")
+		b.ReportMetric(sft.ThroughputTPS, "sft_tps")
+		b.ReportMetric(base.RegularLatency.Mean, "diembft_regular_s")
+		b.ReportMetric(sft.RegularLatency.Mean, "sft_regular_s")
+	}
+}
+
+// BenchmarkMessageComplexity — §3.2/Appendix B: msgs per decision, SFT
+// (linear) vs FBFT-adapted (quadratic), n ∈ {7, 16, 31}.
+func BenchmarkMessageComplexity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := harness.MessageComplexity([]int{2, 5, 10}, 30*time.Second, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range points {
+			b.ReportMetric(p.SFTMsgsPerDec, fmt.Sprintf("sft_msgs_n%d", p.N))
+			b.ReportMetric(p.FBFTMsgsPer, fmt.Sprintf("fbft_msgs_n%d", p.N))
+		}
+	}
+}
+
+// BenchmarkTheorem2 — liveness under c benign crashes: latency to the
+// (2f-c)-strong target.
+func BenchmarkTheorem2(b *testing.B) {
+	for _, c := range []int{0, 2, 4} {
+		b.Run(fmt.Sprintf("crashes=%d", c), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, target, err := harness.Theorem2(harness.Scale{N: 13, F: 4, Duration: benchDuration, Seed: int64(i + 1)}, c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if s := res.LevelLatency[target]; s.Count > 0 {
+					b.ReportMetric(s.Mean, "target_lat_s")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTheorem3 — marker vs interval strong-votes under t equivocating
+// Byzantine replicas: latency to the (2f-t)-strong target.
+func BenchmarkTheorem3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		marker, interval, target, err := harness.Theorem3(harness.Scale{N: 13, F: 4, Duration: benchDuration, Seed: int64(i + 1)}, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s := marker.LevelLatency[target]; s.Count > 0 {
+			b.ReportMetric(s.Mean, "marker_lat_s")
+		}
+		if s := interval.LevelLatency[target]; s.Count > 0 {
+			b.ReportMetric(s.Mean, "interval_lat_s")
+		}
+	}
+}
+
+// BenchmarkStreamlet — Appendix D: SFT-Streamlet strong commit latencies.
+func BenchmarkStreamlet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.StreamletLatency(harness.Scale{N: 13, F: 4, Duration: benchDuration, Seed: int64(i + 1)}, 50*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportLevels(b, res, 4)
+	}
+}
+
+// BenchmarkAblationVoteMode — DESIGN.md ablation: marker vs interval votes
+// in a fault-free run (bookkeeping/size cost of the richer votes).
+func BenchmarkAblationVoteMode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		marker, interval, _, err := harness.Theorem3(harness.Scale{N: 13, F: 4, Duration: benchDuration, Seed: int64(i + 1)}, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(marker.Msgs.Bytes)/float64(marker.CommittedBlocks), "marker_bytes_per_block")
+		b.ReportMetric(float64(interval.Msgs.Bytes)/float64(interval.CommittedBlocks), "interval_bytes_per_block")
+	}
+}
+
+// BenchmarkAblationBookkeeping — DESIGN.md ablation: wall-clock cost of the
+// SFT endorsement tracking (events processed per second with SFT on vs off).
+func BenchmarkAblationBookkeeping(b *testing.B) {
+	run := func(b *testing.B, sft bool) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			base, sftRes, err := harness.ThroughputComparison(benchScale(int64(i+1)), 100*time.Millisecond)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sft {
+				b.ReportMetric(float64(sftRes.Events), "events")
+			} else {
+				b.ReportMetric(float64(base.Events), "events")
+			}
+		}
+	}
+	b.Run("sft=off", func(b *testing.B) { run(b, false) })
+	b.Run("sft=on", func(b *testing.B) { run(b, true) })
+}

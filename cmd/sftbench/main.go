@@ -1,0 +1,273 @@
+// Command sftbench regenerates the paper's evaluation artifacts (Figures
+// 7a, 7b, 8, and the companion comparisons) on the discrete-event simulator
+// and prints the measured series as tables.
+//
+// Usage:
+//
+//	sftbench -experiment fig7a [-n 100] [-duration 5m] [-delta 100ms] [-seed 1]
+//	sftbench -experiment all -n 31 -duration 90s
+//
+// Experiments: fig7a, fig7b, fig8, throughput, msgcomplexity, theorem2,
+// theorem3, streamlet, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "which experiment to run (fig7a|fig7b|fig8|throughput|msgcomplexity|theorem2|theorem3|streamlet|all)")
+		n          = flag.Int("n", 100, "number of replicas (3f+1)")
+		duration   = flag.Duration("duration", 5*time.Minute, "virtual run duration")
+		delta      = flag.Duration("delta", 0, "inter-region delay; 0 sweeps the paper's {100ms,200ms}")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	if (*n-1)%3 != 0 {
+		fmt.Fprintf(os.Stderr, "sftbench: n=%d is not 3f+1\n", *n)
+		os.Exit(1)
+	}
+	sc := harness.Scale{N: *n, F: (*n - 1) / 3, Duration: *duration, Seed: *seed}
+	deltas := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond}
+	if *delta != 0 {
+		deltas = []time.Duration{*delta}
+	}
+
+	run := func(name string, fn func() error) {
+		if *experiment != "all" && *experiment != name {
+			return
+		}
+		fmt.Printf("==> %s (n=%d f=%d duration=%v seed=%d)\n", name, sc.N, sc.F, sc.Duration, sc.Seed)
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "sftbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("    [wall time %v]\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	run("fig7a", func() error { return figure7(sc, deltas, harness.Figure7a, "symmetric") })
+	run("fig7b", func() error { return figure7(sc, deltas, harness.Figure7b, "asymmetric") })
+	run("fig8", func() error { return figure8(sc) })
+	run("throughput", func() error { return throughput(sc, deltas[0]) })
+	run("msgcomplexity", func() error { return msgComplexity(sc) })
+	run("theorem2", func() error { return theorem2(sc) })
+	run("theorem3", func() error { return theorem3(sc) })
+	run("streamlet", func() error { return streamletExp(sc) })
+}
+
+func figure7(sc harness.Scale, deltas []time.Duration, fn func(harness.Scale, time.Duration) (*harness.Result, error), label string) error {
+	results := make([]*harness.Result, 0, len(deltas))
+	for _, d := range deltas {
+		res, err := fn(sc, d)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+	}
+	f := sc.F
+	if f == 0 {
+		f = 33
+	}
+	header := []string{"x-strong"}
+	for _, d := range deltas {
+		header = append(header, fmt.Sprintf("latency(s) δ=%v", d))
+	}
+	rows := [][]string{}
+	for _, lv := range harness.DefaultLevels(f) {
+		row := []string{harness.LevelLabel(lv, f)}
+		for _, res := range results {
+			s := res.LevelLatency[lv]
+			if s.Count == 0 {
+				row = append(row, "unreached")
+			} else {
+				row = append(row, fmt.Sprintf("%.3f", s.Mean))
+			}
+		}
+		rows = append(rows, row)
+	}
+	printTable(fmt.Sprintf("Figure 7 (%s): strong commit latency vs resilience", label), header, rows)
+	for i, res := range results {
+		fmt.Printf("    δ=%v: %d blocks committed, regular latency %.3fs, %.1f msgs/commit\n",
+			deltas[i], res.CommittedBlocks, res.RegularLatency.Mean, res.MsgsPerCommit)
+	}
+	return nil
+}
+
+func figure8(sc harness.Scale) error {
+	waits := []time.Duration{
+		0, 25 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond,
+		150 * time.Millisecond, 200 * time.Millisecond, 250 * time.Millisecond, 300 * time.Millisecond,
+	}
+	points, err := harness.Figure8(sc, waits)
+	if err != nil {
+		return err
+	}
+	f := sc.F
+	if f == 0 {
+		f = 33
+	}
+	curves := []int{f + 2*f/10, f + 4*f/10, f + 6*f/10, f + 8*f/10, 2 * f}
+	header := []string{"extra wait", "regular(s)"}
+	for _, lv := range curves {
+		header = append(header, harness.LevelLabel(lv, f)+"(s)")
+	}
+	rows := [][]string{}
+	for _, p := range points {
+		row := []string{p.ExtraWait.String(), fmt.Sprintf("%.3f", p.Result.RegularLatency.Mean)}
+		for _, lv := range curves {
+			s := p.Result.LevelLatency[lv]
+			if s.Count == 0 {
+				row = append(row, "unreached")
+			} else {
+				row = append(row, fmt.Sprintf("%.3f", s.Mean))
+			}
+		}
+		rows = append(rows, row)
+	}
+	printTable("Figure 8: regular vs strong commit latency trade-off (δ=100ms)", header, rows)
+	return nil
+}
+
+func throughput(sc harness.Scale, delta time.Duration) error {
+	base, sft, err := harness.ThroughputComparison(sc, delta)
+	if err != nil {
+		return err
+	}
+	printTable("Throughput and regular commit latency: DiemBFT vs SFT-DiemBFT",
+		[]string{"protocol", "throughput (tps)", "blocks/s", "regular latency (s)", "bytes/block"},
+		[][]string{
+			{"DiemBFT", fmt.Sprintf("%.0f", base.ThroughputTPS), fmt.Sprintf("%.2f", base.BlocksPerSec),
+				fmt.Sprintf("%.3f", base.RegularLatency.Mean), fmt.Sprintf("%.0f", base.BytesPerBlock)},
+			{"SFT-DiemBFT", fmt.Sprintf("%.0f", sft.ThroughputTPS), fmt.Sprintf("%.2f", sft.BlocksPerSec),
+				fmt.Sprintf("%.3f", sft.RegularLatency.Mean), fmt.Sprintf("%.0f", sft.BytesPerBlock)},
+		})
+	return nil
+}
+
+func msgComplexity(sc harness.Scale) error {
+	fs := []int{2, 5, 10, 21}
+	if sc.N >= 100 {
+		fs = append(fs, 33)
+	}
+	points, err := harness.MessageComplexity(fs, sc.Duration/5, sc.Seed)
+	if err != nil {
+		return err
+	}
+	rows := [][]string{}
+	for _, p := range points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.N),
+			fmt.Sprintf("%.1f", p.SFTMsgsPerDec),
+			fmt.Sprintf("%.1f", p.FBFTMsgsPer),
+			fmt.Sprintf("%.2f", p.FBFTMsgsPer/p.SFTMsgsPerDec),
+		})
+	}
+	printTable("Messages per block decision: SFT-DiemBFT (linear) vs FBFT-adapted (quadratic)",
+		[]string{"n", "SFT msgs/decision", "FBFT msgs/decision", "ratio"}, rows)
+	return nil
+}
+
+func theorem2(sc harness.Scale) error {
+	rows := [][]string{}
+	for _, c := range []int{0, sc.F / 2, sc.F} {
+		res, target, err := harness.Theorem2(sc, c)
+		if err != nil {
+			return err
+		}
+		s := res.LevelLatency[target]
+		lat := "unreached"
+		if s.Count > 0 {
+			lat = fmt.Sprintf("%.3f", s.Mean)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", c),
+			harness.LevelLabel(target, sc.F),
+			lat,
+			fmt.Sprintf("%d", s.Count),
+		})
+	}
+	printTable("Theorem 2: (2f-c)-strong commit under c crash faults",
+		[]string{"crashes c", "target level", "mean latency (s)", "samples"}, rows)
+	return nil
+}
+
+func theorem3(sc harness.Scale) error {
+	t := max(1, sc.F/2)
+	marker, interval, target, err := harness.Theorem3(sc, t)
+	if err != nil {
+		return err
+	}
+	row := func(name string, r *harness.Result) []string {
+		s := r.LevelLatency[target]
+		lat := "unreached"
+		if s.Count > 0 {
+			lat = fmt.Sprintf("%.3f", s.Mean)
+		}
+		return []string{name, harness.LevelLabel(target, sc.F), lat, fmt.Sprintf("%d", s.Count)}
+	}
+	printTable(fmt.Sprintf("Theorem 3: (2f-t)-strong commit with t=%d equivocating Byzantine replicas", t),
+		[]string{"vote mode", "target level", "mean latency (s)", "samples"},
+		[][]string{row("marker (§3.2)", marker), row("intervals (§3.4)", interval)})
+	return nil
+}
+
+func streamletExp(sc harness.Scale) error {
+	res, err := harness.StreamletLatency(sc, 100*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	rows := [][]string{}
+	for _, lv := range harness.DefaultLevels(sc.F) {
+		s := res.LevelLatency[lv]
+		lat := "unreached"
+		if s.Count > 0 {
+			lat = fmt.Sprintf("%.3f", s.Mean)
+		}
+		rows = append(rows, []string{harness.LevelLabel(lv, sc.F), lat})
+	}
+	printTable("SFT-Streamlet (Appendix D): strong commit latency vs resilience",
+		[]string{"x-strong", "latency (s)"}, rows)
+	fmt.Printf("    %d blocks committed, regular latency %.3fs\n",
+		res.CommittedBlocks, res.RegularLatency.Mean)
+	return nil
+}
+
+func printTable(title string, header []string, rows [][]string) {
+	fmt.Printf("  %s\n", title)
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+		}
+		fmt.Printf("    %s\n", strings.Join(parts, "  "))
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+}

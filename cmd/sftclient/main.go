@@ -1,0 +1,55 @@
+// Command sftclient streams transactions to an sftnode's -client-listen
+// socket, simulating application load against a real cluster.
+//
+//	sftclient -node 127.0.0.1:9000 -rate 500 -run 30s
+package main
+
+import (
+	"encoding/gob"
+	"flag"
+	"log"
+	"net"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		node    = flag.String("node", "127.0.0.1:9000", "sftnode client-listen address")
+		rate    = flag.Int("rate", 200, "transactions per second")
+		size    = flag.Int("size", 128, "transaction payload bytes")
+		run     = flag.Duration("run", 30*time.Second, "how long to stream")
+		clients = flag.Uint("clients", 8, "simulated client identities")
+		seed    = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+	log.SetFlags(log.Lmicroseconds)
+	log.SetPrefix("sftclient ")
+
+	conn, err := net.DialTimeout("tcp", *node, 3*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	gen := workload.NewGenerator(*seed, uint32(*clients), *size)
+
+	interval := time.Second / time.Duration(max(1, *rate))
+	deadline := time.Now().Add(*run)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+
+	sent := 0
+	for time.Now().Before(deadline) {
+		<-tick.C
+		if err := enc.Encode(gen.Next()); err != nil {
+			log.Fatalf("after %d txns: %v", sent, err)
+		}
+		sent++
+		if sent%1000 == 0 {
+			log.Printf("%d transactions sent", sent)
+		}
+	}
+	log.Printf("done: %d transactions in %v (%.0f tps)", sent, *run, float64(sent)/run.Seconds())
+}

@@ -1,0 +1,198 @@
+// Command sftnode runs one SFT-DiemBFT replica over TCP. Start n = 3f+1 of
+// them (locally or across machines) to form a real cluster.
+//
+// Example 4-node local cluster:
+//
+//	sftnode -id 0 -n 4 -listen 127.0.0.1:7000 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 &
+//	sftnode -id 1 -n 4 -listen 127.0.0.1:7001 -peers ... &
+//	sftnode -id 2 -n 4 -listen 127.0.0.1:7002 -peers ... &
+//	sftnode -id 3 -n 4 -listen 127.0.0.1:7003 -peers ... &
+//
+// All nodes must share -n and -seed (the seed derives the cluster's PKI;
+// a real deployment would exchange public keys instead).
+package main
+
+import (
+	"context"
+	"encoding/gob"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/crypto"
+	"repro/internal/diembft"
+	"repro/internal/mempool"
+	"repro/internal/runtime"
+	"repro/internal/tcpnet"
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		id       = flag.Int("id", 0, "replica ID in [0, n)")
+		n        = flag.Int("n", 4, "cluster size (3f+1)")
+		listen   = flag.String("listen", "127.0.0.1:7000", "listen address")
+		peersCSV = flag.String("peers", "", "comma-separated peer addresses indexed by replica ID")
+		seed     = flag.Int64("seed", 42, "PKI derivation seed (must match across the cluster)")
+		timeout  = flag.Duration("timeout", 2*time.Second, "round timeout")
+		txns     = flag.Int("txns", 100, "transactions per block")
+		wait     = flag.Duration("extra-wait", 0, "leader extra wait after quorum (Figure 8 knob)")
+		run      = flag.Duration("run", 0, "exit after this duration (0 = run until signal)")
+		quiet    = flag.Bool("quiet", false, "only print periodic summaries")
+		clients  = flag.String("client-listen", "", "optional address accepting client transaction streams (see cmd/sftclient)")
+	)
+	flag.Parse()
+	log.SetFlags(log.Lmicroseconds)
+	log.SetPrefix(fmt.Sprintf("sftnode[%d] ", *id))
+
+	if (*n-1)%3 != 0 {
+		log.Fatalf("n=%d is not 3f+1", *n)
+	}
+	f := (*n - 1) / 3
+	addrs := strings.Split(*peersCSV, ",")
+	if len(addrs) != *n {
+		log.Fatalf("need %d peer addresses, got %d", *n, len(addrs))
+	}
+	peers := make(map[types.ReplicaID]string, *n)
+	for i, a := range addrs {
+		peers[types.ReplicaID(i)] = strings.TrimSpace(a)
+	}
+
+	ring, err := crypto.NewKeyRing(*n, *seed, crypto.SchemeEd25519)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Payload source: synthetic load, plus any transactions submitted by
+	// clients over the -client-listen socket.
+	gen := workload.NewGenerator(*seed+int64(*id), 16, 64)
+	var (
+		clientMu   sync.Mutex
+		clientPool = mempool.New(1 << 16)
+	)
+	payload := func(r types.Round) types.Payload {
+		clientMu.Lock()
+		fromClients := clientPool.Batch(*txns)
+		clientMu.Unlock()
+		p := types.Payload{Txns: fromClients}
+		if missing := *txns - len(fromClients); missing > 0 {
+			p.Txns = append(p.Txns, gen.Batch(missing)...)
+		}
+		return p
+	}
+	if *clients != "" {
+		ln, err := net.Listen("tcp", *clients)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ln.Close()
+		log.Printf("accepting client transactions on %s", ln.Addr())
+		go func() {
+			for {
+				conn, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				go func() {
+					defer conn.Close()
+					dec := gob.NewDecoder(conn)
+					for {
+						var txn types.Transaction
+						if err := dec.Decode(&txn); err != nil {
+							return
+						}
+						clientMu.Lock()
+						clientPool.Add(txn)
+						clientMu.Unlock()
+					}
+				}()
+			}
+		}()
+	}
+
+	rep, err := diembft.New(diembft.Config{
+		ID:               types.ReplicaID(*id),
+		N:                *n,
+		F:                f,
+		Signer:           ring.Signer(types.ReplicaID(*id)),
+		Verifier:         ring,
+		VerifySignatures: true,
+		SFT:              true,
+		RoundTimeout:     *timeout,
+		ExtraWait:        *wait,
+		Payload:          payload,
+		MaxCommitLog:     16,
+		PruneKeep:        512,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	nt, err := tcpnet.Listen(tcpnet.Config{
+		ID:     types.ReplicaID(*id),
+		Listen: *listen,
+		Peers:  peers,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer nt.Close()
+	log.Printf("listening on %s, cluster n=%d f=%d", nt.Addr(), *n, f)
+
+	var commits, strong, height atomic.Int64
+	node, err := runtime.NewNode(rep, nt, runtime.Options{
+		N: *n,
+		OnCommit: func(b *types.Block) {
+			commits.Add(1)
+			height.Store(int64(b.Height))
+			if !*quiet {
+				log.Printf("commit %v (height %d, %d txns)", b.ID(), b.Height, len(b.Payload.Txns))
+			}
+		},
+		OnStrength: func(b *types.Block, x int) {
+			strong.Add(1)
+			if !*quiet && x > f {
+				log.Printf("strength %v -> %d-strong (%.1ff)", b.ID(), x, float64(x)/float64(f))
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if *run > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, *run)
+		defer tcancel()
+	}
+
+	go func() {
+		tick := time.NewTicker(5 * time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				log.Printf("summary: %d commits, %d strength updates, committed height %d",
+					commits.Load(), strong.Load(), height.Load())
+			}
+		}
+	}()
+
+	if err := node.Run(ctx); err != nil && ctx.Err() == nil {
+		log.Fatal(err)
+	}
+	log.Printf("shutting down after %d commits", commits.Load())
+}

@@ -1,0 +1,18 @@
+// Package repro is a from-scratch Go reproduction of "Strengthened Fault
+// Tolerance in Byzantine Fault Tolerant Replication" (Xiang, Malkhi, Nayak,
+// Ren — ICDCS 2021, arXiv:2101.03715).
+//
+// The repository implements SFT-DiemBFT and SFT-Streamlet — chain-based BFT
+// SMR protocols whose committed blocks gain resilience from f up to 2f (out
+// of n = 3f+1) as the chain extends them — together with every substrate the
+// paper's evaluation depends on: the DiemBFT and Streamlet baselines, the
+// Appendix B FBFT adaptation, a deterministic discrete-event network
+// simulator with the paper's geo-distributed latency models, a real TCP
+// runtime, Byzantine adversaries, a light-client proof system, and a
+// benchmark harness regenerating every figure of the evaluation section.
+//
+// Start with README.md, DESIGN.md (architecture and experiment index) and
+// EXPERIMENTS.md (paper-vs-measured results). The benchmarks in
+// bench_test.go regenerate each figure at reduced scale; cmd/sftbench runs
+// them at paper scale (n = 100, five virtual minutes).
+package repro

@@ -1,0 +1,85 @@
+// SFT-Streamlet demo (Appendix D): the strengthened-fault-tolerance idea
+// carries over to the lock-step Streamlet protocol with height-keyed
+// markers and k-endorsements. This example runs a 7-replica SFT-Streamlet
+// cluster with its O(n^3) echo mechanism enabled and reports strong-commit
+// levels.
+//
+//	go run ./examples/streamlet
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/crypto"
+	"repro/internal/simnet"
+	"repro/internal/streamlet"
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+func main() {
+	const (
+		n = 7
+		f = 2
+	)
+	ring, err := crypto.NewKeyRing(n, 3, crypto.SchemeEd25519)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	levels := make(map[types.BlockID]int)
+	commits := 0
+	sim := simnet.New(simnet.Config{
+		N:       n,
+		Latency: &simnet.UniformModel{Base: 8 * time.Millisecond, Jitter: 4 * time.Millisecond},
+		Seed:    1,
+		OnCommit: func(rep types.ReplicaID, now time.Duration, b *types.Block) {
+			if rep == 0 {
+				commits++
+			}
+		},
+		OnStrength: func(rep types.ReplicaID, now time.Duration, b *types.Block, x int) {
+			if rep == 0 && x > levels[b.ID()] {
+				levels[b.ID()] = x
+			}
+		},
+	})
+
+	payload := workload.PaperPayload(1, 100, 8*1024)
+	for i := 0; i < n; i++ {
+		id := types.ReplicaID(i)
+		rep, err := streamlet.New(streamlet.Config{
+			ID:               id,
+			N:                n,
+			F:                f,
+			Signer:           ring.Signer(id),
+			Verifier:         ring,
+			VerifySignatures: true,
+			Delta:            25 * time.Millisecond, // lock-step rounds of 2∆ = 50ms
+			SFT:              true,
+			Payload:          payload,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim.SetEngine(id, rep)
+	}
+	sim.Run(10 * time.Second)
+
+	hist := make(map[int]int)
+	for _, x := range levels {
+		hist[x]++
+	}
+	fmt.Printf("SFT-Streamlet: %d blocks committed on replica 0\n", commits)
+	fmt.Printf("strong-commit levels reached (x -> #blocks):\n")
+	for x := f; x <= 2*f; x++ {
+		fmt.Printf("  %d-strong (%.1ff): %d blocks\n", x, float64(x)/float64(f), hist[x])
+	}
+	if hist[2*f] == 0 {
+		log.Fatal("no block reached 2f-strong in a fault-free run")
+	}
+	fmt.Printf("\nheight-keyed markers give Streamlet the same graduated assurance as DiemBFT,\n" +
+		"with the long-range-attack resistance discussed in Appendix D.4\n")
+}

@@ -1,0 +1,55 @@
+// Trade-off demo (Section 4.2 / Figure 8): leaders that wait a little
+// longer after reaching quorum fold straggler votes into larger strong-QCs,
+// trading regular-commit latency for much faster strong commits — including
+// the dynamic per-block strategy where only rounds near a high-value block
+// wait.
+//
+//	go run ./examples/tradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	const (
+		n = 31
+		f = 10
+	)
+	sc := harness.Scale{N: n, F: f, Duration: 45 * time.Second, Seed: 7}
+	waits := []time.Duration{0, 100 * time.Millisecond, 250 * time.Millisecond}
+
+	fmt.Printf("Figure 8 trade-off at n=%d, f=%d (symmetric regions, δ=100ms):\n\n", n, f)
+	points, err := harness.Figure8(sc, waits)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-12s %-14s %-14s %s\n", "extra wait", "regular (s)", "2f-strong (s)", "effect")
+	for _, p := range points {
+		r := p.Result
+		tf := r.LevelLatency[2*f]
+		tfs := "unreached"
+		if tf.Count > 0 {
+			tfs = fmt.Sprintf("%.3f", tf.Mean)
+		}
+		effect := ""
+		switch {
+		case p.ExtraWait == 0:
+			effect = "baseline: strong commits wait for straggler-led rounds"
+		case tf.Count > 0 && tf.Mean < 2*r.RegularLatency.Mean:
+			effect = "strong-QCs now diverse: 2f-strong merges with regular"
+		default:
+			effect = "partial capture of straggler votes"
+		}
+		fmt.Printf("%-12v %-14.3f %-14s %s\n", p.ExtraWait, r.RegularLatency.Mean, tfs, effect)
+	}
+
+	fmt.Println("\nThe paper's practical takeaway: a modest regular-latency sacrifice buys a")
+	fmt.Println("large strong-commit speedup, and the wait can be applied dynamically to just")
+	fmt.Println("the rounds following a high-value block (Config.ExtraWaitFor).")
+}

@@ -1,0 +1,289 @@
+// Package blockstore maintains each replica's local block tree: every block
+// it has seen, parent/child links, certification state (which blocks have
+// QCs), the highest known QC, and the ancestry/conflict queries on which
+// both the voting rules and the SFT endorsement bookkeeping rely.
+package blockstore
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Common errors returned by Store operations.
+var (
+	ErrUnknownBlock  = errors.New("blockstore: unknown block")
+	ErrMissingParent = errors.New("blockstore: missing parent")
+	ErrBadHeight     = errors.New("blockstore: height not parent+1")
+	ErrBadRound      = errors.New("blockstore: round not greater than parent round")
+)
+
+type node struct {
+	block    *types.Block
+	parent   *node // nil for genesis
+	children []*node
+	qc       *types.QC // certificate for this block, if one is known
+}
+
+// Store is one replica's block tree. It is not safe for concurrent use; the
+// engines own their store and the runtime serializes engine events.
+type Store struct {
+	genesis *types.Block
+	nodes   map[types.BlockID]*node
+	highQC  *types.QC
+	// pruned tracks the height below which non-committed branches have been
+	// discarded; ancestor walks stop at pruned nodes' boundary.
+	prunedHeight types.Height
+}
+
+// New creates a store seeded with the canonical genesis block and its
+// conventional round-0 QC.
+func New() *Store {
+	g := types.Genesis()
+	s := &Store{
+		genesis: g,
+		nodes:   make(map[types.BlockID]*node),
+	}
+	s.nodes[g.ID()] = &node{block: g}
+	s.highQC = types.NewGenesisQC(g.ID())
+	s.nodes[g.ID()].qc = s.highQC
+	return s
+}
+
+// Genesis returns the genesis block.
+func (s *Store) Genesis() *types.Block { return s.genesis }
+
+// HighQC returns the highest-ranked QC seen so far (never nil).
+func (s *Store) HighQC() *types.QC { return s.highQC }
+
+// Len returns the number of blocks stored, including genesis.
+func (s *Store) Len() int { return len(s.nodes) }
+
+// Block returns the block with the given ID, or nil if unknown.
+func (s *Store) Block(id types.BlockID) *types.Block {
+	if n, ok := s.nodes[id]; ok {
+		return n.block
+	}
+	return nil
+}
+
+// Has reports whether the block is stored.
+func (s *Store) Has(id types.BlockID) bool {
+	_, ok := s.nodes[id]
+	return ok
+}
+
+// Insert adds a block whose parent is already stored, validating the basic
+// chain invariants: height is parent height + 1 and round exceeds the
+// parent's round.
+func (s *Store) Insert(b *types.Block) error {
+	id := b.ID()
+	if _, ok := s.nodes[id]; ok {
+		return nil // duplicate inserts are harmless
+	}
+	p, ok := s.nodes[b.Parent]
+	if !ok {
+		return fmt.Errorf("%w: parent %s of %s", ErrMissingParent, b.Parent, b)
+	}
+	if b.Height != p.block.Height+1 {
+		return fmt.Errorf("%w: %s over parent h%d", ErrBadHeight, b, p.block.Height)
+	}
+	if b.Round <= p.block.Round {
+		return fmt.Errorf("%w: %s over parent r%d", ErrBadRound, b, p.block.Round)
+	}
+	n := &node{block: b, parent: p}
+	p.children = append(p.children, n)
+	s.nodes[id] = n
+	return nil
+}
+
+// RegisterQC records a certificate for a stored block and updates the
+// highest QC. It returns the certified block.
+func (s *Store) RegisterQC(qc *types.QC) (*types.Block, error) {
+	n, ok := s.nodes[qc.Block]
+	if !ok {
+		return nil, fmt.Errorf("%w: qc for %s", ErrUnknownBlock, qc.Block)
+	}
+	if n.qc == nil || len(qc.Votes) > len(n.qc.Votes) {
+		// Keep the largest certificate seen for the block: Figure 8's
+		// extra-wait experiment produces QCs with more than 2f+1 votes and
+		// bigger certificates carry more endorsement information.
+		n.qc = qc
+	}
+	if qc.RanksHigher(s.highQC) {
+		s.highQC = qc
+	}
+	return n.block, nil
+}
+
+// QCFor returns the certificate stored for the block, or nil.
+func (s *Store) QCFor(id types.BlockID) *types.QC {
+	if n, ok := s.nodes[id]; ok {
+		return n.qc
+	}
+	return nil
+}
+
+// IsCertified reports whether a QC is known for the block.
+func (s *Store) IsCertified(id types.BlockID) bool {
+	n, ok := s.nodes[id]
+	return ok && n.qc != nil
+}
+
+// Parent returns the parent block, or nil for genesis or unknown blocks.
+func (s *Store) Parent(id types.BlockID) *types.Block {
+	n, ok := s.nodes[id]
+	if !ok || n.parent == nil {
+		return nil
+	}
+	return n.parent.block
+}
+
+// Children returns the stored children of a block.
+func (s *Store) Children(id types.BlockID) []*types.Block {
+	n, ok := s.nodes[id]
+	if !ok {
+		return nil
+	}
+	out := make([]*types.Block, len(n.children))
+	for i, c := range n.children {
+		out[i] = c.block
+	}
+	return out
+}
+
+// IsAncestor reports whether anc is an ancestor of (or equal to) desc,
+// i.e. desc extends anc in the paper's terminology.
+func (s *Store) IsAncestor(anc, desc types.BlockID) bool {
+	a, ok := s.nodes[anc]
+	if !ok {
+		return false
+	}
+	d, ok := s.nodes[desc]
+	if !ok {
+		return false
+	}
+	for d != nil && d.block.Height > a.block.Height {
+		d = d.parent
+	}
+	return d == a
+}
+
+// Conflicts reports whether the two stored blocks conflict: neither extends
+// the other (Section 2.1).
+func (s *Store) Conflicts(a, b types.BlockID) bool {
+	if a == b {
+		return false
+	}
+	return !s.IsAncestor(a, b) && !s.IsAncestor(b, a)
+}
+
+// CommonAncestor returns the highest common ancestor of two stored blocks,
+// or nil if either is unknown. If one extends the other, the lower block
+// itself is returned.
+func (s *Store) CommonAncestor(a, b types.BlockID) *types.Block {
+	na, ok := s.nodes[a]
+	if !ok {
+		return nil
+	}
+	nb, ok := s.nodes[b]
+	if !ok {
+		return nil
+	}
+	for na.block.Height > nb.block.Height {
+		na = na.parent
+	}
+	for nb.block.Height > na.block.Height {
+		nb = nb.parent
+	}
+	for na != nb {
+		if na.parent == nil || nb.parent == nil {
+			return nil
+		}
+		na = na.parent
+		nb = nb.parent
+	}
+	return na.block
+}
+
+// AncestorAtHeight returns the ancestor of id at exactly height h (possibly
+// the block itself), or nil.
+func (s *Store) AncestorAtHeight(id types.BlockID, h types.Height) *types.Block {
+	n, ok := s.nodes[id]
+	if !ok {
+		return nil
+	}
+	for n != nil && n.block.Height > h {
+		n = n.parent
+	}
+	if n == nil || n.block.Height != h {
+		return nil
+	}
+	return n.block
+}
+
+// ChainBetween returns the blocks from anc (exclusive) to desc (inclusive),
+// ordered by increasing height, or nil if desc does not extend anc.
+func (s *Store) ChainBetween(anc, desc types.BlockID) []*types.Block {
+	if !s.IsAncestor(anc, desc) {
+		return nil
+	}
+	var rev []*types.Block
+	n := s.nodes[desc]
+	for n != nil && n.block.ID() != anc {
+		rev = append(rev, n.block)
+		n = n.parent
+	}
+	// Reverse in place.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// WalkAncestors calls fn on each strict ancestor of id from parent upward,
+// stopping when fn returns false or genesis is passed.
+func (s *Store) WalkAncestors(id types.BlockID, fn func(*types.Block) bool) {
+	n, ok := s.nodes[id]
+	if !ok {
+		return
+	}
+	for n = n.parent; n != nil; n = n.parent {
+		if !fn(n.block) {
+			return
+		}
+	}
+}
+
+// PruneBelow discards every block below height h and re-anchors the tree at
+// keep's ancestor at height h (its parent link becomes nil). Side-fork
+// blocks at or above h whose ancestry was cut are detached as well; their
+// own turn comes at the next prune. Engines call this once strong commits
+// have saturated so long experiments do not grow memory without bound.
+func (s *Store) PruneBelow(h types.Height, keep types.BlockID) int {
+	anchor := s.AncestorAtHeight(keep, h)
+	if anchor == nil || h == 0 {
+		return 0
+	}
+	removed := 0
+	for id, n := range s.nodes {
+		if n.block.Height >= h {
+			continue
+		}
+		// Orphan surviving children; ancestry walks then terminate at a
+		// nil parent above the cut.
+		for _, c := range n.children {
+			c.parent = nil
+		}
+		delete(s.nodes, id)
+		removed++
+	}
+	if h > s.prunedHeight {
+		s.prunedHeight = h
+	}
+	return removed
+}
+
+// PrunedHeight returns the height below which side branches were discarded.
+func (s *Store) PrunedHeight() types.Height { return s.prunedHeight }

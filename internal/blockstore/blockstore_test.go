@@ -1,0 +1,226 @@
+package blockstore_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/blockstore"
+	"repro/internal/types"
+)
+
+// chainBuilder makes hand-built trees terse: mk(parent, round) inserts a
+// block at parent.Height+1.
+type chainBuilder struct {
+	t     *testing.T
+	s     *blockstore.Store
+	count uint32
+}
+
+func newBuilder(t *testing.T) *chainBuilder {
+	return &chainBuilder{t: t, s: blockstore.New()}
+}
+
+func (cb *chainBuilder) mk(parent *types.Block, round types.Round) *types.Block {
+	cb.t.Helper()
+	cb.count++
+	b := types.NewBlock(parent.ID(), types.NewGenesisQC(parent.ID()), round, parent.Height+1, 0,
+		int64(cb.count), types.Payload{Txns: []types.Transaction{{Sender: cb.count}}}, nil)
+	if err := cb.s.Insert(b); err != nil {
+		cb.t.Fatalf("insert round %d: %v", round, err)
+	}
+	return b
+}
+
+func (cb *chainBuilder) qc(b *types.Block, voters ...types.ReplicaID) *types.QC {
+	cb.t.Helper()
+	votes := make([]types.Vote, len(voters))
+	for i, v := range voters {
+		votes[i] = types.Vote{Block: b.ID(), Round: b.Round, Height: b.Height, Voter: v}
+	}
+	qc := &types.QC{Block: b.ID(), Round: b.Round, Height: b.Height, Votes: votes}
+	if _, err := cb.s.RegisterQC(qc); err != nil {
+		cb.t.Fatalf("register qc: %v", err)
+	}
+	return qc
+}
+
+func TestInsertValidation(t *testing.T) {
+	cb := newBuilder(t)
+	g := cb.s.Genesis()
+	b1 := cb.mk(g, 1)
+
+	// Missing parent.
+	orphan := types.NewBlock(types.BlockID{9}, types.NewGenesisQC(types.BlockID{9}), 5, 5, 0, 0, types.Payload{}, nil)
+	if err := cb.s.Insert(orphan); !errors.Is(err, blockstore.ErrMissingParent) {
+		t.Errorf("want ErrMissingParent, got %v", err)
+	}
+	// Wrong height.
+	badH := types.NewBlock(b1.ID(), types.NewGenesisQC(b1.ID()), 2, 5, 0, 0, types.Payload{}, nil)
+	if err := cb.s.Insert(badH); !errors.Is(err, blockstore.ErrBadHeight) {
+		t.Errorf("want ErrBadHeight, got %v", err)
+	}
+	// Non-increasing round.
+	badR := types.NewBlock(b1.ID(), types.NewGenesisQC(b1.ID()), 1, 2, 0, 0, types.Payload{}, nil)
+	if err := cb.s.Insert(badR); !errors.Is(err, blockstore.ErrBadRound) {
+		t.Errorf("want ErrBadRound, got %v", err)
+	}
+	// Duplicate insert is a no-op.
+	if err := cb.s.Insert(b1); err != nil {
+		t.Errorf("duplicate insert: %v", err)
+	}
+	if cb.s.Len() != 2 { // genesis + b1
+		t.Errorf("store len = %d, want 2", cb.s.Len())
+	}
+}
+
+func TestAncestryAndConflicts(t *testing.T) {
+	cb := newBuilder(t)
+	g := cb.s.Genesis()
+	//      g - a1 - a2 - a3
+	//        \ b1 - b2
+	a1 := cb.mk(g, 1)
+	a2 := cb.mk(a1, 2)
+	a3 := cb.mk(a2, 3)
+	b1 := cb.mk(g, 2) // sibling branch
+	b2 := cb.mk(b1, 4)
+
+	if !cb.s.IsAncestor(g.ID(), a3.ID()) || !cb.s.IsAncestor(a1.ID(), a3.ID()) {
+		t.Error("ancestor chain broken")
+	}
+	if !cb.s.IsAncestor(a3.ID(), a3.ID()) {
+		t.Error("a block extends itself")
+	}
+	if cb.s.IsAncestor(a3.ID(), a1.ID()) {
+		t.Error("descendant is not an ancestor")
+	}
+	if cb.s.Conflicts(a1.ID(), a3.ID()) {
+		t.Error("same-branch blocks should not conflict")
+	}
+	if !cb.s.Conflicts(a2.ID(), b2.ID()) || !cb.s.Conflicts(a1.ID(), b1.ID()) {
+		t.Error("cross-branch blocks must conflict")
+	}
+	if cb.s.Conflicts(a1.ID(), a1.ID()) {
+		t.Error("a block does not conflict itself")
+	}
+
+	if ca := cb.s.CommonAncestor(a3.ID(), b2.ID()); ca == nil || ca.ID() != g.ID() {
+		t.Errorf("common ancestor = %v, want genesis", ca)
+	}
+	if ca := cb.s.CommonAncestor(a1.ID(), a3.ID()); ca == nil || ca.ID() != a1.ID() {
+		t.Errorf("common ancestor on same branch = %v, want a1", ca)
+	}
+}
+
+func TestChainBetweenAndWalk(t *testing.T) {
+	cb := newBuilder(t)
+	g := cb.s.Genesis()
+	a1 := cb.mk(g, 1)
+	a2 := cb.mk(a1, 2)
+	a3 := cb.mk(a2, 3)
+
+	chain := cb.s.ChainBetween(g.ID(), a3.ID())
+	if len(chain) != 3 || chain[0].ID() != a1.ID() || chain[2].ID() != a3.ID() {
+		t.Fatalf("chain between genesis and a3 wrong: %v", chain)
+	}
+	if cb.s.ChainBetween(a3.ID(), a1.ID()) != nil {
+		t.Error("reverse chain must be nil")
+	}
+
+	var seen []types.Round
+	cb.s.WalkAncestors(a3.ID(), func(b *types.Block) bool {
+		seen = append(seen, b.Round)
+		return b.Round != 1
+	})
+	if len(seen) != 2 || seen[0] != 2 || seen[1] != 1 {
+		t.Errorf("walk order wrong: %v", seen)
+	}
+
+	if b := cb.s.AncestorAtHeight(a3.ID(), 1); b == nil || b.ID() != a1.ID() {
+		t.Error("AncestorAtHeight(1) wrong")
+	}
+	if cb.s.AncestorAtHeight(a3.ID(), 9) != nil {
+		t.Error("AncestorAtHeight above block must be nil")
+	}
+}
+
+func TestQCRegistration(t *testing.T) {
+	cb := newBuilder(t)
+	g := cb.s.Genesis()
+	a1 := cb.mk(g, 1)
+	a2 := cb.mk(a1, 2)
+
+	if cb.s.IsCertified(a1.ID()) {
+		t.Error("uncertified block reported certified")
+	}
+	cb.qc(a1, 0, 1, 2)
+	if !cb.s.IsCertified(a1.ID()) {
+		t.Error("certified block not reported")
+	}
+	if cb.s.HighQC().Block != a1.ID() {
+		t.Error("high QC not updated")
+	}
+	cb.qc(a2, 0, 1, 2)
+	if cb.s.HighQC().Block != a2.ID() {
+		t.Error("high QC should follow the higher round")
+	}
+	// A larger certificate for the same block replaces the smaller one.
+	cb.qc(a1, 0, 1, 2, 3)
+	if got := len(cb.s.QCFor(a1.ID()).Votes); got != 4 {
+		t.Errorf("bigger QC not kept: %d votes", got)
+	}
+	// A smaller one does not.
+	cb.qc(a1, 0, 1)
+	if got := len(cb.s.QCFor(a1.ID()).Votes); got != 4 {
+		t.Errorf("smaller QC replaced bigger: %d votes", got)
+	}
+	// Unknown block.
+	if _, err := cb.s.RegisterQC(&types.QC{Block: types.BlockID{9}, Round: 9}); err == nil {
+		t.Error("QC for unknown block accepted")
+	}
+}
+
+func TestPruneBelow(t *testing.T) {
+	cb := newBuilder(t)
+	g := cb.s.Genesis()
+	// Main chain to height 6 plus a dead fork at height 2.
+	cur := g
+	var blocks []*types.Block
+	for r := types.Round(1); r <= 6; r++ {
+		cur = cb.mk(cur, r)
+		blocks = append(blocks, cur)
+	}
+	fork := cb.mk(blocks[0], 7) // height 2, dead branch
+	forkChild := cb.mk(fork, 8)
+
+	removed := cb.s.PruneBelow(4, cur.ID())
+	if removed == 0 {
+		t.Fatal("nothing pruned")
+	}
+	// Everything below the cut is gone, spine included; the anchor at the
+	// cut height and everything above survives.
+	for _, b := range blocks {
+		if b.Height < 4 && cb.s.Has(b.ID()) {
+			t.Errorf("below-cut spine block h%d survived", b.Height)
+		}
+		if b.Height >= 4 && !cb.s.Has(b.ID()) {
+			t.Errorf("above-cut spine block h%d pruned", b.Height)
+		}
+	}
+	if cb.s.Has(fork.ID()) || cb.s.Has(forkChild.ID()) {
+		t.Error("dead fork below cut survived")
+	}
+	// The surviving chain is still internally consistent.
+	if !cb.s.IsAncestor(blocks[3].ID(), cur.ID()) {
+		t.Error("anchor no longer an ancestor of the tip")
+	}
+	if cb.s.IsAncestor(g.ID(), cur.ID()) {
+		t.Error("pruned genesis still counted as an ancestor")
+	}
+	if cb.s.PrunedHeight() != 4 {
+		t.Errorf("pruned height = %d", cb.s.PrunedHeight())
+	}
+	// Chain operations above the cut still work.
+	if chain := cb.s.ChainBetween(blocks[3].ID(), cur.ID()); len(chain) != 2 {
+		t.Errorf("chain above cut has %d blocks", len(chain))
+	}
+}

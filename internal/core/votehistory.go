@@ -1,0 +1,142 @@
+package core
+
+import (
+	"repro/internal/blockstore"
+	"repro/internal/intervals"
+	"repro/internal/types"
+)
+
+// VotedBlock is one entry of a replica's voting history.
+type VotedBlock struct {
+	ID     types.BlockID
+	Round  types.Round
+	Height types.Height
+}
+
+// VoteHistory records every block this replica voted for, so that each new
+// strong-vote can carry the marker (Section 3.2) or the interval set I
+// (Section 3.4) summarizing which earlier blocks the vote must not endorse.
+//
+// The paper's local-state description — "for every fork in the blockchain,
+// the replica additionally keeps the highest voted block on that fork" — is
+// realized here by keeping all voted blocks and evaluating conflicts against
+// the target chain on demand; per-fork maxima fall out of the max/union in
+// Marker and Intervals.
+type VoteHistory struct {
+	store *blockstore.Store
+	voted []VotedBlock
+}
+
+// NewVoteHistory creates an empty history backed by the replica's store.
+func NewVoteHistory(store *blockstore.Store) *VoteHistory {
+	return &VoteHistory{store: store}
+}
+
+// RecordVote notes that the replica voted for b. Call it exactly when the
+// engine's voting rule fires.
+func (h *VoteHistory) RecordVote(b *types.Block) {
+	h.voted = append(h.voted, VotedBlock{ID: b.ID(), Round: b.Round, Height: b.Height})
+}
+
+// Len returns the number of recorded votes.
+func (h *VoteHistory) Len() int { return len(h.voted) }
+
+// Voted returns a copy of the history (for tests and diagnostics).
+func (h *VoteHistory) Voted() []VotedBlock {
+	out := make([]VotedBlock, len(h.voted))
+	copy(out, h.voted)
+	return out
+}
+
+// Marker computes the Section 3.2 marker for a vote on target:
+//
+//	marker = max{B'.round | B' conflicts target and replica voted for B'}
+//
+// with default 0 when the replica never voted on a conflicting fork.
+func (h *VoteHistory) Marker(target *types.Block) types.Round {
+	var m types.Round
+	tid := target.ID()
+	for _, v := range h.voted {
+		if v.Round <= m {
+			continue // cannot raise the max
+		}
+		if !h.store.Has(v.ID) {
+			continue // pruned deep history; see PruneBelow
+		}
+		if h.store.Conflicts(v.ID, tid) {
+			m = v.Round
+		}
+	}
+	return m
+}
+
+// HeightMarker computes the Appendix D (SFT-Streamlet) marker for a vote on
+// target: the largest *height* of any conflicting voted block.
+func (h *VoteHistory) HeightMarker(target *types.Block) types.Height {
+	var m types.Height
+	tid := target.ID()
+	for _, v := range h.voted {
+		if v.Height <= m {
+			continue
+		}
+		if !h.store.Has(v.ID) {
+			continue
+		}
+		if h.store.Conflicts(v.ID, tid) {
+			m = v.Height
+		}
+	}
+	return m
+}
+
+// Intervals computes the Section 3.4 generalized endorsement set for a vote
+// on target:
+//
+//	I = [1, r] \ ∪_F D_F,   D_F = [rl+1, rh]
+//
+// where, per fork F the replica voted on, rh is the largest round of a
+// conflicting voted block on F and rl is the round of the common ancestor of
+// that block and target. Subtracting one D per conflicting voted block is
+// equivalent to the per-fork definition because blocks on the same fork
+// produce nested intervals.
+//
+// If window > 0 the set is clipped to [r-window, r], the paper's variant
+// that bounds the vote size to the most recent window rounds.
+func (h *VoteHistory) Intervals(target *types.Block, window types.Round) intervals.Set {
+	r := uint64(target.Round)
+	set := intervals.Full(r)
+	tid := target.ID()
+	for _, v := range h.voted {
+		if !h.store.Has(v.ID) {
+			continue
+		}
+		if !h.store.Conflicts(v.ID, tid) {
+			continue
+		}
+		ca := h.store.CommonAncestor(v.ID, tid)
+		if ca == nil {
+			// Unknown relation (pruned ancestry): conservatively refuse to
+			// endorse anything up to the conflicting round.
+			set = set.Subtract(intervals.Interval{Lo: 1, Hi: uint64(v.Round)})
+			continue
+		}
+		set = set.Subtract(intervals.Interval{Lo: uint64(ca.Round) + 1, Hi: uint64(v.Round)})
+	}
+	if window > 0 && r > uint64(window) {
+		set = set.Intersect(intervals.New(intervals.Interval{Lo: r - uint64(window), Hi: r}))
+	}
+	return set
+}
+
+// PruneBelow drops history entries below the given round. Engines call it
+// together with blockstore pruning; both must use the same cut so that
+// Marker never silently loses a conflicting vote that still matters.
+func (h *VoteHistory) PruneBelow(r types.Round) {
+	kept := h.voted[:0]
+	for _, v := range h.voted {
+		if v.Round >= r {
+			kept = append(kept, v)
+		}
+	}
+	h.voted = kept
+}

@@ -1,0 +1,74 @@
+// Package engine defines the event-driven interface every consensus engine
+// in this repository implements. Engines are pure state machines: they
+// receive Init/OnMessage/OnTimer events carrying the current (virtual or
+// wall) time and return a list of Outputs. They never touch clocks, sockets
+// or goroutines themselves, which lets the same engine run deterministically
+// under the discrete-event simulator (internal/simnet) and under the real
+// TCP runtime (internal/runtime).
+package engine
+
+import (
+	"time"
+
+	"repro/internal/types"
+)
+
+// Engine is an event-driven replica state machine.
+type Engine interface {
+	// ID returns the replica this engine instance embodies.
+	ID() types.ReplicaID
+	// Init is called once at startup and returns the initial outputs
+	// (typically the round-1 proposal if the replica is the first leader,
+	// plus the first round timer).
+	Init(now time.Duration) []Output
+	// OnMessage delivers one consensus message from another replica.
+	OnMessage(now time.Duration, from types.ReplicaID, msg types.Message) []Output
+	// OnTimer fires a timer previously requested via SetTimer. Engines must
+	// tolerate stale timers (e.g. a round timer firing after the round
+	// already advanced).
+	OnTimer(now time.Duration, id int) []Output
+}
+
+// Output is one action requested by an engine. The concrete types below are
+// the full set; runtimes switch on them.
+type Output interface{ isOutput() }
+
+// Send transmits a message to one replica.
+type Send struct {
+	To  types.ReplicaID
+	Msg types.Message
+}
+
+// Broadcast transmits a message to every other replica; when SelfDeliver is
+// set the engine also receives its own copy (DiemBFT leaders process their
+// own proposals through the same code path as everyone else).
+type Broadcast struct {
+	Msg         types.Message
+	SelfDeliver bool
+}
+
+// SetTimer requests an OnTimer(id) callback after Delay.
+type SetTimer struct {
+	ID    int
+	Delay time.Duration
+}
+
+// Commit reports a regular (f-strong) commit of Block and, implicitly, all
+// its ancestors. Runtimes and the harness use it for latency/throughput
+// accounting; Height ordering is guaranteed per replica.
+type Commit struct {
+	Block *types.Block
+}
+
+// Strength reports that Block's strong-commit level rose to X (the commit
+// now tolerates X Byzantine faults, Definition 1).
+type Strength struct {
+	Block *types.Block
+	X     int
+}
+
+func (Send) isOutput()      {}
+func (Broadcast) isOutput() {}
+func (SetTimer) isOutput()  {}
+func (Commit) isOutput()    {}
+func (Strength) isOutput()  {}

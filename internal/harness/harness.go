@@ -1,0 +1,364 @@
+// Package harness builds clusters, runs scenarios on the discrete-event
+// simulator, and aggregates the measurements the paper's evaluation reports:
+// regular-commit latency, x-strong-commit latency per resilience level,
+// throughput, and message complexity. The per-figure experiment drivers
+// (Figure 7a/7b, Figure 8, message complexity, the liveness theorems) live
+// in experiments.go.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/crypto"
+	"repro/internal/diembft"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/simnet"
+	"repro/internal/streamlet"
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+// Protocol selects the consensus engine for a scenario.
+type Protocol int
+
+// Supported protocols.
+const (
+	ProtoDiemBFT Protocol = iota + 1
+	ProtoStreamlet
+)
+
+// Scenario describes one experiment run.
+type Scenario struct {
+	Name     string
+	Protocol Protocol // default ProtoDiemBFT
+
+	// Cluster shape. N must be 3F+1.
+	N, F int
+
+	// Latency is the network model; required.
+	Latency simnet.LatencyModel
+	// Seed makes runs reproducible.
+	Seed int64
+	// Duration is the virtual run length.
+	Duration time.Duration
+	// Warmup and TailMargin clip measurement to blocks created inside
+	// [Warmup, Duration-TailMargin], removing start-up transients and
+	// blocks whose strength could not have saturated before the run ends.
+	Warmup, TailMargin time.Duration
+
+	// DiemBFT engine knobs.
+	RoundTimeout   time.Duration
+	ExtraWait      time.Duration
+	ExtraWaitFor   func(r types.Round) time.Duration
+	SFT            bool
+	FBFT           bool
+	VoteMode       diembft.VoteMode
+	IntervalWindow types.Round
+	Horizon        int
+	PruneKeep      types.Height
+
+	// Streamlet engine knobs.
+	Delta       time.Duration
+	DisableEcho bool
+
+	VerifySignatures bool
+
+	// Partial synchrony: before GST every delivery gets PreGSTExtra added
+	// to its delay (GST 0 = synchronous from the start).
+	GST         time.Duration
+	PreGSTExtra time.Duration
+
+	// Faults: crash times and Byzantine behaviors per replica.
+	Crash     map[types.ReplicaID]time.Duration
+	Byzantine map[types.ReplicaID]diembft.Misbehavior
+
+	// Levels are the strength values x (in replicas tolerated) whose
+	// first-reach latency is recorded. Defaults to the 1.0f..2.0f sweep.
+	Levels []int
+
+	// LevelObservers restricts strength-latency sampling to these replicas
+	// (nil = all). Figure 7b uses it to exclude the outcast region, whose
+	// replicas see their own never-chained QCs and hence privately observe
+	// levels the chain never certifies.
+	LevelObservers map[types.ReplicaID]bool
+
+	// Workload shape: modeled transactions and bytes per block (defaults
+	// to the paper's ~1000 txns / ~450KB).
+	PayloadTxns  int
+	PayloadBytes int
+}
+
+// Result aggregates one scenario run.
+type Result struct {
+	Scenario *Scenario
+
+	// CommittedBlocks/Txns are counted at the observer (first honest,
+	// non-crashed replica).
+	CommittedBlocks int
+	CommittedTxns   int64
+	ThroughputTPS   float64
+	BlocksPerSec    float64
+
+	// RegularLatency is block-creation-to-commit over all blocks over all
+	// replicas (the paper's measurement), window-clipped.
+	RegularLatency metrics.Summary
+	// LevelLatency maps strength level x to creation-to-x-strong latency.
+	LevelLatency map[int]metrics.Summary
+
+	Msgs          simnet.MsgStats
+	MsgsPerCommit float64
+	BytesPerBlock float64
+	FinalRound    types.Round
+	Events        int64
+}
+
+// DefaultLevels returns the paper's x sweep {1.0f, 1.1f, ..., 2.0f} as
+// integer strength values.
+func DefaultLevels(f int) []int {
+	out := make([]int, 0, 11)
+	seen := make(map[int]bool)
+	for i := 0; i <= 10; i++ {
+		x := f + i*f/10
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// LevelLabel renders a strength value as a multiple of f ("1.3f").
+func LevelLabel(x, f int) string {
+	return fmt.Sprintf("%.1ff", float64(x)/float64(f))
+}
+
+func (s *Scenario) withDefaults() *Scenario {
+	c := *s
+	if c.Protocol == 0 {
+		c.Protocol = ProtoDiemBFT
+	}
+	if c.RoundTimeout == 0 {
+		c.RoundTimeout = time.Second
+	}
+	if c.Delta == 0 {
+		c.Delta = 100 * time.Millisecond
+	}
+	if c.Duration == 0 {
+		c.Duration = time.Minute
+	}
+	if c.Levels == nil {
+		c.Levels = DefaultLevels(c.F)
+	}
+	if c.PayloadTxns == 0 {
+		c.PayloadTxns = workload.PaperTxnsPerBlock
+	}
+	if c.PayloadBytes == 0 {
+		c.PayloadBytes = workload.PaperBlockBytes
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 2*c.N + 16
+	}
+	if c.PruneKeep == 0 {
+		c.PruneKeep = types.Height(3*c.N + 64)
+	}
+	if c.TailMargin == 0 {
+		c.TailMargin = c.Duration / 5
+	}
+	return &c
+}
+
+// collector accumulates measurements during a run.
+type collector struct {
+	sc       *Scenario
+	levels   []int
+	regular  metrics.Series
+	byLevel  map[int]*metrics.Series
+	reached  map[types.ReplicaID]map[types.BlockID]int
+	commits  map[types.ReplicaID]int
+	observer types.ReplicaID
+}
+
+func newCollector(sc *Scenario, observer types.ReplicaID) *collector {
+	c := &collector{
+		sc:       sc,
+		levels:   sc.Levels,
+		byLevel:  make(map[int]*metrics.Series, len(sc.Levels)),
+		reached:  make(map[types.ReplicaID]map[types.BlockID]int),
+		commits:  make(map[types.ReplicaID]int),
+		observer: observer,
+	}
+	for _, lv := range sc.Levels {
+		c.byLevel[lv] = &metrics.Series{}
+	}
+	return c
+}
+
+// inWindow reports whether a block's creation time falls inside the
+// measurement window.
+func (c *collector) inWindow(b *types.Block) bool {
+	ts := time.Duration(b.Timestamp)
+	return ts >= c.sc.Warmup && ts <= c.sc.Duration-c.sc.TailMargin
+}
+
+func (c *collector) onCommit(rep types.ReplicaID, now time.Duration, b *types.Block) {
+	c.commits[rep]++
+	if c.inWindow(b) {
+		c.regular.AddDuration(now - time.Duration(b.Timestamp))
+	}
+}
+
+func (c *collector) onStrength(rep types.ReplicaID, now time.Duration, b *types.Block, x int) {
+	if c.sc.LevelObservers != nil && !c.sc.LevelObservers[rep] {
+		return
+	}
+	if !c.inWindow(b) {
+		return
+	}
+	m, ok := c.reached[rep]
+	if !ok {
+		m = make(map[types.BlockID]int)
+		c.reached[rep] = m
+	}
+	prev := m[b.ID()]
+	if x <= prev {
+		return
+	}
+	m[b.ID()] = x
+	lat := now - time.Duration(b.Timestamp)
+	for _, lv := range c.levels {
+		if lv > prev && lv <= x {
+			c.byLevel[lv].AddDuration(lat)
+		}
+	}
+}
+
+// Run executes the scenario and returns its measurements.
+func Run(sc *Scenario) (*Result, error) {
+	s := sc.withDefaults()
+	if s.N != 3*s.F+1 {
+		return nil, fmt.Errorf("harness: n=%d must be 3f+1 (f=%d)", s.N, s.F)
+	}
+	if s.Latency == nil {
+		return nil, fmt.Errorf("harness: latency model required")
+	}
+	ring, err := crypto.NewKeyRing(s.N, s.Seed, crypto.SchemeSim)
+	if err != nil {
+		return nil, err
+	}
+
+	// Observer: first replica that is neither crashed nor Byzantine.
+	observer := types.ReplicaID(0)
+	for i := 0; i < s.N; i++ {
+		id := types.ReplicaID(i)
+		if _, crashed := s.Crash[id]; crashed {
+			continue
+		}
+		if _, byz := s.Byzantine[id]; byz {
+			continue
+		}
+		observer = id
+		break
+	}
+	col := newCollector(s, observer)
+
+	simCfg := simnet.Config{
+		N:          s.N,
+		Latency:    s.Latency,
+		Seed:       s.Seed,
+		OnCommit:   col.onCommit,
+		OnStrength: col.onStrength,
+	}
+	if s.GST > 0 {
+		gst, extra := s.GST, s.PreGSTExtra
+		simCfg.ExtraDelay = func(from, to types.ReplicaID, now time.Duration) time.Duration {
+			if now < gst {
+				return extra
+			}
+			return 0
+		}
+	}
+	sim := simnet.New(simCfg)
+
+	payload := workload.PaperPayload(s.Seed, s.PayloadTxns, s.PayloadBytes)
+	for i := 0; i < s.N; i++ {
+		id := types.ReplicaID(i)
+		eng, err := buildEngine(s, id, ring, payload)
+		if err != nil {
+			return nil, err
+		}
+		sim.SetEngine(id, eng)
+	}
+	for id, at := range s.Crash {
+		sim.CrashAt(id, at)
+	}
+	sim.Run(s.Duration)
+
+	res := &Result{
+		Scenario:        s,
+		CommittedBlocks: col.commits[observer],
+		LevelLatency:    make(map[int]metrics.Summary, len(s.Levels)),
+		Msgs:            sim.Stats(),
+		Events:          sim.Events(),
+	}
+	res.CommittedTxns = int64(res.CommittedBlocks) * int64(s.PayloadTxns)
+	res.ThroughputTPS = float64(res.CommittedTxns) / s.Duration.Seconds()
+	res.BlocksPerSec = float64(res.CommittedBlocks) / s.Duration.Seconds()
+	res.RegularLatency = col.regular.Summarize()
+	for lv, series := range col.byLevel {
+		res.LevelLatency[lv] = series.Summarize()
+	}
+	if res.CommittedBlocks > 0 {
+		res.MsgsPerCommit = float64(res.Msgs.Count) / float64(res.CommittedBlocks)
+		res.BytesPerBlock = float64(res.Msgs.Bytes) / float64(res.CommittedBlocks)
+	}
+	return res, nil
+}
+
+func buildEngine(s *Scenario, id types.ReplicaID, ring *crypto.KeyRing, payload func(types.Round) types.Payload) (engine.Engine, error) {
+	switch s.Protocol {
+	case ProtoStreamlet:
+		cfg := streamlet.Config{
+			ID:               id,
+			N:                s.N,
+			F:                s.F,
+			Signer:           ring.Signer(id),
+			Verifier:         ring,
+			VerifySignatures: s.VerifySignatures,
+			Delta:            s.Delta,
+			SFT:              s.SFT,
+			Horizon:          s.Horizon,
+			DisableEcho:      s.DisableEcho,
+			Payload:          payload,
+		}
+		if b, ok := s.Byzantine[id]; ok {
+			cfg.WithholdVotes = b.WithholdVotes
+		}
+		return streamlet.New(cfg)
+	default:
+		cfg := diembft.Config{
+			ID:               id,
+			N:                s.N,
+			F:                s.F,
+			Signer:           ring.Signer(id),
+			Verifier:         ring,
+			VerifySignatures: s.VerifySignatures,
+			SFT:              s.SFT,
+			FBFT:             s.FBFT,
+			VoteMode:         s.VoteMode,
+			IntervalWindow:   s.IntervalWindow,
+			Horizon:          s.Horizon,
+			RoundTimeout:     s.RoundTimeout,
+			ExtraWait:        s.ExtraWait,
+			ExtraWaitFor:     s.ExtraWaitFor,
+			Payload:          payload,
+			PruneKeep:        s.PruneKeep,
+		}
+		if b, ok := s.Byzantine[id]; ok {
+			bb := b
+			cfg.Behavior = &bb
+		}
+		return diembft.New(cfg)
+	}
+}

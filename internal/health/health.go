@@ -1,0 +1,139 @@
+// Package health implements the monitoring idea from Section 5
+// ("Optimizations for Strong Commit Latencies"): the diversity of
+// strong-QCs on the chain doubles as a replica health signal. A replica
+// whose strong-votes never appear in recent chain QCs is out of sync — a
+// straggler or an outcast — and is exactly what throttles high strong-commit
+// levels, so operators should reconfigure or replace it.
+package health
+
+import (
+	"sort"
+
+	"repro/internal/types"
+)
+
+// Monitor ingests the strong-QCs observed on the chain and tracks, per
+// replica, the last round whose QC carried its vote.
+type Monitor struct {
+	n        int
+	window   types.Round
+	lastSeen []types.Round // 0 = never seen
+	lastQC   types.Round
+	qcs      int64
+	// presence counts appearances inside the sliding window, for diversity
+	// scoring.
+	recent []roundSet
+}
+
+type roundSet struct {
+	round  types.Round
+	voters []types.ReplicaID
+}
+
+// NewMonitor creates a monitor for n replicas with the given sliding window
+// (in rounds). A window of 2n covers two full leader rotations — every
+// healthy replica appears at least once per rotation (Theorem 2's argument).
+func NewMonitor(n int, window types.Round) *Monitor {
+	if window == 0 {
+		window = types.Round(2 * n)
+	}
+	return &Monitor{n: n, window: window, lastSeen: make([]types.Round, n)}
+}
+
+// ObserveQC records one chain QC.
+func (m *Monitor) ObserveQC(qc *types.QC) {
+	m.qcs++
+	if qc.Round > m.lastQC {
+		m.lastQC = qc.Round
+	}
+	voters := make([]types.ReplicaID, 0, len(qc.Votes))
+	for i := range qc.Votes {
+		v := qc.Votes[i].Voter
+		voters = append(voters, v)
+		if int(v) < m.n && qc.Round > m.lastSeen[v] {
+			m.lastSeen[v] = qc.Round
+		}
+	}
+	m.recent = append(m.recent, roundSet{round: qc.Round, voters: voters})
+	// Trim the window.
+	cut := 0
+	for cut < len(m.recent) && m.recent[cut].round+m.window < m.lastQC {
+		cut++
+	}
+	m.recent = m.recent[cut:]
+}
+
+// Stragglers returns the replicas absent from every QC in the last
+// `staleness` rounds (default: the window), sorted by ID. These are the
+// paper's "outcast replicas" — the ones capping strong commit levels.
+func (m *Monitor) Stragglers(staleness types.Round) []types.ReplicaID {
+	if staleness == 0 {
+		staleness = m.window
+	}
+	var out []types.ReplicaID
+	for id := 0; id < m.n; id++ {
+		if m.lastSeen[id]+staleness < m.lastQC || (m.lastSeen[id] == 0 && m.lastQC >= staleness) {
+			out = append(out, types.ReplicaID(id))
+		}
+	}
+	return out
+}
+
+// Diversity returns how many distinct replicas appear in the window's QCs.
+// The highest reachable strong-commit level is Diversity() - f - 1.
+func (m *Monitor) Diversity() int {
+	seen := make(map[types.ReplicaID]bool)
+	for _, rs := range m.recent {
+		for _, v := range rs.voters {
+			seen[v] = true
+		}
+	}
+	return len(seen)
+}
+
+// MaxLevel returns the strongest x-strong commit the current QC diversity
+// can support, per the strong commit rule (x + f + 1 endorsers needed).
+func (m *Monitor) MaxLevel(f int) int {
+	x := m.Diversity() - f - 1
+	if x < 0 {
+		return -1
+	}
+	if x > 2*f {
+		return 2 * f
+	}
+	return x
+}
+
+// AppearanceCounts returns, for each replica, in how many window QCs its
+// vote appeared — the raw diversity histogram, sorted by replica ID.
+func (m *Monitor) AppearanceCounts() []int {
+	counts := make([]int, m.n)
+	for _, rs := range m.recent {
+		for _, v := range rs.voters {
+			if int(v) < m.n {
+				counts[v]++
+			}
+		}
+	}
+	return counts
+}
+
+// Report is a snapshot of cluster health.
+type Report struct {
+	QCsObserved int64
+	LastRound   types.Round
+	Diversity   int
+	Stragglers  []types.ReplicaID
+}
+
+// Snapshot builds a Report.
+func (m *Monitor) Snapshot() Report {
+	st := m.Stragglers(0)
+	sort.Slice(st, func(i, j int) bool { return st[i] < st[j] })
+	return Report{
+		QCsObserved: m.qcs,
+		LastRound:   m.lastQC,
+		Diversity:   m.Diversity(),
+		Stragglers:  st,
+	}
+}

@@ -1,0 +1,200 @@
+package intervals_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/intervals"
+)
+
+func TestFromMarker(t *testing.T) {
+	tests := []struct {
+		marker, r uint64
+		contains  []uint64
+		excludes  []uint64
+	}{
+		{0, 5, []uint64{1, 3, 5}, []uint64{0, 6}},
+		{3, 5, []uint64{4, 5}, []uint64{1, 3, 6}},
+		{5, 5, nil, []uint64{1, 5, 6}},
+		{9, 5, nil, []uint64{1, 5, 9}},
+	}
+	for _, tc := range tests {
+		s := intervals.FromMarker(tc.marker, tc.r)
+		for _, v := range tc.contains {
+			if !s.Contains(v) {
+				t.Errorf("FromMarker(%d,%d) should contain %d", tc.marker, tc.r, v)
+			}
+		}
+		for _, v := range tc.excludes {
+			if s.Contains(v) {
+				t.Errorf("FromMarker(%d,%d) should not contain %d", tc.marker, tc.r, v)
+			}
+		}
+	}
+}
+
+func TestAddMergesAdjacentAndOverlapping(t *testing.T) {
+	s := intervals.New(
+		intervals.Interval{Lo: 1, Hi: 3},
+		intervals.Interval{Lo: 4, Hi: 6}, // adjacent: merges with [1,3]
+		intervals.Interval{Lo: 10, Hi: 12},
+		intervals.Interval{Lo: 11, Hi: 15}, // overlapping: merges with [10,12]
+	)
+	if s.Len() != 2 {
+		t.Fatalf("want 2 intervals after normalization, got %d: %s", s.Len(), s)
+	}
+	ivs := s.Intervals()
+	if ivs[0] != (intervals.Interval{Lo: 1, Hi: 6}) || ivs[1] != (intervals.Interval{Lo: 10, Hi: 15}) {
+		t.Fatalf("bad normalization: %s", s)
+	}
+}
+
+func TestSubtract(t *testing.T) {
+	s := intervals.Full(10) // [1,10]
+	s = s.Subtract(intervals.Interval{Lo: 4, Hi: 6})
+	if s.String() != "{[1,3],[7,10]}" {
+		t.Fatalf("split failed: %s", s)
+	}
+	s = s.Subtract(intervals.Interval{Lo: 1, Hi: 3})
+	if s.String() != "{[7,10]}" {
+		t.Fatalf("left trim failed: %s", s)
+	}
+	s = s.Subtract(intervals.Interval{Lo: 9, Hi: 20})
+	if s.String() != "{[7,8]}" {
+		t.Fatalf("right trim failed: %s", s)
+	}
+	if !s.Subtract(intervals.Interval{Lo: 1, Hi: 99}).Empty() {
+		t.Fatal("full subtraction should empty the set")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := intervals.New(intervals.Interval{Lo: 1, Hi: 5}, intervals.Interval{Lo: 8, Hi: 12})
+	b := intervals.New(intervals.Interval{Lo: 4, Hi: 9})
+	got := a.Intersect(b)
+	if got.String() != "{[4,5],[8,9]}" {
+		t.Fatalf("intersect: %s", got)
+	}
+	if !a.Intersect(intervals.Set{}).Empty() {
+		t.Fatal("intersect with empty must be empty")
+	}
+}
+
+func TestCount(t *testing.T) {
+	s := intervals.New(intervals.Interval{Lo: 1, Hi: 3}, intervals.Interval{Lo: 10, Hi: 10})
+	if s.Count() != 4 {
+		t.Fatalf("count = %d, want 4", s.Count())
+	}
+	if (intervals.Set{}).Count() != 0 {
+		t.Fatal("empty count")
+	}
+}
+
+// randomSet builds a set from up to 6 random intervals over [1, 64].
+func randomSet(rng *rand.Rand) intervals.Set {
+	var s intervals.Set
+	for i := 0; i < rng.Intn(6); i++ {
+		lo := uint64(rng.Intn(64)) + 1
+		hi := lo + uint64(rng.Intn(10))
+		s = s.Add(intervals.Interval{Lo: lo, Hi: hi})
+	}
+	return s
+}
+
+func TestPropertyNormalization(t *testing.T) {
+	// After any sequence of operations, intervals are sorted, disjoint and
+	// non-adjacent.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		s := randomSet(rng)
+		s = s.Union(randomSet(rng))
+		s = s.Subtract(intervals.Interval{Lo: uint64(rng.Intn(64)) + 1, Hi: uint64(rng.Intn(64)) + 1})
+		ivs := s.Intervals()
+		for i, iv := range ivs {
+			if iv.Empty() {
+				t.Fatalf("trial %d: empty interval in %s", trial, s)
+			}
+			if i > 0 && ivs[i-1].Hi+1 >= iv.Lo {
+				t.Fatalf("trial %d: not normalized: %s", trial, s)
+			}
+		}
+	}
+}
+
+func TestPropertyMembershipAlgebra(t *testing.T) {
+	// Pointwise semantics of union/subtract/intersect.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 300; trial++ {
+		a, b := randomSet(rng), randomSet(rng)
+		union := a.Union(b)
+		inter := a.Intersect(b)
+		diff := a.SubtractSet(b)
+		for v := uint64(1); v <= 80; v++ {
+			inA, inB := a.Contains(v), b.Contains(v)
+			if union.Contains(v) != (inA || inB) {
+				t.Fatalf("union wrong at %d: %s ∪ %s = %s", v, a, b, union)
+			}
+			if inter.Contains(v) != (inA && inB) {
+				t.Fatalf("intersect wrong at %d: %s ∩ %s = %s", v, a, b, inter)
+			}
+			if diff.Contains(v) != (inA && !inB) {
+				t.Fatalf("subtract wrong at %d: %s \\ %s = %s", v, a, b, diff)
+			}
+		}
+	}
+}
+
+func TestPropertyEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		s := randomSet(rng)
+		dec, rest, err := intervals.Decode(s.Encode(nil))
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("trial %d: decode err=%v rest=%d", trial, err, len(rest))
+		}
+		if !dec.Equal(s) {
+			t.Fatalf("trial %d: round trip %s -> %s", trial, s, dec)
+		}
+	}
+}
+
+func TestQuickContainsMatchesFromMarker(t *testing.T) {
+	// FromMarker(m, r) must contain exactly the rounds in (m, r].
+	check := func(m, r, probe uint16) bool {
+		s := intervals.FromMarker(uint64(m), uint64(r))
+		want := uint64(probe) > uint64(m) && uint64(probe) <= uint64(r)
+		return s.Contains(uint64(probe)) == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGobRoundTrip(t *testing.T) {
+	s := intervals.New(intervals.Interval{Lo: 2, Hi: 4}, intervals.Interval{Lo: 9, Hi: 9})
+	enc, err := s.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out intervals.Set
+	if err := out.GobDecode(enc); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(s) {
+		t.Fatalf("gob round trip: %s -> %s", s, out)
+	}
+	if err := out.GobDecode([]byte{1, 2}); err == nil {
+		t.Error("GobDecode accepted garbage")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	s := intervals.New(intervals.Interval{Lo: 1, Hi: 5})
+	enc := s.Encode(nil)
+	for cut := 1; cut < len(enc); cut++ {
+		if _, _, err := intervals.Decode(enc[:cut]); err == nil {
+			t.Errorf("decode accepted truncation at %d", cut)
+		}
+	}
+}

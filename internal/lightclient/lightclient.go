@@ -1,0 +1,87 @@
+// Package lightclient implements Section 5's "Proving Strong Commit to
+// Light Clients": block proposals carry a Log of strong-commit level
+// updates; once a proposal is certified (2f+1 strong-votes), at least one
+// honest replica vouches for every Log entry provided the number of
+// Byzantine faults does not exceed 2f (the maximum resilience SFT provides),
+// so a client that verifies the certificate can accept the recorded levels
+// without running the protocol or storing the chain.
+package lightclient
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/crypto"
+	"repro/internal/types"
+)
+
+// ErrNotCertified is returned when the supplied QC does not certify the
+// supplied block.
+var ErrNotCertified = errors.New("lightclient: qc does not certify block")
+
+// Client tracks strong-commit levels proven by certified commit Logs.
+type Client struct {
+	verifier crypto.Verifier
+	quorum   int
+
+	levels  map[types.BlockID]int
+	heights map[types.BlockID]types.Height
+	// maxLevel remembers the strongest proven commit for quick queries.
+	maxLevel int
+	maxBlock types.BlockID
+}
+
+// New creates a light client for an n = 3f+1 system.
+func New(verifier crypto.Verifier, f int) *Client {
+	return &Client{
+		verifier: verifier,
+		quorum:   2*f + 1,
+		levels:   make(map[types.BlockID]int),
+		heights:  make(map[types.BlockID]types.Height),
+		maxLevel: -1,
+	}
+}
+
+// ProcessCertified ingests a block together with a quorum certificate for
+// it (obtained, e.g., from the justify field of any child block). The
+// block's CommitLog entries become proven strong-commit levels.
+func (c *Client) ProcessCertified(b *types.Block, qc *types.QC) error {
+	if qc == nil || qc.Block != b.ID() {
+		return ErrNotCertified
+	}
+	if err := crypto.VerifyQC(c.verifier, qc, c.quorum); err != nil {
+		return fmt.Errorf("lightclient: %w", err)
+	}
+	for _, rec := range b.CommitLog {
+		if rec.X > c.levels[rec.Block] || c.heights[rec.Block] == 0 {
+			if rec.X > c.levels[rec.Block] {
+				c.levels[rec.Block] = rec.X
+			}
+			c.heights[rec.Block] = rec.Height
+			if rec.X > c.maxLevel {
+				c.maxLevel = rec.X
+				c.maxBlock = rec.Block
+			}
+		}
+	}
+	return nil
+}
+
+// StrengthOf returns the proven strong-commit level of a block, or -1 if no
+// certified Log entry mentions it.
+func (c *Client) StrengthOf(id types.BlockID) int {
+	if x, ok := c.levels[id]; ok {
+		return x
+	}
+	return -1
+}
+
+// HeightOf returns the chain height a proven block was recorded at, or 0.
+func (c *Client) HeightOf(id types.BlockID) types.Height { return c.heights[id] }
+
+// Proven returns how many distinct blocks have proven strength levels.
+func (c *Client) Proven() int { return len(c.levels) }
+
+// Strongest returns the block with the highest proven level and that level,
+// or a zero ID and -1 when nothing is proven yet.
+func (c *Client) Strongest() (types.BlockID, int) { return c.maxBlock, c.maxLevel }

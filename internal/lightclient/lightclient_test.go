@@ -1,0 +1,125 @@
+package lightclient_test
+
+import (
+	"testing"
+
+	"repro/internal/crypto"
+	"repro/internal/lightclient"
+	"repro/internal/types"
+)
+
+type fixture struct {
+	ring   *crypto.KeyRing
+	client *lightclient.Client
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	ring, err := crypto.NewKeyRing(4, 11, crypto.SchemeSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{ring: ring, client: lightclient.New(ring, 1)}
+}
+
+// certifiedBlock builds a block carrying the given Log plus a genuine QC
+// for it signed by the first `signers` replicas.
+func (f *fixture) certifiedBlock(t *testing.T, log []types.StrengthRecord, signers int) (*types.Block, *types.QC) {
+	t.Helper()
+	g := types.Genesis()
+	b := types.NewBlock(g.ID(), types.NewGenesisQC(g.ID()), 1, 1, 0, 0, types.Payload{}, log)
+	votes := make([]types.Vote, signers)
+	for i := 0; i < signers; i++ {
+		v := types.Vote{Block: b.ID(), Round: 1, Height: 1, Voter: types.ReplicaID(i)}
+		v.Signature = f.ring.Signer(types.ReplicaID(i)).Sign(v.SigningPayload())
+		votes[i] = v
+	}
+	return b, &types.QC{Block: b.ID(), Round: 1, Height: 1, Votes: votes}
+}
+
+func TestAcceptsGenuineProof(t *testing.T) {
+	f := newFixture(t)
+	target := types.BlockID{42}
+	log := []types.StrengthRecord{{Block: target, Height: 9, Round: 9, X: 2}}
+	b, qc := f.certifiedBlock(t, log, 3)
+	if err := f.client.ProcessCertified(b, qc); err != nil {
+		t.Fatalf("genuine proof rejected: %v", err)
+	}
+	if got := f.client.StrengthOf(target); got != 2 {
+		t.Fatalf("strength = %d, want 2", got)
+	}
+	if got := f.client.HeightOf(target); got != 9 {
+		t.Fatalf("height = %d", got)
+	}
+	blk, x := f.client.Strongest()
+	if blk != target || x != 2 {
+		t.Fatalf("strongest = %v/%d", blk, x)
+	}
+	if f.client.Proven() != 1 {
+		t.Fatalf("proven = %d", f.client.Proven())
+	}
+}
+
+func TestRejectsSubQuorumProof(t *testing.T) {
+	f := newFixture(t)
+	b, qc := f.certifiedBlock(t, []types.StrengthRecord{{Block: types.BlockID{1}, X: 2}}, 2)
+	if err := f.client.ProcessCertified(b, qc); err == nil {
+		t.Fatal("accepted proof with 2 < 2f+1 votes")
+	}
+	if f.client.Proven() != 0 {
+		t.Fatal("rejected proof still recorded")
+	}
+}
+
+func TestRejectsMismatchedQC(t *testing.T) {
+	f := newFixture(t)
+	b, _ := f.certifiedBlock(t, nil, 3)
+	other, otherQC := f.certifiedBlock(t, []types.StrengthRecord{{Block: types.BlockID{1}, X: 2}}, 3)
+	_ = other
+	if err := f.client.ProcessCertified(b, otherQC); err == nil {
+		t.Fatal("accepted QC for a different block")
+	}
+	if err := f.client.ProcessCertified(b, nil); err == nil {
+		t.Fatal("accepted nil QC")
+	}
+}
+
+func TestRejectsTamperedLog(t *testing.T) {
+	f := newFixture(t)
+	target := types.BlockID{7}
+	b, qc := f.certifiedBlock(t, []types.StrengthRecord{{Block: target, X: 1}}, 3)
+	// Tamper with the log after certification: the block ID the votes
+	// signed no longer matches.
+	tampered := types.NewBlock(b.Parent, b.Justify, b.Round, b.Height, b.Proposer, b.Timestamp,
+		b.Payload, []types.StrengthRecord{{Block: target, X: 2}})
+	if err := f.client.ProcessCertified(tampered, qc); err == nil {
+		t.Fatal("accepted tampered log")
+	}
+}
+
+func TestLevelsAreMonotone(t *testing.T) {
+	f := newFixture(t)
+	target := types.BlockID{9}
+	b1, qc1 := f.certifiedBlock(t, []types.StrengthRecord{{Block: target, Height: 1, X: 2}}, 3)
+	if err := f.client.ProcessCertified(b1, qc1); err != nil {
+		t.Fatal(err)
+	}
+	// A later proof with a lower level must not regress the record.
+	b2, qc2 := f.certifiedBlock(t, []types.StrengthRecord{{Block: target, Height: 1, X: 1}}, 3)
+	if err := f.client.ProcessCertified(b2, qc2); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.client.StrengthOf(target); got != 2 {
+		t.Fatalf("level regressed to %d", got)
+	}
+}
+
+func TestUnknownBlock(t *testing.T) {
+	f := newFixture(t)
+	if f.client.StrengthOf(types.BlockID{1}) != -1 {
+		t.Fatal("unknown block has a strength")
+	}
+	if _, x := f.client.Strongest(); x != -1 {
+		t.Fatal("empty client has a strongest block")
+	}
+}

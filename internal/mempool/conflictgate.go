@@ -1,0 +1,107 @@
+package mempool
+
+import (
+	"repro/internal/types"
+)
+
+// ConflictGate implements Section 5's "Conflicting Transactions" policy:
+// while a high-valued transaction is waiting to be strong committed at its
+// required level, later transactions from the same sender are held back so
+// that a weaker, earlier-committed conflicting transaction can never
+// overtake a stronger one still in flight.
+//
+// Usage: route transactions through Submit instead of Pool.Add; call
+// OnCommitted when a block commits and OnStrengthened as levels rise.
+type ConflictGate struct {
+	pool *Pool
+
+	// required[sender] > 0 means the sender has an in-flight transaction
+	// needing that strength; held transactions queue behind it.
+	required map[uint32]int
+	held     map[uint32][]types.Transaction
+	// inFlight maps a block to the senders whose gating transaction it
+	// carries.
+	watch map[types.BlockID][]uint32
+	// pending transactions by sender awaiting block inclusion.
+	pendingSender map[uint32]bool
+	heldCount     int
+}
+
+// NewConflictGate wraps a pool with the hold-back policy.
+func NewConflictGate(pool *Pool) *ConflictGate {
+	return &ConflictGate{
+		pool:          pool,
+		required:      make(map[uint32]int),
+		held:          make(map[uint32][]types.Transaction),
+		watch:         make(map[types.BlockID][]uint32),
+		pendingSender: make(map[uint32]bool),
+	}
+}
+
+// Submit enqueues a transaction. requiredStrength > 0 marks it high-valued:
+// until the block containing it is requiredStrength-strong committed, later
+// transactions from the same sender are held.
+func (g *ConflictGate) Submit(txn types.Transaction, requiredStrength int) {
+	if g.required[txn.Sender] > 0 {
+		g.held[txn.Sender] = append(g.held[txn.Sender], txn)
+		g.heldCount++
+		return
+	}
+	if requiredStrength > 0 {
+		g.required[txn.Sender] = requiredStrength
+		g.pendingSender[txn.Sender] = true
+	}
+	g.pool.Add(txn)
+}
+
+// OnIncluded tells the gate that block b carries the given transactions
+// (the leader calls this when building a proposal, every replica when a
+// block commits). Gating senders are attached to the block so strength
+// updates can release them.
+func (g *ConflictGate) OnIncluded(b types.BlockID, txns []types.Transaction) {
+	for _, txn := range txns {
+		if g.pendingSender[txn.Sender] {
+			g.watch[b] = append(g.watch[b], txn.Sender)
+			delete(g.pendingSender, txn.Sender)
+		}
+	}
+}
+
+// OnStrengthened tells the gate a block reached strength x; senders whose
+// gating transaction rode that block and whose requirement x satisfies are
+// released, and their held transactions flow into the pool (in order).
+func (g *ConflictGate) OnStrengthened(b types.BlockID, x int) {
+	senders := g.watch[b]
+	if len(senders) == 0 {
+		return
+	}
+	remaining := senders[:0]
+	for _, s := range senders {
+		req, ok := g.required[s]
+		if !ok {
+			continue
+		}
+		if x < req {
+			remaining = append(remaining, s)
+			continue
+		}
+		delete(g.required, s)
+		for _, txn := range g.held[s] {
+			g.pool.Add(txn)
+			g.heldCount--
+		}
+		delete(g.held, s)
+	}
+	if len(remaining) == 0 {
+		delete(g.watch, b)
+	} else {
+		g.watch[b] = remaining
+	}
+}
+
+// Held returns the number of transactions currently held back.
+func (g *ConflictGate) Held() int { return g.heldCount }
+
+// Gated reports whether the sender currently has an unreleased high-value
+// transaction in flight.
+func (g *ConflictGate) Gated(sender uint32) bool { return g.required[sender] > 0 }

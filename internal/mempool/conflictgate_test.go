@@ -1,0 +1,88 @@
+package mempool_test
+
+import (
+	"testing"
+
+	"repro/internal/mempool"
+	"repro/internal/types"
+)
+
+func TestConflictGateHoldsSameSender(t *testing.T) {
+	pool := mempool.New(0)
+	g := mempool.NewConflictGate(pool)
+
+	high := types.Transaction{Sender: 1, Seq: 1, Data: []byte("pay=1000000")}
+	g.Submit(high, 4) // requires 4-strong commit
+	if pool.Len() != 1 {
+		t.Fatal("gating transaction not pooled")
+	}
+	// Later transactions from the same sender are held...
+	g.Submit(types.Transaction{Sender: 1, Seq: 2}, 0)
+	g.Submit(types.Transaction{Sender: 1, Seq: 3}, 0)
+	if pool.Len() != 1 || g.Held() != 2 {
+		t.Fatalf("pool=%d held=%d", pool.Len(), g.Held())
+	}
+	// ...while other senders flow freely.
+	g.Submit(types.Transaction{Sender: 2, Seq: 1}, 0)
+	if pool.Len() != 2 {
+		t.Fatal("unrelated sender blocked")
+	}
+	if !g.Gated(1) || g.Gated(2) {
+		t.Fatal("gating state wrong")
+	}
+}
+
+func TestConflictGateReleaseOnStrength(t *testing.T) {
+	pool := mempool.New(0)
+	g := mempool.NewConflictGate(pool)
+	blk := types.BlockID{7}
+
+	high := types.Transaction{Sender: 1, Seq: 1}
+	g.Submit(high, 4)
+	g.Submit(types.Transaction{Sender: 1, Seq: 2}, 0)
+
+	// The leader includes the gating transaction in block blk.
+	batch := pool.Batch(10)
+	g.OnIncluded(blk, batch)
+
+	// Strength below the requirement: still held.
+	g.OnStrengthened(blk, 3)
+	if g.Held() != 1 || !g.Gated(1) {
+		t.Fatal("released below required strength")
+	}
+	// Requirement met: held transactions flow into the pool in order.
+	g.OnStrengthened(blk, 4)
+	if g.Held() != 0 || g.Gated(1) {
+		t.Fatal("not released at required strength")
+	}
+	out := pool.Batch(10)
+	if len(out) != 1 || out[0].Seq != 2 {
+		t.Fatalf("released txns: %v", out)
+	}
+	// Idempotent on repeat notifications.
+	g.OnStrengthened(blk, 5)
+	if pool.Len() != 0 {
+		t.Fatal("double release")
+	}
+}
+
+func TestConflictGateMultipleSendersOneBlock(t *testing.T) {
+	pool := mempool.New(0)
+	g := mempool.NewConflictGate(pool)
+	blk := types.BlockID{9}
+
+	g.Submit(types.Transaction{Sender: 1, Seq: 1}, 2)
+	g.Submit(types.Transaction{Sender: 2, Seq: 1}, 6)
+	g.Submit(types.Transaction{Sender: 1, Seq: 2}, 0)
+	g.Submit(types.Transaction{Sender: 2, Seq: 2}, 0)
+
+	g.OnIncluded(blk, pool.Batch(10))
+	g.OnStrengthened(blk, 4) // satisfies sender 1 (2), not sender 2 (6)
+	if g.Gated(1) || !g.Gated(2) {
+		t.Fatal("partial release wrong")
+	}
+	g.OnStrengthened(blk, 6)
+	if g.Gated(2) || g.Held() != 0 {
+		t.Fatal("final release wrong")
+	}
+}

@@ -1,0 +1,50 @@
+// Package mempool buffers client transactions awaiting inclusion in a
+// block. Leaders drain a batch per proposal; the paper keeps leaders
+// saturated ("sufficiently many transactions are generated ... so that any
+// leader always has enough transactions").
+package mempool
+
+import (
+	"repro/internal/types"
+)
+
+// Pool is a FIFO transaction buffer. Not safe for concurrent use; the
+// runtime serializes access (the TCP runtime wraps it with its own lock).
+type Pool struct {
+	pending []types.Transaction
+	// dropped counts transactions discarded due to the cap.
+	dropped int64
+	// cap bounds memory; 0 means unbounded.
+	cap int
+}
+
+// New creates a pool bounded to capacity transactions (0 = unbounded).
+func New(capacity int) *Pool {
+	return &Pool{cap: capacity}
+}
+
+// Add appends transactions, dropping the excess beyond capacity.
+func (p *Pool) Add(txns ...types.Transaction) {
+	for _, t := range txns {
+		if p.cap > 0 && len(p.pending) >= p.cap {
+			p.dropped++
+			continue
+		}
+		p.pending = append(p.pending, t)
+	}
+}
+
+// Batch removes and returns up to max transactions.
+func (p *Pool) Batch(max int) []types.Transaction {
+	n := min(max, len(p.pending))
+	out := make([]types.Transaction, n)
+	copy(out, p.pending[:n])
+	p.pending = p.pending[n:]
+	return out
+}
+
+// Len returns the number of pending transactions.
+func (p *Pool) Len() int { return len(p.pending) }
+
+// Dropped returns the number of transactions discarded at capacity.
+func (p *Pool) Dropped() int64 { return p.dropped }

@@ -1,0 +1,50 @@
+package mempool_test
+
+import (
+	"testing"
+
+	"repro/internal/mempool"
+	"repro/internal/types"
+)
+
+func txns(n int) []types.Transaction {
+	out := make([]types.Transaction, n)
+	for i := range out {
+		out[i] = types.Transaction{Sender: 1, Seq: uint64(i + 1)}
+	}
+	return out
+}
+
+func TestBatchFIFO(t *testing.T) {
+	p := mempool.New(0)
+	p.Add(txns(5)...)
+	if p.Len() != 5 {
+		t.Fatalf("len = %d", p.Len())
+	}
+	b := p.Batch(3)
+	if len(b) != 3 || b[0].Seq != 1 || b[2].Seq != 3 {
+		t.Fatalf("batch = %v", b)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("remaining = %d", p.Len())
+	}
+	// Draining more than available returns what's left.
+	b = p.Batch(10)
+	if len(b) != 2 || b[0].Seq != 4 {
+		t.Fatalf("tail batch = %v", b)
+	}
+	if len(p.Batch(1)) != 0 {
+		t.Fatal("empty pool returned transactions")
+	}
+}
+
+func TestCapacityDrops(t *testing.T) {
+	p := mempool.New(3)
+	p.Add(txns(5)...)
+	if p.Len() != 3 {
+		t.Fatalf("len = %d, want capacity 3", p.Len())
+	}
+	if p.Dropped() != 2 {
+		t.Fatalf("dropped = %d", p.Dropped())
+	}
+}

@@ -1,0 +1,140 @@
+// Package pacemaker implements round synchronization for the DiemBFT
+// engine: round-robin leader election, per-round timeout tracking, and
+// timeout-certificate (2f+1 timeout messages) aggregation, per the
+// synchronization rule of Figure 2.
+package pacemaker
+
+import (
+	"time"
+
+	"repro/internal/types"
+)
+
+// Leader returns the round-robin leader of round r for an n-replica system.
+// Rounds start at 1 and replica 0 leads round 1, so within any window of n
+// consecutive rounds every replica leads exactly once (the rotation Theorem
+// 2's liveness argument relies on).
+func Leader(r types.Round, n int) types.ReplicaID {
+	if r == 0 {
+		return 0
+	}
+	return types.ReplicaID(uint64(r-1) % uint64(n))
+}
+
+// Pacemaker tracks the current round, which rounds this replica has timed
+// out of, and timeout messages collected from peers.
+type Pacemaker struct {
+	n, f        int
+	round       types.Round
+	timedOut    map[types.Round]bool
+	timeouts    map[types.Round]map[types.ReplicaID]*types.Timeout
+	baseTimeout time.Duration
+	// backoff multiplies the timeout for consecutive failed rounds so the
+	// system recovers after long partitions; 1.0 disables it.
+	backoff     float64
+	failedRuns  int
+	maxTimeout  time.Duration
+	roundStart  time.Duration
+	lastAdvance time.Duration
+}
+
+// New creates a pacemaker starting at round 1.
+func New(n, f int, baseTimeout time.Duration) *Pacemaker {
+	return &Pacemaker{
+		n:           n,
+		f:           f,
+		round:       1,
+		timedOut:    make(map[types.Round]bool),
+		timeouts:    make(map[types.Round]map[types.ReplicaID]*types.Timeout),
+		baseTimeout: baseTimeout,
+		// Fixed timeouts by default: the simulator's links are reliable, so
+		// a TC always forms within one timeout, and fixed rounds match the
+		// paper's observation that persistently slow leaders stay timed out
+		// (the Figure 7b "outcast replicas" at δ=200ms). SetBackoff enables
+		// exponential backoff for partial-synchrony scenarios.
+		backoff:    1.0,
+		maxTimeout: baseTimeout * 32,
+	}
+}
+
+// SetBackoff sets the timeout multiplier applied per consecutive
+// timeout-driven round (1.0 = fixed timeouts).
+func (p *Pacemaker) SetBackoff(m float64) {
+	if m >= 1 {
+		p.backoff = m
+	}
+}
+
+// Round returns the current round.
+func (p *Pacemaker) Round() types.Round { return p.round }
+
+// Leader returns the leader of round r.
+func (p *Pacemaker) Leader(r types.Round) types.ReplicaID { return Leader(r, p.n) }
+
+// Quorum returns the 2f+1 quorum size.
+func (p *Pacemaker) Quorum() int { return 2*p.f + 1 }
+
+// AdvanceTo moves to round r if it is ahead of the current round, returning
+// true on an actual advance. now is used to stamp the round start.
+func (p *Pacemaker) AdvanceTo(r types.Round, now time.Duration, viaTimeout bool) bool {
+	if r <= p.round {
+		return false
+	}
+	p.round = r
+	p.roundStart = now
+	p.lastAdvance = now
+	if viaTimeout {
+		p.failedRuns++
+	} else {
+		p.failedRuns = 0
+	}
+	// Garbage-collect stale timeout state.
+	for rr := range p.timeouts {
+		if rr+2 < r {
+			delete(p.timeouts, rr)
+		}
+	}
+	for rr := range p.timedOut {
+		if rr+2 < r {
+			delete(p.timedOut, rr)
+		}
+	}
+	return true
+}
+
+// Timeout returns the timer duration for the current round, applying
+// exponential backoff after consecutive timeout-driven advances.
+func (p *Pacemaker) Timeout() time.Duration {
+	d := p.baseTimeout
+	for i := 0; i < p.failedRuns; i++ {
+		d = time.Duration(float64(d) * p.backoff)
+		if d >= p.maxTimeout {
+			return p.maxTimeout
+		}
+	}
+	return d
+}
+
+// MarkTimedOut records that this replica stopped voting in round r.
+func (p *Pacemaker) MarkTimedOut(r types.Round) { p.timedOut[r] = true }
+
+// TimedOut reports whether this replica timed out of round r.
+func (p *Pacemaker) TimedOut(r types.Round) bool { return p.timedOut[r] }
+
+// OnTimeout records a peer timeout message and reports whether a timeout
+// certificate (2f+1 distinct senders for that round) just completed.
+func (p *Pacemaker) OnTimeout(t *types.Timeout) bool {
+	m, ok := p.timeouts[t.Round]
+	if !ok {
+		m = make(map[types.ReplicaID]*types.Timeout, p.Quorum())
+		p.timeouts[t.Round] = m
+	}
+	if _, dup := m[t.Sender]; dup {
+		return false
+	}
+	m[t.Sender] = t
+	return len(m) == p.Quorum()
+}
+
+// TimeoutCount returns how many distinct timeout messages are held for r.
+func (p *Pacemaker) TimeoutCount(r types.Round) int { return len(p.timeouts[r]) }

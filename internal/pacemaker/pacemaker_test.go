@@ -1,0 +1,117 @@
+package pacemaker_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/pacemaker"
+	"repro/internal/types"
+)
+
+func TestLeaderRoundRobin(t *testing.T) {
+	const n = 7
+	// Every window of n consecutive rounds elects every replica once.
+	seen := make(map[types.ReplicaID]int)
+	for r := types.Round(1); r <= n; r++ {
+		seen[pacemaker.Leader(r, n)]++
+	}
+	if len(seen) != n {
+		t.Fatalf("window covered %d of %d replicas", len(seen), n)
+	}
+	for id, c := range seen {
+		if c != 1 {
+			t.Errorf("replica %v led %d times in one window", id, c)
+		}
+	}
+	if pacemaker.Leader(1, n) != 0 {
+		t.Error("replica 0 must lead round 1")
+	}
+	if pacemaker.Leader(n+1, n) != 0 {
+		t.Error("rotation must wrap after n rounds")
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	p := pacemaker.New(4, 1, time.Second)
+	if p.Round() != 1 {
+		t.Fatalf("initial round = %d", p.Round())
+	}
+	if !p.AdvanceTo(3, 0, false) || p.Round() != 3 {
+		t.Fatal("forward advance failed")
+	}
+	if p.AdvanceTo(2, 0, false) || p.Round() != 3 {
+		t.Fatal("backward advance accepted")
+	}
+	if p.AdvanceTo(3, 0, false) {
+		t.Fatal("same-round advance accepted")
+	}
+}
+
+func TestTimeoutCertificate(t *testing.T) {
+	p := pacemaker.New(4, 1, time.Second)
+	mk := func(sender types.ReplicaID, r types.Round) *types.Timeout {
+		return &types.Timeout{Round: r, Sender: sender}
+	}
+	if p.OnTimeout(mk(0, 5)) || p.OnTimeout(mk(1, 5)) {
+		t.Fatal("TC before quorum")
+	}
+	// Duplicate sender does not advance the count.
+	if p.OnTimeout(mk(1, 5)) {
+		t.Fatal("duplicate timeout completed TC")
+	}
+	if !p.OnTimeout(mk(2, 5)) {
+		t.Fatal("third distinct timeout should complete the 2f+1 TC")
+	}
+	// Completing again returns false (already formed).
+	if p.OnTimeout(mk(3, 5)) {
+		t.Fatal("TC completed twice")
+	}
+	if p.TimeoutCount(5) != 4 {
+		t.Fatalf("timeout count = %d", p.TimeoutCount(5))
+	}
+}
+
+func TestTimedOutTracking(t *testing.T) {
+	p := pacemaker.New(4, 1, time.Second)
+	p.MarkTimedOut(1)
+	if !p.TimedOut(1) || p.TimedOut(2) {
+		t.Fatal("timed-out tracking wrong")
+	}
+	// Old state is garbage collected on advance.
+	p.AdvanceTo(10, 0, false)
+	if p.TimedOut(1) {
+		t.Fatal("stale timed-out state survived GC")
+	}
+}
+
+func TestBackoff(t *testing.T) {
+	p := pacemaker.New(4, 1, 100*time.Millisecond)
+	// Default: fixed timeouts.
+	p.AdvanceTo(2, 0, true)
+	p.AdvanceTo(3, 0, true)
+	if p.Timeout() != 100*time.Millisecond {
+		t.Fatalf("default backoff changed timeout: %v", p.Timeout())
+	}
+	// With backoff enabled, consecutive timeout-advances grow the timer.
+	p2 := pacemaker.New(4, 1, 100*time.Millisecond)
+	p2.SetBackoff(2.0)
+	p2.AdvanceTo(2, 0, true)
+	p2.AdvanceTo(3, 0, true)
+	if p2.Timeout() != 400*time.Millisecond {
+		t.Fatalf("backoff timeout = %v, want 400ms", p2.Timeout())
+	}
+	// A QC-driven advance resets the streak.
+	p2.AdvanceTo(4, 0, false)
+	if p2.Timeout() != 100*time.Millisecond {
+		t.Fatalf("reset timeout = %v, want 100ms", p2.Timeout())
+	}
+	// Backoff is capped.
+	p3 := pacemaker.New(4, 1, 100*time.Millisecond)
+	p3.SetBackoff(10)
+	for r := types.Round(2); r < 20; r++ {
+		p3.AdvanceTo(r, 0, true)
+	}
+	if p3.Timeout() > 32*100*time.Millisecond {
+		t.Fatalf("backoff exceeded cap: %v", p3.Timeout())
+	}
+}

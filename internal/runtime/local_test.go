@@ -1,0 +1,65 @@
+package runtime_test
+
+import (
+	"testing"
+
+	"repro/internal/runtime"
+	"repro/internal/types"
+)
+
+func TestLocalNetworkRouting(t *testing.T) {
+	net := runtime.NewLocalNetwork(3)
+	defer net.Close()
+
+	a := net.Endpoint(0)
+	b := net.Endpoint(1)
+	if err := a.Send(1, &types.VoteMsg{Vote: types.Vote{Round: 7}}); err != nil {
+		t.Fatal(err)
+	}
+	in := <-b.Recv()
+	if in.From != 0 {
+		t.Fatalf("from = %v", in.From)
+	}
+	if vm, ok := in.Msg.(*types.VoteMsg); !ok || vm.Vote.Round != 7 {
+		t.Fatalf("msg = %v", in.Msg)
+	}
+}
+
+func TestLocalNetworkUnknownEndpoint(t *testing.T) {
+	net := runtime.NewLocalNetwork(2)
+	defer net.Close()
+	if err := net.Endpoint(0).Send(9, &types.VoteMsg{}); err == nil {
+		t.Fatal("send to unknown endpoint succeeded")
+	}
+}
+
+func TestLocalNetworkOverflowDrops(t *testing.T) {
+	net := runtime.NewLocalNetwork(2)
+	defer net.Close()
+	a := net.Endpoint(0)
+	// Fill the receiver's buffer (capacity 1024) without draining.
+	var firstErr error
+	for i := 0; i < 2048; i++ {
+		if err := a.Send(1, &types.VoteMsg{}); err != nil {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr == nil {
+		t.Fatal("overflow never reported")
+	}
+}
+
+func TestLocalNetworkClose(t *testing.T) {
+	net := runtime.NewLocalNetwork(2)
+	a := net.Endpoint(0)
+	net.Close()
+	net.Close() // idempotent
+	if err := a.Send(1, &types.VoteMsg{}); err == nil {
+		t.Fatal("send after close succeeded")
+	}
+	// Recv channel is closed.
+	if _, ok := <-net.Endpoint(1).Recv(); ok {
+		t.Fatal("recv channel still open")
+	}
+}

@@ -1,0 +1,152 @@
+// Package runtime hosts a consensus engine (internal/engine) on real
+// infrastructure: goroutines, wall-clock timers, and a pluggable Transport
+// (in-process channels via LocalNetwork, or TCP via internal/tcpnet). The
+// engine code is identical to what runs under the simulator; only the event
+// loop differs.
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/types"
+)
+
+// Inbound is one received message.
+type Inbound struct {
+	From types.ReplicaID
+	Msg  types.Message
+}
+
+// Transport moves messages between replicas.
+type Transport interface {
+	// Send transmits msg to one replica. Implementations must be safe for
+	// use from the node's event loop goroutine.
+	Send(to types.ReplicaID, msg types.Message) error
+	// Recv returns the channel of inbound messages.
+	Recv() <-chan Inbound
+	// Close releases resources; Recv's channel may close afterwards.
+	Close() error
+}
+
+// Options configures a Node.
+type Options struct {
+	// N is the number of replicas (for broadcast fan-out).
+	N int
+	// OnCommit, if non-nil, observes regular commits.
+	OnCommit func(b *types.Block)
+	// OnStrength, if non-nil, observes strong-commit level updates.
+	OnStrength func(b *types.Block, x int)
+}
+
+// Node runs one engine on a transport until its context is cancelled.
+type Node struct {
+	eng   engine.Engine
+	tr    Transport
+	opts  Options
+	start time.Time
+
+	timerCh  chan int
+	loopback chan Inbound
+	stopping chan struct{}
+}
+
+// NewNode wires an engine to a transport.
+func NewNode(eng engine.Engine, tr Transport, opts Options) (*Node, error) {
+	if opts.N <= 0 {
+		return nil, fmt.Errorf("runtime: N must be positive")
+	}
+	return &Node{
+		eng:      eng,
+		tr:       tr,
+		opts:     opts,
+		timerCh:  make(chan int, 64),
+		loopback: make(chan Inbound, 64),
+		stopping: make(chan struct{}),
+	}, nil
+}
+
+// Run executes the node's event loop until ctx is cancelled. It owns the
+// engine: no other goroutine may touch it while Run is active.
+func (n *Node) Run(ctx context.Context) error {
+	n.start = time.Now()
+	defer close(n.stopping)
+	n.apply(n.eng.Init(n.now()))
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case in, ok := <-n.tr.Recv():
+			if !ok {
+				return nil
+			}
+			n.apply(n.eng.OnMessage(n.now(), in.From, in.Msg))
+		case in := <-n.loopback:
+			n.apply(n.eng.OnMessage(n.now(), in.From, in.Msg))
+		case id := <-n.timerCh:
+			n.apply(n.eng.OnTimer(n.now(), id))
+		}
+	}
+}
+
+func (n *Node) now() time.Duration { return time.Since(n.start) }
+
+func (n *Node) apply(outs []engine.Output) {
+	self := n.eng.ID()
+	for _, out := range outs {
+		switch o := out.(type) {
+		case engine.Send:
+			if o.To == self {
+				n.enqueueLoopback(Inbound{From: self, Msg: o.Msg})
+				continue
+			}
+			// Best-effort: the consensus protocol tolerates message loss
+			// via timeouts, so transport errors are not fatal.
+			_ = n.tr.Send(o.To, o.Msg)
+		case engine.Broadcast:
+			for i := 0; i < n.opts.N; i++ {
+				to := types.ReplicaID(i)
+				if to == self {
+					continue
+				}
+				_ = n.tr.Send(to, o.Msg)
+			}
+			if o.SelfDeliver {
+				n.enqueueLoopback(Inbound{From: self, Msg: o.Msg})
+			}
+		case engine.SetTimer:
+			id := o.ID
+			time.AfterFunc(o.Delay, func() {
+				select {
+				case n.timerCh <- id:
+				case <-n.stopping:
+				}
+			})
+		case engine.Commit:
+			if n.opts.OnCommit != nil {
+				n.opts.OnCommit(o.Block)
+			}
+		case engine.Strength:
+			if n.opts.OnStrength != nil {
+				n.opts.OnStrength(o.Block, o.X)
+			}
+		}
+	}
+}
+
+func (n *Node) enqueueLoopback(in Inbound) {
+	// The loopback buffer is drained by the same goroutine that fills it,
+	// so a full buffer must not deadlock: fall back to a goroutine handoff.
+	select {
+	case n.loopback <- in:
+	default:
+		go func() {
+			select {
+			case n.loopback <- in:
+			case <-n.stopping:
+			}
+		}()
+	}
+}

@@ -1,0 +1,225 @@
+// Package simnet is the deterministic discrete-event network simulator the
+// experiments run on. It replaces the paper's 100-instance EC2 deployment:
+// replicas are event-driven engines (internal/engine), message deliveries
+// and timers are events on a virtual clock, and latency comes from a
+// configurable region model. Runs are reproducible from a seed.
+package simnet
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/types"
+)
+
+// event kinds.
+const (
+	evMessage = iota
+	evTimer
+	evCrash
+	evStart
+)
+
+type event struct {
+	at   time.Duration
+	seq  uint64 // FIFO tie-break for determinism
+	kind int
+
+	to   types.ReplicaID
+	from types.ReplicaID
+	msg  types.Message
+	tid  int // timer id
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// MsgStats aggregates message accounting for one run.
+type MsgStats struct {
+	Count  int64
+	Bytes  int64
+	ByType map[types.MsgType]int64
+}
+
+// Config parameterizes a simulation.
+type Config struct {
+	// N is the number of replicas (engine slots).
+	N int
+	// Latency computes delivery delays; required.
+	Latency LatencyModel
+	// Seed drives all randomness (jitter). Same seed, same run.
+	Seed int64
+	// OnCommit, if non-nil, observes every engine.Commit output.
+	OnCommit func(replica types.ReplicaID, now time.Duration, b *types.Block)
+	// OnStrength, if non-nil, observes every engine.Strength output.
+	OnStrength func(replica types.ReplicaID, now time.Duration, b *types.Block, x int)
+	// Drop, if non-nil, discards matching deliveries (partitions, GST
+	// modeling, targeted censorship).
+	Drop func(from, to types.ReplicaID, msg types.Message, now time.Duration) bool
+	// ExtraDelay, if non-nil, adds to the model latency (e.g. unbounded
+	// delays before GST).
+	ExtraDelay func(from, to types.ReplicaID, now time.Duration) time.Duration
+}
+
+// Sim is one simulation instance. Create with New, attach engines with
+// SetEngine, then Run.
+type Sim struct {
+	cfg     Config
+	engines []engine.Engine
+	crashed []bool
+	queue   eventQueue
+	seq     uint64
+	now     time.Duration
+	rng     *rand.Rand
+	stats   MsgStats
+	events  int64
+}
+
+// New creates a simulation with n empty engine slots.
+func New(cfg Config) *Sim {
+	s := &Sim{
+		cfg:     cfg,
+		engines: make([]engine.Engine, cfg.N),
+		crashed: make([]bool, cfg.N),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+	s.stats.ByType = make(map[types.MsgType]int64)
+	return s
+}
+
+// SetEngine installs the engine for one replica slot. A nil engine models a
+// replica that is down from the start.
+func (s *Sim) SetEngine(id types.ReplicaID, e engine.Engine) {
+	s.engines[id] = e
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Stats returns message accounting so far.
+func (s *Sim) Stats() MsgStats { return s.stats }
+
+// Events returns the number of events processed so far.
+func (s *Sim) Events() int64 { return s.events }
+
+// CrashAt schedules replica id to crash (stop processing events) at time at.
+func (s *Sim) CrashAt(id types.ReplicaID, at time.Duration) {
+	s.push(&event{at: at, kind: evCrash, to: id})
+}
+
+// Run initializes every engine at time 0 (if not already started) and
+// processes events until the virtual clock passes `until` or the queue
+// drains.
+func (s *Sim) Run(until time.Duration) {
+	if s.now == 0 && s.events == 0 {
+		for i, e := range s.engines {
+			if e != nil {
+				s.push(&event{at: 0, kind: evStart, to: types.ReplicaID(i)})
+			}
+		}
+	}
+	for len(s.queue) > 0 {
+		ev := s.queue[0]
+		if ev.at > until {
+			s.now = until
+			return
+		}
+		heap.Pop(&s.queue)
+		s.now = ev.at
+		s.events++
+		s.dispatch(ev)
+	}
+	s.now = until
+}
+
+func (s *Sim) dispatch(ev *event) {
+	id := ev.to
+	if ev.kind == evCrash {
+		s.crashed[id] = true
+		return
+	}
+	if s.crashed[id] || s.engines[id] == nil {
+		return
+	}
+	eng := s.engines[id]
+	var outs []engine.Output
+	switch ev.kind {
+	case evStart:
+		outs = eng.Init(s.now)
+	case evMessage:
+		outs = eng.OnMessage(s.now, ev.from, ev.msg)
+	case evTimer:
+		outs = eng.OnTimer(s.now, ev.tid)
+	}
+	s.apply(id, outs)
+}
+
+func (s *Sim) apply(id types.ReplicaID, outs []engine.Output) {
+	for _, out := range outs {
+		switch o := out.(type) {
+		case engine.Send:
+			s.deliver(id, o.To, o.Msg)
+		case engine.Broadcast:
+			for i := 0; i < s.cfg.N; i++ {
+				to := types.ReplicaID(i)
+				if to == id {
+					continue
+				}
+				s.deliver(id, to, o.Msg)
+			}
+			if o.SelfDeliver {
+				// Local delivery is immediate: same-replica handoff.
+				s.push(&event{at: s.now, kind: evMessage, to: id, from: id, msg: o.Msg})
+			}
+		case engine.SetTimer:
+			s.push(&event{at: s.now + o.Delay, kind: evTimer, to: id, tid: o.ID})
+		case engine.Commit:
+			if s.cfg.OnCommit != nil {
+				s.cfg.OnCommit(id, s.now, o.Block)
+			}
+		case engine.Strength:
+			if s.cfg.OnStrength != nil {
+				s.cfg.OnStrength(id, s.now, o.Block, o.X)
+			}
+		}
+	}
+}
+
+func (s *Sim) deliver(from, to types.ReplicaID, msg types.Message) {
+	if s.cfg.Drop != nil && s.cfg.Drop(from, to, msg, s.now) {
+		return
+	}
+	s.stats.Count++
+	s.stats.Bytes += int64(msg.Size())
+	s.stats.ByType[msg.Type()]++
+	d := s.cfg.Latency.Delay(from, to, msg.Size(), s.rng)
+	if s.cfg.ExtraDelay != nil {
+		d += s.cfg.ExtraDelay(from, to, s.now)
+	}
+	s.push(&event{at: s.now + d, kind: evMessage, to: to, from: from, msg: msg})
+}
+
+func (s *Sim) push(ev *event) {
+	ev.seq = s.seq
+	s.seq++
+	heap.Push(&s.queue, ev)
+}

@@ -1,0 +1,412 @@
+// Package streamlet implements the Streamlet protocol (Figure 10) and its
+// SFT extension SFT-Streamlet (Figure 11, Appendix D): lock-step 2Δ rounds,
+// longest-certified-chain proposing/voting, all-to-all votes with the echo
+// mechanism, the consecutive-round 3-chain commit rule, and height-keyed
+// strong-votes/k-endorsements for strengthened fault tolerance.
+package streamlet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/blockstore"
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/engine"
+	"repro/internal/pacemaker"
+	"repro/internal/types"
+)
+
+// Config parameterizes a Streamlet replica.
+type Config struct {
+	// ID is this replica; N = 3F+1 replicas total.
+	ID   types.ReplicaID
+	N, F int
+
+	// Signer/Verifier provide the PKI.
+	Signer           crypto.Signer
+	Verifier         crypto.Verifier
+	VerifySignatures bool
+
+	// Delta is the assumed maximum network delay ∆; rounds last 2∆.
+	Delta time.Duration
+
+	// SFT enables strengthened fault tolerance (height markers,
+	// k-endorsements, Strength outputs).
+	SFT bool
+	// Horizon bounds the endorsement walk (see core.Config).
+	Horizon int
+
+	// DisableEcho turns off the O(n^3) echo relay; deliveries then rely on
+	// the sender's broadcast alone (fine on the simulator's reliable
+	// links, and much cheaper for large n).
+	DisableEcho bool
+
+	// Payload supplies block transactions; nil means empty blocks.
+	Payload func(r types.Round) types.Payload
+
+	// WithholdVotes makes the replica silently Byzantine.
+	WithholdVotes bool
+}
+
+func (c *Config) quorum() int { return 2*c.F + 1 }
+
+type voteKey struct {
+	block types.BlockID
+	voter types.ReplicaID
+}
+
+// Replica is one Streamlet (optionally SFT-Streamlet) replica engine.
+type Replica struct {
+	cfg     Config
+	store   *blockstore.Store
+	history *core.VoteHistory
+	tracker *core.Tracker
+
+	round      types.Round
+	votedRound map[types.Round]bool
+
+	votes    map[types.BlockID]map[types.ReplicaID]types.Vote
+	orphans  map[types.BlockID][]*types.Proposal
+	maxCertH types.Height // height of the longest certified chain
+
+	seenProp map[types.BlockID]bool
+	seenVote map[voteKey]bool
+
+	lastCommitted types.BlockID
+	committedH    types.Height
+
+	outs []engine.Output
+}
+
+// New creates a Streamlet replica engine.
+func New(cfg Config) (*Replica, error) {
+	if cfg.N != 3*cfg.F+1 {
+		return nil, fmt.Errorf("streamlet: n=%d must be 3f+1 (f=%d)", cfg.N, cfg.F)
+	}
+	if cfg.Delta <= 0 {
+		return nil, fmt.Errorf("streamlet: delta must be positive")
+	}
+	if cfg.Signer == nil || cfg.Verifier == nil {
+		return nil, fmt.Errorf("streamlet: signer and verifier are required")
+	}
+	r := &Replica{
+		cfg:        cfg,
+		store:      blockstore.New(),
+		round:      1,
+		votedRound: make(map[types.Round]bool),
+		votes:      make(map[types.BlockID]map[types.ReplicaID]types.Vote),
+		orphans:    make(map[types.BlockID][]*types.Proposal),
+		seenProp:   make(map[types.BlockID]bool),
+		seenVote:   make(map[voteKey]bool),
+	}
+	r.history = core.NewVoteHistory(r.store)
+	r.lastCommitted = r.store.Genesis().ID()
+	if cfg.SFT {
+		r.tracker = core.NewTracker(r.store, core.Config{
+			N:       cfg.N,
+			F:       cfg.F,
+			Mode:    core.ModeHeight,
+			Horizon: cfg.Horizon,
+			OnStrength: func(b *types.Block, x int) {
+				r.outs = append(r.outs, engine.Strength{Block: b, X: x})
+			},
+		})
+	}
+	return r, nil
+}
+
+// ID implements engine.Engine.
+func (r *Replica) ID() types.ReplicaID { return r.cfg.ID }
+
+// Store exposes the block tree for tests and the harness.
+func (r *Replica) Store() *blockstore.Store { return r.store }
+
+// Tracker exposes the SFT tracker (nil when SFT is disabled).
+func (r *Replica) Tracker() *core.Tracker { return r.tracker }
+
+// Round returns the current lock-step round.
+func (r *Replica) Round() types.Round { return r.round }
+
+// Init implements engine.Engine.
+func (r *Replica) Init(now time.Duration) []engine.Output {
+	r.outs = nil
+	r.outs = append(r.outs, engine.SetTimer{ID: int(r.round), Delay: 2 * r.cfg.Delta})
+	r.maybePropose(now)
+	return r.take()
+}
+
+// OnTimer advances the lock-step round (the synchronization rule: 2∆ per
+// round).
+func (r *Replica) OnTimer(now time.Duration, id int) []engine.Output {
+	r.outs = nil
+	if types.Round(id) == r.round {
+		r.round++
+		r.outs = append(r.outs, engine.SetTimer{ID: int(r.round), Delay: 2 * r.cfg.Delta})
+		r.maybePropose(now)
+	}
+	return r.take()
+}
+
+// OnMessage implements engine.Engine.
+func (r *Replica) OnMessage(now time.Duration, from types.ReplicaID, msg types.Message) []engine.Output {
+	r.outs = nil
+	r.handle(now, msg)
+	return r.take()
+}
+
+func (r *Replica) handle(now time.Duration, msg types.Message) {
+	switch m := msg.(type) {
+	case *types.Proposal:
+		r.onProposal(now, m)
+	case *types.VoteMsg:
+		r.onVote(now, m.Vote)
+	case *types.Echo:
+		// Process the relayed inner message through the same paths; the
+		// dedup sets prevent loops and double-counting.
+		r.handle(now, m.Inner)
+	}
+}
+
+func (r *Replica) take() []engine.Output {
+	outs := r.outs
+	r.outs = nil
+	return outs
+}
+
+// echo relays a first-seen message to everyone (Figure 10's message echo
+// mechanism).
+func (r *Replica) echo(msg types.Message) {
+	if r.cfg.DisableEcho {
+		return
+	}
+	r.outs = append(r.outs, engine.Broadcast{Msg: &types.Echo{Inner: msg, Relayer: r.cfg.ID}})
+}
+
+// --- proposing ---
+
+// tip returns the deterministic tip of the longest certified chain: highest
+// certified height, ties broken by smallest round then block ID.
+func (r *Replica) tip() *types.Block {
+	var best *types.Block
+	for _, b := range r.certifiedAt(r.maxCertH) {
+		if best == nil || b.Round < best.Round ||
+			(b.Round == best.Round && lessID(b.ID(), best.ID())) {
+			best = b
+		}
+	}
+	return best
+}
+
+func lessID(a, b types.BlockID) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// certifiedAt returns all certified blocks at height h.
+func (r *Replica) certifiedAt(h types.Height) []*types.Block {
+	var out []*types.Block
+	var walk func(b *types.Block)
+	walk = func(b *types.Block) {
+		if b.Height == h {
+			if r.store.IsCertified(b.ID()) {
+				out = append(out, b)
+			}
+			return
+		}
+		for _, c := range r.store.Children(b.ID()) {
+			if r.store.IsCertified(c.ID()) {
+				walk(c)
+			}
+		}
+	}
+	walk(r.store.Genesis())
+	return out
+}
+
+func (r *Replica) maybePropose(now time.Duration) {
+	if pacemaker.Leader(r.round, r.cfg.N) != r.cfg.ID {
+		return
+	}
+	parent := r.tip()
+	if parent == nil {
+		return
+	}
+	var payload types.Payload
+	if r.cfg.Payload != nil {
+		payload = r.cfg.Payload(r.round)
+	}
+	qc := r.store.QCFor(parent.ID())
+	b := types.NewBlock(parent.ID(), qc, r.round, parent.Height+1, r.cfg.ID, int64(now), payload, nil)
+	p := &types.Proposal{Block: b, Round: r.round, Sender: r.cfg.ID}
+	p.Signature = r.cfg.Signer.Sign(p.SigningPayload())
+	r.outs = append(r.outs, engine.Broadcast{Msg: p, SelfDeliver: true})
+}
+
+// --- proposal handling ---
+
+func (r *Replica) onProposal(now time.Duration, p *types.Proposal) {
+	if p.Block == nil || r.seenProp[p.Block.ID()] {
+		return
+	}
+	if !r.validProposal(p) {
+		return
+	}
+	r.seenProp[p.Block.ID()] = true
+	r.echo(p)
+	if !r.store.Has(p.Block.Parent) {
+		r.orphans[p.Block.Parent] = append(r.orphans[p.Block.Parent], p)
+		return
+	}
+	r.acceptProposal(now, p)
+}
+
+func (r *Replica) validProposal(p *types.Proposal) bool {
+	if p.Block.Round != p.Round || p.Block.Proposer != p.Sender {
+		return false
+	}
+	if pacemaker.Leader(p.Round, r.cfg.N) != p.Sender {
+		return false
+	}
+	if r.cfg.VerifySignatures && !r.cfg.Verifier.Verify(p.Sender, p.SigningPayload(), p.Signature) {
+		return false
+	}
+	return true
+}
+
+func (r *Replica) acceptProposal(now time.Duration, p *types.Proposal) {
+	b := p.Block
+	if err := r.store.Insert(b); err != nil {
+		return
+	}
+	r.maybeVote(b)
+	r.tryCertify(b)
+	if kids := r.orphans[b.ID()]; len(kids) > 0 {
+		delete(r.orphans, b.ID())
+		for _, kid := range kids {
+			r.acceptProposal(now, kid)
+		}
+	}
+}
+
+// maybeVote applies the Streamlet voting rule: first proposal of the
+// current round by its leader, extending a longest certified chain.
+func (r *Replica) maybeVote(b *types.Block) {
+	if r.cfg.WithholdVotes {
+		return
+	}
+	if b.Round != r.round || r.votedRound[r.round] {
+		return
+	}
+	parent := r.store.Block(b.Parent)
+	if parent == nil || !r.store.IsCertified(parent.ID()) || parent.Height != r.maxCertH {
+		return
+	}
+	v := types.Vote{
+		Block:  b.ID(),
+		Round:  b.Round,
+		Height: b.Height,
+		Voter:  r.cfg.ID,
+		// SFT-Streamlet: the marker field carries the height marker.
+		Marker: types.Round(r.history.HeightMarker(b)),
+	}
+	v.Signature = r.cfg.Signer.Sign(v.SigningPayload())
+	r.votedRound[r.round] = true
+	r.history.RecordVote(b)
+	r.outs = append(r.outs, engine.Broadcast{Msg: &types.VoteMsg{Vote: v}, SelfDeliver: true})
+}
+
+// --- votes and certification ---
+
+func (r *Replica) onVote(now time.Duration, v types.Vote) {
+	k := voteKey{block: v.Block, voter: v.Voter}
+	if r.seenVote[k] {
+		return
+	}
+	if r.cfg.VerifySignatures && crypto.VerifyVote(r.cfg.Verifier, v) != nil {
+		return
+	}
+	r.seenVote[k] = true
+	r.echo(&types.VoteMsg{Vote: v})
+	m, ok := r.votes[v.Block]
+	if !ok {
+		m = make(map[types.ReplicaID]types.Vote, r.cfg.quorum())
+		r.votes[v.Block] = m
+	}
+	m[v.Voter] = v
+	if b := r.store.Block(v.Block); b != nil {
+		r.tryCertify(b)
+	}
+}
+
+func (r *Replica) tryCertify(b *types.Block) {
+	id := b.ID()
+	collected := r.votes[id]
+	if len(collected) < r.cfg.quorum() || r.store.IsCertified(id) {
+		return
+	}
+	votes := make([]types.Vote, 0, len(collected))
+	for _, v := range collected {
+		votes = append(votes, v)
+	}
+	sort.Slice(votes, func(i, j int) bool { return votes[i].Voter < votes[j].Voter })
+	qc := &types.QC{Block: id, Round: b.Round, Height: b.Height, Votes: votes}
+	if _, err := r.store.RegisterQC(qc); err != nil {
+		return
+	}
+	// Locking rule: the longest certified chain may have grown.
+	if b.Height > r.maxCertH {
+		r.maxCertH = b.Height
+	}
+	if r.tracker != nil {
+		r.tracker.OnQC(qc)
+	}
+	r.checkCommit(b)
+}
+
+// checkCommit looks for three adjacent certified blocks with consecutive
+// rounds around the newly certified block and commits the middle one and
+// its ancestors.
+func (r *Replica) checkCommit(b *types.Block) {
+	// b can be the first, middle or last block of the 3-chain.
+	candidates := []*types.Block{b}
+	if p := r.store.Parent(b.ID()); p != nil {
+		candidates = append(candidates, p)
+	}
+	candidates = append(candidates, r.store.Children(b.ID())...)
+	for _, mid := range candidates {
+		p := r.store.Parent(mid.ID())
+		if p == nil || !r.store.IsCertified(p.ID()) || p.Round+1 != mid.Round {
+			continue
+		}
+		if !r.store.IsCertified(mid.ID()) {
+			continue
+		}
+		for _, c := range r.store.Children(mid.ID()) {
+			if r.store.IsCertified(c.ID()) && c.Round == mid.Round+1 {
+				r.commitTo(mid)
+				break
+			}
+		}
+	}
+}
+
+func (r *Replica) commitTo(b *types.Block) {
+	if b.Height <= r.committedH {
+		return
+	}
+	chain := r.store.ChainBetween(r.lastCommitted, b.ID())
+	if chain == nil {
+		return
+	}
+	for _, blk := range chain {
+		r.outs = append(r.outs, engine.Commit{Block: blk})
+	}
+	r.lastCommitted = b.ID()
+	r.committedH = b.Height
+}

@@ -1,0 +1,263 @@
+// Package tcpnet is the TCP transport for real (non-simulated) clusters:
+// length-delimited gob frames over persistent connections, lazy dialing
+// with retry, and a handshake identifying the sending replica. It
+// implements runtime.Transport.
+package tcpnet
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/runtime"
+	"repro/internal/types"
+)
+
+// registerOnce registers the concrete message types with gob exactly once.
+var registerOnce sync.Once
+
+// RegisterMessages registers all consensus message types for gob transport.
+// Safe to call multiple times.
+func RegisterMessages() {
+	registerOnce.Do(func() {
+		gob.Register(&types.Proposal{})
+		gob.Register(&types.VoteMsg{})
+		gob.Register(&types.Timeout{})
+		gob.Register(&types.Echo{})
+		gob.Register(&types.ExtraVote{})
+		gob.Register(&types.SyncRequest{})
+		gob.Register(&types.SyncResponse{})
+	})
+}
+
+// envelope is the gob frame exchanged on the wire.
+type envelope struct {
+	From types.ReplicaID
+	Msg  types.Message
+}
+
+// hello is the first frame on every outbound connection.
+type hello struct {
+	From types.ReplicaID
+}
+
+// Config describes one replica's view of the cluster.
+type Config struct {
+	// ID is this replica.
+	ID types.ReplicaID
+	// Listen is the local address to accept peers on, e.g. "127.0.0.1:7001".
+	Listen string
+	// Peers maps every replica ID (including self, which is ignored) to its
+	// dialable address.
+	Peers map[types.ReplicaID]string
+	// DialRetry is the pause between failed dials (default 250ms).
+	DialRetry time.Duration
+}
+
+// Net is a TCP-backed runtime.Transport.
+type Net struct {
+	cfg  Config
+	ln   net.Listener
+	recv chan runtime.Inbound
+
+	mu       sync.Mutex
+	conns    map[types.ReplicaID]*peerConn
+	accepted map[net.Conn]bool
+	closed   bool
+	wg       sync.WaitGroup
+	closing  chan struct{}
+}
+
+type peerConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+// Listen starts accepting peer connections and returns the transport.
+func Listen(cfg Config) (*Net, error) {
+	RegisterMessages()
+	if cfg.DialRetry == 0 {
+		cfg.DialRetry = 250 * time.Millisecond
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: %w", err)
+	}
+	n := &Net{
+		cfg:      cfg,
+		ln:       ln,
+		recv:     make(chan runtime.Inbound, 4096),
+		conns:    make(map[types.ReplicaID]*peerConn),
+		accepted: make(map[net.Conn]bool),
+		closing:  make(chan struct{}),
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the bound listen address.
+func (n *Net) Addr() net.Addr { return n.ln.Addr() }
+
+// SetPeers installs or replaces the peer address book. Useful when ports
+// are OS-assigned and only known after all listeners are up.
+func (n *Net) SetPeers(peers map[types.ReplicaID]string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	cp := make(map[types.ReplicaID]string, len(peers))
+	for k, v := range peers {
+		cp[k] = v
+	}
+	n.cfg.Peers = cp
+}
+
+// Recv implements runtime.Transport.
+func (n *Net) Recv() <-chan runtime.Inbound { return n.recv }
+
+// Send implements runtime.Transport, dialing the peer on first use.
+func (n *Net) Send(to types.ReplicaID, msg types.Message) error {
+	pc, err := n.peer(to)
+	if err != nil {
+		return err
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if err := pc.enc.Encode(envelope{From: n.cfg.ID, Msg: msg}); err != nil {
+		// Connection broke: forget it so the next Send redials.
+		n.dropPeer(to, pc)
+		return fmt.Errorf("tcpnet: send to %v: %w", to, err)
+	}
+	return nil
+}
+
+// Close shuts the transport down.
+func (n *Net) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	close(n.closing)
+	conns := n.conns
+	n.conns = map[types.ReplicaID]*peerConn{}
+	inbound := make([]net.Conn, 0, len(n.accepted))
+	for c := range n.accepted {
+		inbound = append(inbound, c)
+	}
+	n.accepted = map[net.Conn]bool{}
+	n.mu.Unlock()
+
+	err := n.ln.Close()
+	for _, pc := range conns {
+		pc.mu.Lock()
+		_ = pc.conn.Close()
+		pc.mu.Unlock()
+	}
+	// Close accepted connections too, or idle readLoops would block
+	// wg.Wait forever.
+	for _, c := range inbound {
+		_ = c.Close()
+	}
+	n.wg.Wait()
+	close(n.recv)
+	return err
+}
+
+func (n *Net) peer(to types.ReplicaID) (*peerConn, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("tcpnet: closed")
+	}
+	if pc, ok := n.conns[to]; ok {
+		n.mu.Unlock()
+		return pc, nil
+	}
+	addr, ok := n.cfg.Peers[to]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("tcpnet: unknown peer %v", to)
+	}
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: dial %v: %w", to, err)
+	}
+	enc := gob.NewEncoder(conn)
+	if err := enc.Encode(hello{From: n.cfg.ID}); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("tcpnet: handshake with %v: %w", to, err)
+	}
+	pc := &peerConn{conn: conn, enc: enc}
+	n.mu.Lock()
+	if existing, ok := n.conns[to]; ok {
+		// Raced with another Send; keep the established one.
+		n.mu.Unlock()
+		_ = conn.Close()
+		return existing, nil
+	}
+	n.conns[to] = pc
+	n.mu.Unlock()
+	return pc, nil
+}
+
+func (n *Net) dropPeer(id types.ReplicaID, pc *peerConn) {
+	_ = pc.conn.Close()
+	n.mu.Lock()
+	if n.conns[id] == pc {
+		delete(n.conns, id)
+	}
+	n.mu.Unlock()
+}
+
+func (n *Net) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		n.accepted[conn] = true
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+func (n *Net) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		n.mu.Lock()
+		delete(n.accepted, conn)
+		n.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	var h hello
+	if err := dec.Decode(&h); err != nil {
+		return
+	}
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		if env.From != h.From || env.Msg == nil {
+			continue // spoofed or malformed frame
+		}
+		select {
+		case n.recv <- runtime.Inbound{From: env.From, Msg: env.Msg}:
+		case <-n.closing:
+			return
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package types
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// The encoders in this file produce the deterministic byte strings that are
+// hashed into block IDs and signed in votes and timeouts. They are
+// append-style (like the strconv.Append* family) to avoid intermediate
+// buffers on hot paths.
+
+// ErrShortBuffer is returned by decoders when the input is truncated.
+var ErrShortBuffer = errors.New("types: short buffer")
+
+// AppendUint64 appends v in big-endian order.
+func AppendUint64(b []byte, v uint64) []byte {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], v)
+	return append(b, tmp[:]...)
+}
+
+// AppendUint32 appends v in big-endian order.
+func AppendUint32(b []byte, v uint32) []byte {
+	var tmp [4]byte
+	binary.BigEndian.PutUint32(tmp[:], v)
+	return append(b, tmp[:]...)
+}
+
+// AppendBytes appends a length-prefixed byte string.
+func AppendBytes(b, p []byte) []byte {
+	b = AppendUint32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+// ConsumeUint64 reads a big-endian uint64 from the front of b.
+func ConsumeUint64(b []byte) (uint64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, ErrShortBuffer
+	}
+	return binary.BigEndian.Uint64(b[:8]), b[8:], nil
+}
+
+// ConsumeUint32 reads a big-endian uint32 from the front of b.
+func ConsumeUint32(b []byte) (uint32, []byte, error) {
+	if len(b) < 4 {
+		return 0, nil, ErrShortBuffer
+	}
+	return binary.BigEndian.Uint32(b[:4]), b[4:], nil
+}
+
+// ConsumeBytes reads a length-prefixed byte string from the front of b.
+// The returned slice aliases b.
+func ConsumeBytes(b []byte) ([]byte, []byte, error) {
+	n, rest, err := ConsumeUint32(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if uint32(len(rest)) < n {
+		return nil, nil, ErrShortBuffer
+	}
+	return rest[:n], rest[n:], nil
+}

@@ -1,0 +1,44 @@
+// Package types defines the fundamental data types shared by every module
+// of the SFT-BFT reproduction: replica/round/height identifiers, blocks,
+// transactions, votes, quorum certificates, and the wire messages exchanged
+// by the consensus engines.
+//
+// All types use deterministic binary encodings (see encoding.go) so that
+// hashing and signing are stable across platforms and runs.
+package types
+
+import (
+	"encoding/hex"
+	"fmt"
+)
+
+// ReplicaID identifies one of the n replicas, in [0, n).
+type ReplicaID uint32
+
+// Round is a DiemBFT/Streamlet round (view) number. Genesis has round 0 and
+// the first proposed block has round 1, matching the paper's convention that
+// the default marker value 0 endorses everything.
+type Round uint64
+
+// Height is the position of a block in the chain. Genesis has height 0.
+type Height uint64
+
+// BlockID is the collision-resistant hash (SHA-256) of a block's
+// deterministic encoding.
+type BlockID [32]byte
+
+// ZeroID is the all-zero block ID, used as the parent of genesis.
+var ZeroID BlockID
+
+// String renders a short hex prefix, enough to disambiguate in logs.
+func (id BlockID) String() string {
+	return hex.EncodeToString(id[:4])
+}
+
+// IsZero reports whether the ID is the all-zero value.
+func (id BlockID) IsZero() bool {
+	return id == ZeroID
+}
+
+// String implements fmt.Stringer for log readability.
+func (r ReplicaID) String() string { return fmt.Sprintf("r%d", uint32(r)) }

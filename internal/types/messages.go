@@ -1,0 +1,189 @@
+package types
+
+import "fmt"
+
+// MsgType discriminates the wire messages of the consensus engines.
+type MsgType uint8
+
+// Message types. Streamlet shares Proposal/VoteMsg; EchoMsg wraps a relayed
+// message for Streamlet's echo mechanism.
+const (
+	MsgProposal MsgType = iota + 1
+	MsgVote
+	MsgTimeout
+	MsgEcho
+	MsgExtraVote // FBFT baseline: a late vote multicast by the leader
+	MsgSyncRequest
+	MsgSyncResponse
+)
+
+// Message is the interface implemented by every consensus wire message.
+type Message interface {
+	// Type returns the message discriminator.
+	Type() MsgType
+	// Size returns the modeled wire size in bytes, used by the harness to
+	// account for bandwidth overhead.
+	Size() int
+}
+
+// Proposal carries ⟨propose, B_k, r⟩_{L_r}: the leader's block for round r.
+// The block embeds the justifying QC, so no separate QC field is needed.
+type Proposal struct {
+	Block     *Block
+	Round     Round
+	Sender    ReplicaID
+	Signature []byte
+}
+
+// Type implements Message.
+func (p *Proposal) Type() MsgType { return MsgProposal }
+
+// Size implements Message.
+func (p *Proposal) Size() int { return 1 + 8 + 4 + len(p.Signature) + p.Block.Size() }
+
+// SigningPayload returns the bytes the proposer signs.
+func (p *Proposal) SigningPayload() []byte {
+	b := make([]byte, 0, 64)
+	b = append(b, "prop/"...)
+	id := p.Block.ID()
+	b = append(b, id[:]...)
+	b = AppendUint64(b, uint64(p.Round))
+	b = AppendUint32(b, uint32(p.Sender))
+	return b
+}
+
+// String renders the proposal for logs.
+func (p *Proposal) String() string {
+	return fmt.Sprintf("proposal{r%d %s}", p.Round, p.Block)
+}
+
+// VoteMsg carries one strong-vote to its recipient (the next leader in
+// DiemBFT; everyone in Streamlet).
+type VoteMsg struct {
+	Vote Vote
+}
+
+// Type implements Message.
+func (m *VoteMsg) Type() MsgType { return MsgVote }
+
+// Size implements Message.
+func (m *VoteMsg) Size() int { return 1 + m.Vote.Size() }
+
+// String renders the message for logs.
+func (m *VoteMsg) String() string { return m.Vote.String() }
+
+// Timeout carries ⟨timeout, r, qc_high⟩_i: replica i gave up on round r and
+// reports its highest QC so the next leader can extend it.
+type Timeout struct {
+	Round     Round
+	HighQC    *QC
+	Sender    ReplicaID
+	Signature []byte
+}
+
+// Type implements Message.
+func (t *Timeout) Type() MsgType { return MsgTimeout }
+
+// Size implements Message.
+func (t *Timeout) Size() int {
+	n := 1 + 8 + 4 + len(t.Signature)
+	if t.HighQC != nil {
+		n += t.HighQC.Size()
+	}
+	return n
+}
+
+// SigningPayload returns the bytes the sender signs.
+func (t *Timeout) SigningPayload() []byte {
+	b := make([]byte, 0, 32)
+	b = append(b, "timeout/"...)
+	b = AppendUint64(b, uint64(t.Round))
+	b = AppendUint32(b, uint32(t.Sender))
+	return b
+}
+
+// String renders the timeout for logs.
+func (t *Timeout) String() string { return fmt.Sprintf("timeout{r%d by %s}", t.Round, t.Sender) }
+
+// Echo wraps a message relayed by Streamlet's "echo every previously unseen
+// message" rule.
+type Echo struct {
+	Inner   Message
+	Relayer ReplicaID
+}
+
+// Type implements Message.
+func (e *Echo) Type() MsgType { return MsgEcho }
+
+// Size implements Message.
+func (e *Echo) Size() int { return 1 + 4 + e.Inner.Size() }
+
+// String renders the echo for logs.
+func (e *Echo) String() string { return fmt.Sprintf("echo{%v by %s}", e.Inner, e.Relayer) }
+
+// SyncRequest asks a peer for the ancestor chain of a block the requester
+// is missing (a replica that fell behind — e.g. after a partition — heals
+// its block tree this way before it can vote again).
+type SyncRequest struct {
+	// Block is the missing block whose ancestry is wanted.
+	Block BlockID
+	// Have is the requester's highest committed height; the responder
+	// sends blocks above it, newest-capped at its own chain.
+	Have   Height
+	Sender ReplicaID
+}
+
+// Type implements Message.
+func (s *SyncRequest) Type() MsgType { return MsgSyncRequest }
+
+// Size implements Message.
+func (s *SyncRequest) Size() int { return 1 + 32 + 8 + 4 }
+
+// String renders the request for logs.
+func (s *SyncRequest) String() string {
+	return fmt.Sprintf("syncreq{%s above h%d by %s}", s.Block, s.Have, s.Sender)
+}
+
+// SyncResponse carries a contiguous ascending chain segment ending at the
+// requested block. Each block embeds its parent's QC, so the segment is
+// self-certifying.
+type SyncResponse struct {
+	Blocks []*Block
+	Sender ReplicaID
+}
+
+// Type implements Message.
+func (s *SyncResponse) Type() MsgType { return MsgSyncResponse }
+
+// Size implements Message.
+func (s *SyncResponse) Size() int {
+	n := 1 + 4
+	for _, b := range s.Blocks {
+		n += b.Size()
+	}
+	return n
+}
+
+// String renders the response for logs.
+func (s *SyncResponse) String() string {
+	return fmt.Sprintf("syncresp{%d blocks by %s}", len(s.Blocks), s.Sender)
+}
+
+// ExtraVote is the Appendix B FBFT baseline message: after a QC already
+// formed with 2f+1 votes, the round's leader multicasts each additional
+// late vote so that replicas can grow the block's direct-vote quorum.
+type ExtraVote struct {
+	Vote   Vote
+	Leader ReplicaID
+}
+
+// Type implements Message.
+func (m *ExtraVote) Type() MsgType { return MsgExtraVote }
+
+// Size implements Message.
+func (m *ExtraVote) Size() int { return 1 + 4 + m.Vote.Size() }
+
+// String renders the message for logs.
+func (m *ExtraVote) String() string {
+	return fmt.Sprintf("extravote{%v via %s}", m.Vote, m.Leader)
+}

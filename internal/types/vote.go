@@ -1,0 +1,173 @@
+package types
+
+import (
+	"fmt"
+
+	"repro/internal/intervals"
+)
+
+// Vote is a strong-vote ⟨vote, B, r, marker⟩ (Section 3.2) or its
+// generalized form ⟨vote, B, r, I⟩ (Section 3.4). A plain DiemBFT vote is a
+// strong-vote whose marker is ignored, so one type serves both the baseline
+// and the SFT protocols.
+//
+// In the DiemBFT engines Marker is the largest *round* of any conflicting
+// block the voter ever voted for; in the Streamlet engines (Appendix D) the
+// same field carries the largest *height* of any conflicting voted block.
+type Vote struct {
+	Block  BlockID
+	Round  Round
+	Height Height
+	Voter  ReplicaID
+
+	// Marker is the single-marker summary of the voter's conflicting
+	// history. Default 0 endorses all ancestors.
+	Marker Round
+
+	// Intervals, when HasIntervals is set, is the generalized endorsement
+	// set I of Section 3.4. Rounds in I are endorsed.
+	Intervals    intervals.Set
+	HasIntervals bool
+
+	Signature []byte
+}
+
+// SigningPayload returns the deterministic byte string a replica signs to
+// produce the vote signature. It covers everything except the signature.
+func (v Vote) SigningPayload() []byte {
+	b := make([]byte, 0, 64)
+	b = append(b, "vote/"...)
+	b = append(b, v.Block[:]...)
+	b = AppendUint64(b, uint64(v.Round))
+	b = AppendUint64(b, uint64(v.Height))
+	b = AppendUint32(b, uint32(v.Voter))
+	b = AppendUint64(b, uint64(v.Marker))
+	if v.HasIntervals {
+		b = append(b, 1)
+		b = v.Intervals.Encode(b)
+	} else {
+		b = append(b, 0)
+	}
+	return b
+}
+
+// Endorses reports whether this strong-vote endorses a block at round
+// (or, for Streamlet, height) target on the chain the vote extends.
+// Per Figure 4 the vote endorses its own block unconditionally and any
+// ancestor whose round exceeds the marker (or lies in the interval set).
+// The caller is responsible for the chain-extension check; Endorses only
+// evaluates the marker/interval condition.
+func (v Vote) Endorses(target Round) bool {
+	if target == v.Round {
+		// Direct vote: B = B'.
+		return true
+	}
+	if v.HasIntervals {
+		return v.Intervals.Contains(uint64(target))
+	}
+	return v.Marker < target
+}
+
+// Size returns the modeled wire size of the vote in bytes. The paper's
+// efficiency claim is that a strong-vote adds only one integer (or a small
+// interval set) to a regular vote.
+func (v Vote) Size() int {
+	n := 32 + 8 + 8 + 4 + 8 + 1 + len(v.Signature)
+	if v.HasIntervals {
+		n += 4 + 16*v.Intervals.Len()
+	}
+	return n
+}
+
+// String renders the vote for logs.
+func (v Vote) String() string {
+	if v.HasIntervals {
+		return fmt.Sprintf("vote{%s r%d by %s I=%s}", v.Block, v.Round, v.Voter, v.Intervals)
+	}
+	return fmt.Sprintf("vote{%s r%d by %s m=%d}", v.Block, v.Round, v.Voter, v.Marker)
+}
+
+// QC is a quorum certificate: 2f+1 distinct signed strong-votes for one
+// block. With SFT enabled it is the paper's strong-QC; the embedded votes
+// keep their markers so that every replica can recompute endorsements.
+type QC struct {
+	Block  BlockID
+	Round  Round
+	Height Height
+	Votes  []Vote
+}
+
+// NewGenesisQC builds the conventional round-0 certificate for the genesis
+// block, treated as valid without votes by convention.
+func NewGenesisQC(genesisID BlockID) *QC {
+	return &QC{Block: genesisID, Round: 0, Height: 0}
+}
+
+// RanksHigher reports whether q should replace other as the highest known
+// QC. QCs are ranked by round number (Section 2.1).
+func (q *QC) RanksHigher(other *QC) bool {
+	if other == nil {
+		return true
+	}
+	return q.Round > other.Round
+}
+
+// CheckStructure validates everything about the QC that does not require
+// cryptography: at least quorum votes, all for the same block and round,
+// from distinct voters. Genesis QCs (round 0, no votes) pass by convention.
+func (q *QC) CheckStructure(quorum int) error {
+	if q.Round == 0 && len(q.Votes) == 0 {
+		return nil
+	}
+	if len(q.Votes) < quorum {
+		return fmt.Errorf("qc for %s r%d: %d votes < quorum %d", q.Block, q.Round, len(q.Votes), quorum)
+	}
+	seen := make(map[ReplicaID]bool, len(q.Votes))
+	for _, v := range q.Votes {
+		if v.Block != q.Block || v.Round != q.Round {
+			return fmt.Errorf("qc for %s r%d: vote %s mismatched", q.Block, q.Round, v)
+		}
+		if seen[v.Voter] {
+			return fmt.Errorf("qc for %s r%d: duplicate voter %s", q.Block, q.Round, v.Voter)
+		}
+		seen[v.Voter] = true
+	}
+	return nil
+}
+
+// Voters returns the set of replica IDs whose votes form the certificate.
+func (q *QC) Voters() []ReplicaID {
+	out := make([]ReplicaID, len(q.Votes))
+	for i, v := range q.Votes {
+		out[i] = v.Voter
+	}
+	return out
+}
+
+// Size returns the modeled wire size of the QC in bytes.
+func (q *QC) Size() int {
+	n := 32 + 8 + 8 + 4
+	for _, v := range q.Votes {
+		n += v.Size()
+	}
+	return n
+}
+
+// Encode appends a deterministic encoding of the QC, used when hashing the
+// block that carries it.
+func (q *QC) Encode(b []byte) []byte {
+	b = append(b, q.Block[:]...)
+	b = AppendUint64(b, uint64(q.Round))
+	b = AppendUint64(b, uint64(q.Height))
+	b = AppendUint32(b, uint32(len(q.Votes)))
+	for _, v := range q.Votes {
+		b = AppendBytes(b, v.SigningPayload())
+		b = AppendBytes(b, v.Signature)
+	}
+	return b
+}
+
+// String renders the QC for logs.
+func (q *QC) String() string {
+	return fmt.Sprintf("qc{%s r%d, %d votes}", q.Block, q.Round, len(q.Votes))
+}
