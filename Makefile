@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build vet test bench bench-smoke bench-micro
+
+all: test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: build vet
+	$(GO) test ./...
+
+# Full figure benchmarks at reduced scale (n=31, one virtual minute each).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime=1x .
+
+# Quick smoke of the headline benchmarks; CI runs this.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkThroughput|BenchmarkAblationBookkeeping' -benchtime=1x .
+
+# PR-1 micro-benchmarks: QC cache, event core, tracker, signing payloads.
+bench-micro:
+	$(GO) test -run '^$$' -bench BenchmarkVerifyQCCached -benchmem ./internal/crypto/
+	$(GO) test -run '^$$' -bench BenchmarkSimnetEventLoop -benchmem ./internal/simnet/
+	$(GO) test -run '^$$' -bench 'BenchmarkTrackerOnQC|BenchmarkMarker' -benchmem ./internal/core/
+	$(GO) test -run '^$$' -bench BenchmarkSigningPayload -benchmem ./internal/types/

@@ -11,8 +11,34 @@
 // runtime, Byzantine adversaries, a light-client proof system, and a
 // benchmark harness regenerating every figure of the evaluation section.
 //
-// Start with README.md, DESIGN.md (architecture and experiment index) and
-// EXPERIMENTS.md (paper-vs-measured results). The benchmarks in
-// bench_test.go regenerate each figure at reduced scale; cmd/sftbench runs
-// them at paper scale (n = 100, five virtual minutes).
+// Start with README.md (architecture map and performance notes). The
+// benchmarks in bench_test.go regenerate each figure at reduced scale;
+// cmd/sftbench runs them at paper scale (n = 100, five virtual minutes).
+//
+// # Performance
+//
+// The simulation hot path is engineered so that fixed-seed experiment
+// results are bit-identical to the straightforward implementation while
+// steady-state work per event stays allocation-free:
+//
+//   - crypto.QCCache memoizes verified certificates per replica (signatures
+//     are immutable, so entries never invalidate; an LRU bounds memory),
+//     turning the O(n²) per-round signature re-checking into one check per
+//     distinct QC per replica.
+//   - types.Vote.AppendSigningPayload and QC.Encode build signing payloads
+//     into caller-owned scratch buffers; engines and verifiers reuse one
+//     buffer per replica.
+//   - simnet's event queue is a pooled, value-based indexed heap: events
+//     live in a recycled slab and the heap orders int32 slot indices, so
+//     dispatching an event performs no allocation once the queue size
+//     plateaus.
+//   - core.Tracker keeps per-block endorser sets as bitset words plus a flat
+//     key array (popcount instead of map iteration), and core.VoteHistory
+//     computes vote markers with a single indexed ancestor walk instead of
+//     one ancestry walk per voted block.
+//
+// Determinism is the regression oracle for all of the above: see
+// internal/harness/determinism_test.go and the allocation guards in
+// internal/types, internal/simnet, and internal/core. BENCH_PR1.json
+// records the before/after numbers.
 package repro

@@ -153,6 +153,22 @@ func (s *Store) Children(id types.BlockID) []*types.Block {
 	return out
 }
 
+// VisitChildren calls fn on each stored child of a block, stopping early if
+// fn returns false. Unlike Children it performs no allocation, which matters
+// to the SFT tracker's per-QC re-evaluation loops. fn must not mutate the
+// store.
+func (s *Store) VisitChildren(id types.BlockID, fn func(*types.Block) bool) {
+	n, ok := s.nodes[id]
+	if !ok {
+		return
+	}
+	for _, c := range n.children {
+		if !fn(c.block) {
+			return
+		}
+	}
+}
+
 // IsAncestor reports whether anc is an ancestor of (or equal to) desc,
 // i.e. desc extends anc in the paper's terminology.
 func (s *Store) IsAncestor(anc, desc types.BlockID) bool {

@@ -78,20 +78,22 @@ func (t *DirectTracker) Strength(block types.BlockID) int {
 
 func (t *DirectTracker) evaluate(bk *types.Block) {
 	best := -1
-	for _, b1 := range t.store.Children(bk.ID()) {
+	t.store.VisitChildren(bk.ID(), func(b1 *types.Block) bool {
 		if b1.Round != bk.Round+1 {
-			continue
+			return true
 		}
-		for _, b2 := range t.store.Children(b1.ID()) {
+		t.store.VisitChildren(b1.ID(), func(b2 *types.Block) bool {
 			if b2.Round != bk.Round+2 {
-				continue
+				return true
 			}
 			e := min(t.DirectVotes(bk.ID()), t.DirectVotes(b1.ID()), t.DirectVotes(b2.ID()))
 			if x := e - t.f - 1; x > best {
 				best = x
 			}
-		}
-	}
+			return true
+		})
+		return true
+	})
 	if best < t.f {
 		return
 	}

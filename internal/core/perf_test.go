@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/blockstore"
+	"repro/internal/types"
+)
+
+func TestEndorserSetBasics(t *testing.T) {
+	s := newEndorserSet(10)
+	if s.size() != 0 || s.countBelow(5) != 0 {
+		t.Fatal("fresh set not empty")
+	}
+	if !s.add(3, 7) {
+		t.Fatal("first add did not improve")
+	}
+	if s.add(3, 7) || s.add(3, 9) {
+		t.Fatal("equal-or-higher key reported as improvement")
+	}
+	if !s.add(3, 2) {
+		t.Fatal("lower key did not improve")
+	}
+	s.add(0, unconditional)
+	s.add(9, 4)
+	if got := s.size(); got != 3 {
+		t.Fatalf("size=%d, want 3", got)
+	}
+	// countBelow(3): voter 3 (key 2), voter 0 (unconditional). Voter 9 (key 4) excluded.
+	if got := s.countBelow(3); got != 2 {
+		t.Fatalf("countBelow(3)=%d, want 2", got)
+	}
+	if got := s.countBelow(100); got != 3 {
+		t.Fatalf("countBelow(100)=%d, want 3", got)
+	}
+}
+
+func TestEndorserSetWordBoundaries(t *testing.T) {
+	s := newEndorserSet(130)
+	for _, v := range []types.ReplicaID{0, 63, 64, 127, 128, 129} {
+		if !s.add(v, uint64(v)+1) {
+			t.Fatalf("add(%d) did not improve", v)
+		}
+	}
+	if s.size() != 6 {
+		t.Fatalf("size=%d, want 6", s.size())
+	}
+	if got := s.countBelow(65); got != 2 { // keys 1 and 64
+		t.Fatalf("countBelow(65)=%d, want 2", got)
+	}
+	// Out-of-range voters grow the set instead of panicking.
+	if !s.add(500, 1) {
+		t.Fatal("out-of-range add failed")
+	}
+	if s.size() != 7 {
+		t.Fatalf("size=%d after grow, want 7", s.size())
+	}
+}
+
+// buildChain makes a linear chain of n certified blocks and returns the
+// store, the blocks, and one QC per block signed by voters [0, quorum).
+func buildChain(tb testing.TB, n, voters int) (*blockstore.Store, []*types.Block, []*types.QC) {
+	tb.Helper()
+	store := blockstore.New()
+	parent := store.Genesis()
+	blocks := make([]*types.Block, 0, n)
+	qcs := make([]*types.QC, 0, n)
+	for i := 1; i <= n; i++ {
+		b := types.NewBlock(parent.ID(), types.NewGenesisQC(parent.ID()), types.Round(i), types.Height(i), 0, int64(i), types.Payload{}, nil)
+		if err := store.Insert(b); err != nil {
+			tb.Fatal(err)
+		}
+		qc := &types.QC{Block: b.ID(), Round: b.Round, Height: b.Height}
+		for v := 0; v < voters; v++ {
+			qc.Votes = append(qc.Votes, types.Vote{
+				Block: b.ID(), Round: b.Round, Height: b.Height, Voter: types.ReplicaID(v),
+			})
+		}
+		qcs = append(qcs, qc)
+		blocks = append(blocks, b)
+		parent = b
+	}
+	return store, blocks, qcs
+}
+
+// BenchmarkTrackerOnQC measures the steady-state endorsement bookkeeping: a
+// fresh QC arriving at the tip of a long chain, with marker-coverage making
+// the walk O(1) per vote and the bitset sets avoiding per-vote hashing.
+func BenchmarkTrackerOnQC(b *testing.B) {
+	const chain = 256
+	const n, f = 31, 10
+	store, _, qcs := buildChain(b, chain, 2*f+1)
+	tr := NewTracker(store, Config{N: n, F: f, Mode: ModeRound, Horizon: 2*n + 16})
+	// Feed all but the last QC so the benchmark hits a warm tracker.
+	for _, qc := range qcs[:chain-1] {
+		tr.OnQC(qc)
+	}
+	last := qcs[chain-1]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Reset only the processed counter so the unpack path runs fully.
+		tr.processed[last.Block] = 0
+		tr.OnQC(last)
+	}
+}
+
+// BenchmarkMarker measures the vote-marker computation against a deep chain
+// and a full vote history — the single hottest path of the simulations
+// before PR 1 made it one indexed walk.
+func BenchmarkMarker(b *testing.B) {
+	const chain = 256
+	store, blocks, _ := buildChain(b, chain, 1)
+	h := NewVoteHistory(store)
+	for _, blk := range blocks[:chain-1] {
+		h.RecordVote(blk)
+	}
+	target := blocks[chain-1]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m := h.Marker(target); m != 0 {
+			b.Fatalf("marker=%d on a fork-free chain", m)
+		}
+	}
+}

@@ -1,9 +1,88 @@
 package core
 
 import (
+	"math/bits"
+
 	"repro/internal/blockstore"
 	"repro/internal/types"
 )
+
+// endorserSet is one block's endorser bookkeeping: a presence bitset over
+// replica IDs plus a flat per-replica key array, replacing the former
+// map[ReplicaID]uint64 inner maps. Membership, key updates, and counting are
+// all plain array indexing and popcount — no hashing on the per-vote path.
+type endorserSet struct {
+	words []uint64 // presence bitset, bit v set ⇔ replica v endorses
+	keys  []uint64 // minimum coverage/threshold key per replica, valid where the bit is set
+	count int      // number of set bits, maintained incrementally
+}
+
+func newEndorserSet(n int) *endorserSet {
+	return &endorserSet{
+		words: make([]uint64, (n+63)/64),
+		keys:  make([]uint64, n),
+	}
+}
+
+// add records voter with the given key, keeping the minimum key seen, and
+// reports whether the record improved (new voter, or a strictly lower key).
+func (s *endorserSet) add(voter types.ReplicaID, key uint64) bool {
+	v := int(voter)
+	if v >= len(s.keys) {
+		// Out-of-range IDs cannot occur with a well-formed cluster; grow
+		// rather than panic so malformed input stays merely ineffective.
+		s.grow(v + 1)
+	}
+	w, m := v>>6, uint64(1)<<(v&63)
+	if s.words[w]&m != 0 {
+		if s.keys[v] <= key {
+			return false
+		}
+		s.keys[v] = key
+		return true
+	}
+	s.words[w] |= m
+	s.keys[v] = key
+	s.count++
+	return true
+}
+
+func (s *endorserSet) grow(n int) {
+	words := make([]uint64, (n+63)/64)
+	copy(words, s.words)
+	s.words = words
+	keys := make([]uint64, n)
+	copy(keys, s.keys)
+	s.keys = keys
+}
+
+// size returns the number of endorsers regardless of keys.
+func (s *endorserSet) size() int {
+	if s == nil {
+		return 0
+	}
+	return s.count
+}
+
+// countBelow returns the number of endorsers whose key permits k-endorsement
+// at threshold k (key < k, or the unconditional key from a direct vote).
+func (s *endorserSet) countBelow(k uint64) int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	for wi, w := range s.words {
+		base := wi << 6
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &= w - 1
+			if key := s.keys[base+b]; key < k || key == unconditional {
+				n++
+			}
+		}
+	}
+	return n
+}
 
 // Mode selects which chain coordinate markers are compared against.
 type Mode int
@@ -57,11 +136,11 @@ type Tracker struct {
 	store *blockstore.Store
 	cfg   Config
 
-	// endorsed[b][v] = smallest key (round or height per mode) above which
-	// voter v endorses block b; unconditional (0) for direct votes. In
-	// ModeRound the stored value is always 0 because the only key ever
-	// queried for b is b.Round, so the set itself is the answer.
-	endorsed map[types.BlockID]map[types.ReplicaID]uint64
+	// endorsed[b] = per-voter endorsement keys for block b (round or height
+	// per mode); unconditional (0) for direct votes. In ModeRound the stored
+	// key doubles as the marker-coverage key (see OnQC). Inner sets are flat
+	// bitset+array structures, not maps — see endorserSet.
+	endorsed map[types.BlockID]*endorserSet
 
 	// strength[b] = highest x such that b is x-strong committed here.
 	// Missing means not strong committed at all (not even f-strong).
@@ -70,6 +149,11 @@ type Tracker struct {
 	// processed[b] = number of votes already unpacked from a QC for b, so
 	// re-deliveries and smaller duplicate QCs are skipped cheaply.
 	processed map[types.BlockID]int
+
+	// changed and candidates are reused per-OnQC scratch buffers for the
+	// grew-this-QC block set and the 3-chain re-evaluation worklist.
+	changed    []*types.Block
+	candidates []*types.Block
 }
 
 // NewTracker creates a tracker over the replica's block store.
@@ -80,7 +164,7 @@ func NewTracker(store *blockstore.Store, cfg Config) *Tracker {
 	return &Tracker{
 		store:     store,
 		cfg:       cfg,
-		endorsed:  make(map[types.BlockID]map[types.ReplicaID]uint64),
+		endorsed:  make(map[types.BlockID]*endorserSet),
 		strength:  make(map[types.BlockID]int),
 		processed: make(map[types.BlockID]int),
 	}
@@ -98,7 +182,7 @@ func (t *Tracker) OnQC(qc *types.QC) {
 	if certified == nil {
 		return
 	}
-	changed := make(map[types.BlockID]*types.Block)
+	t.changed = t.changed[:0]
 	for i := range qc.Votes {
 		v := &qc.Votes[i]
 		// In plain marker mode (the common case) the stored key doubles as
@@ -117,7 +201,7 @@ func (t *Tracker) OnQC(qc *types.QC) {
 		}
 		// Direct vote: endorses its own block unconditionally.
 		if t.addEndorsement(qc.Block, v.Voter, directKey) {
-			changed[qc.Block] = certified
+			t.noteChanged(certified)
 		} else if markerCoverage {
 			continue // already covered at or below this marker
 		}
@@ -142,7 +226,7 @@ func (t *Tracker) OnQC(qc *types.QC) {
 				key = uint64(v.Marker)
 			}
 			if t.addEndorsement(anc.ID(), v.Voter, key) {
-				changed[anc.ID()] = anc
+				t.noteChanged(anc)
 				return true
 			}
 			// Already endorsed with an equal-or-lower coverage key:
@@ -150,9 +234,30 @@ func (t *Tracker) OnQC(qc *types.QC) {
 			return !markerCoverage
 		})
 	}
+	// Detach the scratch before iterating: OnStrength is a public callback,
+	// and if it feeds another QC back into the tracker the nested OnQC must
+	// not clobber the worklist we are still walking. The nested call simply
+	// allocates fresh scratch; the steady (non-reentrant) path stays
+	// allocation-free because the buffer is reattached afterwards.
+	changed := t.changed
+	t.changed = nil
 	for _, b := range changed {
 		t.reevaluateAround(b)
 	}
+	t.changed = changed[:0]
+}
+
+// noteChanged appends b to the changed worklist unless already present.
+// Store blocks are unique pointers, so identity comparison suffices; the
+// list stays short (bounded by the walk horizon), keeping the linear dedup
+// cheaper than a per-OnQC map.
+func (t *Tracker) noteChanged(b *types.Block) {
+	for _, c := range t.changed {
+		if c == b {
+			return
+		}
+	}
+	t.changed = append(t.changed, b)
 }
 
 // voteKey returns the key to store for v's endorsement of ancestor anc, and
@@ -187,17 +292,12 @@ func (t *Tracker) voteKey(v *types.Vote, anc *types.Block) (uint64, bool) {
 // addEndorsement records that voter endorses block above the given key,
 // keeping the minimum key seen. It reports whether the record improved.
 func (t *Tracker) addEndorsement(block types.BlockID, voter types.ReplicaID, key uint64) bool {
-	m, ok := t.endorsed[block]
+	s, ok := t.endorsed[block]
 	if !ok {
-		m = make(map[types.ReplicaID]uint64, t.cfg.N)
-		t.endorsed[block] = m
+		s = newEndorserSet(t.cfg.N)
+		t.endorsed[block] = s
 	}
-	old, exists := m[voter]
-	if exists && old <= key {
-		return false
-	}
-	m[voter] = key
-	return true
+	return s.add(voter, key)
 }
 
 // Endorsers returns the number of endorsers of the block. In ModeRound this
@@ -212,7 +312,7 @@ func (t *Tracker) Endorsers(id types.BlockID) int {
 		}
 		return t.EndorsersAt(id, uint64(b.Height))
 	default:
-		return len(t.endorsed[id])
+		return t.endorsed[id].size()
 	}
 }
 
@@ -220,13 +320,7 @@ func (t *Tracker) Endorsers(id types.BlockID) int {
 // threshold key k (ModeHeight only; in ModeRound every stored entry already
 // passed its check, so the threshold is ignored except for direct votes).
 func (t *Tracker) EndorsersAt(id types.BlockID, k uint64) int {
-	n := 0
-	for _, key := range t.endorsed[id] {
-		if key < k || key == unconditional {
-			n++
-		}
-	}
-	return n
+	return t.endorsed[id].countBelow(k)
 }
 
 // Strength returns the highest x such that the block is x-strong committed
@@ -245,21 +339,24 @@ func (t *Tracker) reevaluateAround(b *types.Block) {
 	// blocks: in ModeRound the committed block is the FIRST of the 3-chain
 	// (B_k, B_k+1, B_k+2); in ModeHeight it is the MIDDLE (B_k-1, B_k,
 	// B_k+1). Evaluate every candidate whose window could include b.
-	candidates := []*types.Block{b}
+	cands := append(t.candidates[:0], b)
+	t.candidates = nil // detach; see OnQC's reentrancy note
 	if p := t.store.Parent(b.ID()); p != nil {
-		candidates = append(candidates, p)
+		cands = append(cands, p)
 		if gp := t.store.Parent(p.ID()); gp != nil {
-			candidates = append(candidates, gp)
+			cands = append(cands, gp)
 		}
 	}
-	for _, c := range t.store.Children(b.ID()) {
-		candidates = append(candidates, c)
+	t.store.VisitChildren(b.ID(), func(c *types.Block) bool {
+		cands = append(cands, c)
 		// In ModeHeight the middle block can be a grandchild's parent; the
 		// child's own evaluation covers it via its window.
-	}
-	for _, c := range candidates {
+		return true
+	})
+	for _, c := range cands {
 		t.evaluate(c)
 	}
+	t.candidates = cands[:0]
 }
 
 // evaluate applies the strong commit rule with candidate as the committed
@@ -283,20 +380,22 @@ func (t *Tracker) evaluate(candidate *types.Block) {
 // least x+f+1 endorsers.
 func (t *Tracker) evaluateRound(bk *types.Block) int {
 	best := -1
-	for _, b1 := range t.store.Children(bk.ID()) {
+	t.store.VisitChildren(bk.ID(), func(b1 *types.Block) bool {
 		if b1.Round != bk.Round+1 {
-			continue
+			return true
 		}
-		for _, b2 := range t.store.Children(b1.ID()) {
+		t.store.VisitChildren(b1.ID(), func(b2 *types.Block) bool {
 			if b2.Round != bk.Round+2 {
-				continue
+				return true
 			}
 			e := min(t.Endorsers(bk.ID()), t.Endorsers(b1.ID()), t.Endorsers(b2.ID()))
 			if x := e - t.cfg.F - 1; x > best {
 				best = x
 			}
-		}
-	}
+			return true
+		})
+		return true
+	})
 	return best
 }
 
@@ -310,9 +409,9 @@ func (t *Tracker) evaluateHeight(bk *types.Block) int {
 	}
 	k := uint64(bk.Height)
 	best := -1
-	for _, next := range t.store.Children(bk.ID()) {
+	t.store.VisitChildren(bk.ID(), func(next *types.Block) bool {
 		if next.Round != bk.Round+1 {
-			continue
+			return true
 		}
 		e := min(
 			t.EndorsersAt(prev.ID(), k),
@@ -322,7 +421,8 @@ func (t *Tracker) evaluateHeight(bk *types.Block) int {
 		if x := e - t.cfg.F - 1; x > best {
 			best = x
 		}
-	}
+		return true
+	})
 	return best
 }
 

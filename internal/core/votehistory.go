@@ -25,6 +25,15 @@ type VotedBlock struct {
 type VoteHistory struct {
 	store *blockstore.Store
 	voted []VotedBlock
+
+	// anc is a reused scratch index of the marker target's ancestor chain:
+	// anc[d] is the ID of the ancestor at height target.Height-d (anc[0] is
+	// the target itself). Chain heights are consecutive (the store enforces
+	// height = parent height + 1), so one parent walk fills the index and
+	// every subsequent conflict test is a single slice lookup instead of a
+	// fresh ancestry walk — Marker drops from O(|voted| · chain) to
+	// O(chain + |voted|) per vote, the dominant hot path of the simulations.
+	anc []types.BlockID
 }
 
 // NewVoteHistory creates an empty history backed by the replica's store.
@@ -48,6 +57,30 @@ func (h *VoteHistory) Voted() []VotedBlock {
 	return out
 }
 
+// indexAncestors fills h.anc with target's ancestor chain (target first).
+// The walk stops wherever the store's parent links stop (genesis, or a
+// pruned/detached boundary), exactly like a direct IsAncestor walk would.
+func (h *VoteHistory) indexAncestors(target *types.Block) {
+	h.anc = append(h.anc[:0], target.ID())
+	h.store.WalkAncestors(target.ID(), func(b *types.Block) bool {
+		h.anc = append(h.anc, b.ID())
+		return true
+	})
+}
+
+// conflictsIndexed reports whether the stored voted block (id, height)
+// conflicts with the indexed target, matching store.Conflicts exactly: a
+// voted block below the target conflicts unless it sits on the indexed
+// ancestor chain; one above the target (a rare fork-switch leftover) falls
+// back to the full ancestry check.
+func (h *VoteHistory) conflictsIndexed(target *types.Block, id types.BlockID, height types.Height) bool {
+	if height > target.Height {
+		return h.store.Conflicts(id, target.ID())
+	}
+	d := uint64(target.Height - height)
+	return uint64(len(h.anc)) <= d || h.anc[d] != id
+}
+
 // Marker computes the Section 3.2 marker for a vote on target:
 //
 //	marker = max{B'.round | B' conflicts target and replica voted for B'}
@@ -55,7 +88,10 @@ func (h *VoteHistory) Voted() []VotedBlock {
 // with default 0 when the replica never voted on a conflicting fork.
 func (h *VoteHistory) Marker(target *types.Block) types.Round {
 	var m types.Round
-	tid := target.ID()
+	if len(h.voted) == 0 {
+		return m
+	}
+	h.indexAncestors(target)
 	for _, v := range h.voted {
 		if v.Round <= m {
 			continue // cannot raise the max
@@ -63,7 +99,7 @@ func (h *VoteHistory) Marker(target *types.Block) types.Round {
 		if !h.store.Has(v.ID) {
 			continue // pruned deep history; see PruneBelow
 		}
-		if h.store.Conflicts(v.ID, tid) {
+		if h.conflictsIndexed(target, v.ID, v.Height) {
 			m = v.Round
 		}
 	}
@@ -74,7 +110,10 @@ func (h *VoteHistory) Marker(target *types.Block) types.Round {
 // target: the largest *height* of any conflicting voted block.
 func (h *VoteHistory) HeightMarker(target *types.Block) types.Height {
 	var m types.Height
-	tid := target.ID()
+	if len(h.voted) == 0 {
+		return m
+	}
+	h.indexAncestors(target)
 	for _, v := range h.voted {
 		if v.Height <= m {
 			continue
@@ -82,7 +121,7 @@ func (h *VoteHistory) HeightMarker(target *types.Block) types.Height {
 		if !h.store.Has(v.ID) {
 			continue
 		}
-		if h.store.Conflicts(v.ID, tid) {
+		if h.conflictsIndexed(target, v.ID, v.Height) {
 			m = v.Height
 		}
 	}
@@ -105,27 +144,48 @@ func (h *VoteHistory) HeightMarker(target *types.Block) types.Height {
 func (h *VoteHistory) Intervals(target *types.Block, window types.Round) intervals.Set {
 	r := uint64(target.Round)
 	set := intervals.Full(r)
-	tid := target.ID()
-	for _, v := range h.voted {
-		if !h.store.Has(v.ID) {
-			continue
+	if len(h.voted) > 0 {
+		h.indexAncestors(target)
+		for _, v := range h.voted {
+			if !h.store.Has(v.ID) {
+				continue
+			}
+			if !h.conflictsIndexed(target, v.ID, v.Height) {
+				continue
+			}
+			ca := h.commonAncestorIndexed(target, v.ID)
+			if ca == nil {
+				// Unknown relation (pruned ancestry): conservatively refuse to
+				// endorse anything up to the conflicting round.
+				set = set.Subtract(intervals.Interval{Lo: 1, Hi: uint64(v.Round)})
+				continue
+			}
+			set = set.Subtract(intervals.Interval{Lo: uint64(ca.Round) + 1, Hi: uint64(v.Round)})
 		}
-		if !h.store.Conflicts(v.ID, tid) {
-			continue
-		}
-		ca := h.store.CommonAncestor(v.ID, tid)
-		if ca == nil {
-			// Unknown relation (pruned ancestry): conservatively refuse to
-			// endorse anything up to the conflicting round.
-			set = set.Subtract(intervals.Interval{Lo: 1, Hi: uint64(v.Round)})
-			continue
-		}
-		set = set.Subtract(intervals.Interval{Lo: uint64(ca.Round) + 1, Hi: uint64(v.Round)})
 	}
 	if window > 0 && r > uint64(window) {
 		set = set.Intersect(intervals.New(intervals.Interval{Lo: r - uint64(window), Hi: r}))
 	}
 	return set
+}
+
+// commonAncestorIndexed returns the common ancestor of a voted block known
+// to conflict with the indexed target: the first ancestor of the voted block
+// that lies on the target's ancestor chain. An ancestor of the conflicting
+// block can never be a strict descendant of the target (that would make the
+// voted block extend the target), so "does not conflict" means "on the
+// chain". Returns nil when the ancestry was pruned away, matching
+// store.CommonAncestor.
+func (h *VoteHistory) commonAncestorIndexed(target *types.Block, id types.BlockID) *types.Block {
+	var ca *types.Block
+	h.store.WalkAncestors(id, func(b *types.Block) bool {
+		if !h.conflictsIndexed(target, b.ID(), b.Height) {
+			ca = b
+			return false
+		}
+		return true
+	})
+	return ca
 }
 
 // PruneBelow drops history entries below the given round. Engines call it

@@ -117,8 +117,9 @@ func (kr *KeyRing) simSign(id types.ReplicaID, msg []byte) []byte {
 }
 
 type ringSigner struct {
-	ring *KeyRing
-	id   types.ReplicaID
+	ring    *KeyRing
+	id      types.ReplicaID
+	scratch []byte // reused sim-scheme hashing buffer; signers are per-replica
 }
 
 func (s *ringSigner) ID() types.ReplicaID { return s.id }
@@ -126,7 +127,14 @@ func (s *ringSigner) ID() types.ReplicaID { return s.id }
 func (s *ringSigner) Sign(msg []byte) []byte {
 	switch s.ring.scheme {
 	case SchemeSim:
-		return s.ring.simSign(s.id, msg)
+		// Same derivation as KeyRing.simSign, but through the signer's own
+		// scratch buffer: the only allocation left is the returned signature,
+		// which the caller retains.
+		s.scratch = append(s.scratch[:0], s.ring.simSeed[:]...)
+		s.scratch = types.AppendUint32(s.scratch, uint32(s.id))
+		s.scratch = append(s.scratch, msg...)
+		sum := sha256.Sum256(s.scratch)
+		return sum[:]
 	default:
 		return ed25519.Sign(s.ring.privs[s.id], msg)
 	}
@@ -134,12 +142,17 @@ func (s *ringSigner) Sign(msg []byte) []byte {
 
 // VerifyQC checks every signature inside the certificate in addition to its
 // structure: quorum size, distinct voters, votes match the certified block.
+// One scratch buffer is reused for all per-vote signing payloads.
 func VerifyQC(v Verifier, qc *types.QC, quorum int) error {
 	if err := qc.CheckStructure(quorum); err != nil {
 		return err
 	}
-	for _, vote := range qc.Votes {
-		if !v.Verify(vote.Voter, vote.SigningPayload(), vote.Signature) {
+	var scratch [128]byte
+	buf := scratch[:0]
+	for i := range qc.Votes {
+		vote := &qc.Votes[i]
+		buf = vote.AppendSigningPayload(buf[:0])
+		if !v.Verify(vote.Voter, buf, vote.Signature) {
 			return fmt.Errorf("crypto: bad signature on %v", vote)
 		}
 	}
@@ -148,7 +161,9 @@ func VerifyQC(v Verifier, qc *types.QC, quorum int) error {
 
 // VerifyVote checks one vote's signature.
 func VerifyVote(v Verifier, vote types.Vote) error {
-	if !v.Verify(vote.Voter, vote.SigningPayload(), vote.Signature) {
+	var scratch [128]byte
+	payload := vote.AppendSigningPayload(scratch[:0])
+	if !v.Verify(vote.Voter, payload, vote.Signature) {
 		return fmt.Errorf("crypto: bad signature on %v", vote)
 	}
 	return nil

@@ -1,0 +1,91 @@
+package crypto
+
+import (
+	"container/list"
+	"crypto/sha256"
+
+	"repro/internal/types"
+)
+
+// QCCache memoizes successful QC verifications for one replica. The paper's
+// protocols deliver the same certificate to a replica many times (inside
+// proposals, timeouts, and sync responses), and without a cache every
+// delivery re-verifies all 2f+1 signatures — O(n²) signature checks per
+// round across the cluster. Signatures are immutable, so a certificate that
+// verified once verifies forever: the cache needs no invalidation, only an
+// LRU bound on memory.
+//
+// Entries are keyed by the certified block ID plus a SHA-256 digest of the
+// QC's full deterministic encoding (vote payloads and signatures), so two
+// distinct certificates for the same block — different voter sets, markers,
+// or forged signatures — never alias. The quorum parameter is part of the
+// key as well, since structural validity depends on it.
+//
+// A QCCache belongs to one replica engine and, like the engines themselves,
+// is not safe for concurrent use.
+type QCCache struct {
+	capacity int
+	entries  map[qcKey]*list.Element
+	order    *list.List // front = most recently used; values are qcKey
+	scratch  []byte     // reused encoding buffer for digest computation
+
+	hits, misses int64
+}
+
+type qcKey struct {
+	block  types.BlockID
+	digest [32]byte
+	quorum int
+}
+
+// DefaultQCCacheSize bounds the cache when no explicit capacity is given.
+// Certificates stop being re-delivered once their round is left behind, so a
+// few hundred entries cover every in-flight round at paper scale (n=100).
+const DefaultQCCacheSize = 512
+
+// NewQCCache creates a cache holding at most capacity verified certificates.
+// capacity <= 0 selects DefaultQCCacheSize.
+func NewQCCache(capacity int) *QCCache {
+	if capacity <= 0 {
+		capacity = DefaultQCCacheSize
+	}
+	return &QCCache{
+		capacity: capacity,
+		entries:  make(map[qcKey]*list.Element, capacity),
+		order:    list.New(),
+	}
+}
+
+// VerifyQC behaves exactly like the package-level VerifyQC but consults the
+// cache first. Genesis certificates (no votes) are validated structurally
+// and never cached; failed verifications are not cached either, so a replica
+// re-examines a bad certificate if it is delivered again.
+func (c *QCCache) VerifyQC(v Verifier, qc *types.QC, quorum int) error {
+	if len(qc.Votes) == 0 {
+		return qc.CheckStructure(quorum)
+	}
+	c.scratch = qc.Encode(c.scratch[:0])
+	key := qcKey{block: qc.Block, digest: sha256.Sum256(c.scratch), quorum: quorum}
+	if el, ok := c.entries[key]; ok {
+		c.hits++
+		c.order.MoveToFront(el)
+		return nil
+	}
+	if err := VerifyQC(v, qc, quorum); err != nil {
+		return err
+	}
+	c.misses++
+	c.entries[key] = c.order.PushFront(key)
+	if c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(qcKey))
+	}
+	return nil
+}
+
+// Len returns the number of cached certificates.
+func (c *QCCache) Len() int { return c.order.Len() }
+
+// Stats returns cache hit/miss counters for diagnostics and benchmarks.
+func (c *QCCache) Stats() (hits, misses int64) { return c.hits, c.misses }

@@ -1,0 +1,182 @@
+package crypto
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+// buildQC signs a quorum of votes for one block with the given ring.
+func buildQC(t testing.TB, kr *KeyRing, block types.BlockID, round types.Round, quorum int) *types.QC {
+	t.Helper()
+	qc := &types.QC{Block: block, Round: round, Height: types.Height(round)}
+	for i := 0; i < quorum; i++ {
+		v := types.Vote{
+			Block:  block,
+			Round:  round,
+			Height: types.Height(round),
+			Voter:  types.ReplicaID(i),
+		}
+		v.Signature = kr.Signer(v.Voter).Sign(v.SigningPayload())
+		qc.Votes = append(qc.Votes, v)
+	}
+	return qc
+}
+
+func testBlockID(fill byte) types.BlockID {
+	var id types.BlockID
+	for i := range id {
+		id[i] = fill
+	}
+	return id
+}
+
+func TestQCCacheHitsAndMisses(t *testing.T) {
+	kr, err := NewKeyRing(7, 1, SchemeSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qc := buildQC(t, kr, testBlockID(1), 3, 5)
+	c := NewQCCache(8)
+
+	for i := 0; i < 4; i++ {
+		if err := c.VerifyQC(kr, qc, 5); err != nil {
+			t.Fatalf("delivery %d: %v", i, err)
+		}
+	}
+	hits, misses := c.Stats()
+	if misses != 1 || hits != 3 {
+		t.Fatalf("hits=%d misses=%d, want 3/1", hits, misses)
+	}
+}
+
+// TestQCCacheNoAliasing ensures certificates that share a block but differ in
+// any byte — voter set, markers, or signatures — never alias a cache entry.
+func TestQCCacheNoAliasing(t *testing.T) {
+	kr, err := NewKeyRing(7, 1, SchemeSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qc := buildQC(t, kr, testBlockID(1), 3, 5)
+	c := NewQCCache(8)
+	if err := c.VerifyQC(kr, qc, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tamper with a marker but keep the old signatures: the payload no
+	// longer matches what was signed, so verification must fail even though
+	// the valid original for the same block is cached.
+	bad := &types.QC{Block: qc.Block, Round: qc.Round, Height: qc.Height}
+	bad.Votes = append([]types.Vote(nil), qc.Votes...)
+	bad.Votes[2].Marker = 99
+	if err := c.VerifyQC(kr, bad, 5); err == nil {
+		t.Fatal("tampered QC passed through the cache")
+	}
+
+	// A forged signature must fail too.
+	forged := &types.QC{Block: qc.Block, Round: qc.Round, Height: qc.Height}
+	forged.Votes = append([]types.Vote(nil), qc.Votes...)
+	forged.Votes[0].Signature = append([]byte(nil), qc.Votes[0].Signature...)
+	forged.Votes[0].Signature[0] ^= 1
+	if err := c.VerifyQC(kr, forged, 5); err == nil {
+		t.Fatal("forged QC passed through the cache")
+	}
+
+	// And the original still verifies (failed attempts are not cached).
+	if err := c.VerifyQC(kr, qc, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQCCacheQuorumKeying ensures the structural quorum parameter is part of
+// the key: a QC valid at quorum 3 must not satisfy quorum 5 via the cache.
+func TestQCCacheQuorumKeying(t *testing.T) {
+	kr, err := NewKeyRing(7, 1, SchemeSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qc := buildQC(t, kr, testBlockID(2), 4, 3)
+	c := NewQCCache(8)
+	if err := c.VerifyQC(kr, qc, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifyQC(kr, qc, 5); err == nil {
+		t.Fatal("3-vote QC passed quorum-5 check via the cache")
+	}
+}
+
+func TestQCCacheLRUEviction(t *testing.T) {
+	kr, err := NewKeyRing(7, 1, SchemeSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewQCCache(2)
+	qcs := []*types.QC{
+		buildQC(t, kr, testBlockID(1), 1, 5),
+		buildQC(t, kr, testBlockID(2), 2, 5),
+		buildQC(t, kr, testBlockID(3), 3, 5),
+	}
+	for _, qc := range qcs {
+		if err := c.VerifyQC(kr, qc, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want capacity 2", c.Len())
+	}
+	// qcs[0] was evicted: re-verifying it is a miss, not a hit.
+	_, missesBefore := c.Stats()
+	if err := c.VerifyQC(kr, qcs[0], 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := c.Stats(); misses != missesBefore+1 {
+		t.Fatal("evicted certificate was served from the cache")
+	}
+}
+
+func TestQCCacheGenesisBypass(t *testing.T) {
+	kr, err := NewKeyRing(4, 1, SchemeSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewQCCache(8)
+	gen := types.NewGenesisQC(testBlockID(9))
+	if err := c.VerifyQC(kr, gen, 3); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("genesis QC was cached")
+	}
+}
+
+// BenchmarkVerifyQCCached measures the paper-relevant asymmetry: the first
+// delivery of a QC pays 2f+1 signature checks, every re-delivery pays one
+// digest. Run with -benchmem to see the allocation difference too.
+func BenchmarkVerifyQCCached(b *testing.B) {
+	for _, scheme := range []string{SchemeSim, SchemeEd25519} {
+		kr, err := NewKeyRing(31, 1, scheme)
+		if err != nil {
+			b.Fatal(err)
+		}
+		qc := buildQC(b, kr, testBlockID(7), 5, 21)
+		b.Run("scheme="+scheme+"/cold", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := VerifyQC(kr, qc, 21); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("scheme="+scheme+"/cached", func(b *testing.B) {
+			c := NewQCCache(8)
+			if err := c.VerifyQC(kr, qc, 21); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.VerifyQC(kr, qc, 21); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -64,6 +64,10 @@ type Scenario struct {
 	DisableEcho bool
 
 	VerifySignatures bool
+	// DisableQCCache turns off the per-replica verified-QC memo (DiemBFT
+	// engines), forcing every delivery to re-verify. The determinism tests
+	// use it to assert cache-on and cache-off runs are bit-identical.
+	DisableQCCache bool
 
 	// Partial synchrony: before GST every delivery gets PreGSTExtra added
 	// to its delay (GST 0 = synchronous from the start).
@@ -344,6 +348,7 @@ func buildEngine(s *Scenario, id types.ReplicaID, ring *crypto.KeyRing, payload 
 			Signer:           ring.Signer(id),
 			Verifier:         ring,
 			VerifySignatures: s.VerifySignatures,
+			DisableQCCache:   s.DisableQCCache,
 			SFT:              s.SFT,
 			FBFT:             s.FBFT,
 			VoteMode:         s.VoteMode,

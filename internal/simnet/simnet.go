@@ -6,7 +6,6 @@
 package simnet
 
 import (
-	"container/heap"
 	"math/rand"
 	"time"
 
@@ -25,32 +24,92 @@ const (
 type event struct {
 	at   time.Duration
 	seq  uint64 // FIFO tie-break for determinism
-	kind int
+	kind int32
+	tid  int // timer id; full width, engines pack round numbers into it
 
 	to   types.ReplicaID
 	from types.ReplicaID
 	msg  types.Message
-	tid  int // timer id
 }
 
-type eventQueue []*event
+// eventQueue is a pooled, value-based binary min-heap. Events live in a slab
+// ([]event) whose free slots are recycled through a free list, and the heap
+// orders int32 slab indices by (at, seq). Compared to the former
+// container/heap of *event, pushing an event neither allocates a node nor
+// boxes it through an interface, so steady-state simulation — where the
+// queue size plateaus — runs allocation-free per event. (at, seq) is a total
+// order (seq is unique), so any correct heap pops events in the identical
+// deterministic sequence.
+type eventQueue struct {
+	slab []event
+	free []int32
+	heap []int32
+}
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func (q *eventQueue) len() int { return len(q.heap) }
+
+// peek returns the index of the minimum event. The caller must not hold the
+// reference across a push or pop.
+func (q *eventQueue) peek() *event { return &q.slab[q.heap[0]] }
+
+func (q *eventQueue) less(i, j int32) bool {
+	a, b := &q.slab[i], &q.slab[j]
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+
+func (q *eventQueue) push(ev event) {
+	var idx int32
+	if n := len(q.free); n > 0 {
+		idx = q.free[n-1]
+		q.free = q.free[:n-1]
+	} else {
+		idx = int32(len(q.slab))
+		q.slab = append(q.slab, event{})
+	}
+	q.slab[idx] = ev
+	q.heap = append(q.heap, idx)
+	// Sift up.
+	i := len(q.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(q.heap[i], q.heap[parent]) {
+			break
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+// pop removes the minimum event and returns it by value, recycling its slot.
+func (q *eventQueue) pop() event {
+	idx := q.heap[0]
+	n := len(q.heap) - 1
+	q.heap[0] = q.heap[n]
+	q.heap = q.heap[:n]
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(q.heap[l], q.heap[smallest]) {
+			smallest = l
+		}
+		if r < n && q.less(q.heap[r], q.heap[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q.heap[i], q.heap[smallest] = q.heap[smallest], q.heap[i]
+		i = smallest
+	}
+	ev := q.slab[idx]
+	q.slab[idx].msg = nil // drop the message reference so the GC can reclaim it
+	q.free = append(q.free, idx)
+	return ev
 }
 
 // MsgStats aggregates message accounting for one run.
@@ -115,15 +174,24 @@ func (s *Sim) SetEngine(id types.ReplicaID, e engine.Engine) {
 // Now returns the current virtual time.
 func (s *Sim) Now() time.Duration { return s.now }
 
-// Stats returns message accounting so far.
-func (s *Sim) Stats() MsgStats { return s.stats }
+// Stats returns a copy of the message accounting so far. The ByType map is
+// cloned so callers cannot mutate (or observe later mutations of) the
+// simulator's internal counters.
+func (s *Sim) Stats() MsgStats {
+	out := s.stats
+	out.ByType = make(map[types.MsgType]int64, len(s.stats.ByType))
+	for k, v := range s.stats.ByType {
+		out.ByType[k] = v
+	}
+	return out
+}
 
 // Events returns the number of events processed so far.
 func (s *Sim) Events() int64 { return s.events }
 
 // CrashAt schedules replica id to crash (stop processing events) at time at.
 func (s *Sim) CrashAt(id types.ReplicaID, at time.Duration) {
-	s.push(&event{at: at, kind: evCrash, to: id})
+	s.push(event{at: at, kind: evCrash, to: id})
 }
 
 // Run initializes every engine at time 0 (if not already started) and
@@ -133,17 +201,16 @@ func (s *Sim) Run(until time.Duration) {
 	if s.now == 0 && s.events == 0 {
 		for i, e := range s.engines {
 			if e != nil {
-				s.push(&event{at: 0, kind: evStart, to: types.ReplicaID(i)})
+				s.push(event{at: 0, kind: evStart, to: types.ReplicaID(i)})
 			}
 		}
 	}
-	for len(s.queue) > 0 {
-		ev := s.queue[0]
-		if ev.at > until {
+	for s.queue.len() > 0 {
+		if s.queue.peek().at > until {
 			s.now = until
 			return
 		}
-		heap.Pop(&s.queue)
+		ev := s.queue.pop()
 		s.now = ev.at
 		s.events++
 		s.dispatch(ev)
@@ -151,7 +218,7 @@ func (s *Sim) Run(until time.Duration) {
 	s.now = until
 }
 
-func (s *Sim) dispatch(ev *event) {
+func (s *Sim) dispatch(ev event) {
 	id := ev.to
 	if ev.kind == evCrash {
 		s.crashed[id] = true
@@ -188,10 +255,10 @@ func (s *Sim) apply(id types.ReplicaID, outs []engine.Output) {
 			}
 			if o.SelfDeliver {
 				// Local delivery is immediate: same-replica handoff.
-				s.push(&event{at: s.now, kind: evMessage, to: id, from: id, msg: o.Msg})
+				s.push(event{at: s.now, kind: evMessage, to: id, from: id, msg: o.Msg})
 			}
 		case engine.SetTimer:
-			s.push(&event{at: s.now + o.Delay, kind: evTimer, to: id, tid: o.ID})
+			s.push(event{at: s.now + o.Delay, kind: evTimer, to: id, tid: o.ID})
 		case engine.Commit:
 			if s.cfg.OnCommit != nil {
 				s.cfg.OnCommit(id, s.now, o.Block)
@@ -215,11 +282,11 @@ func (s *Sim) deliver(from, to types.ReplicaID, msg types.Message) {
 	if s.cfg.ExtraDelay != nil {
 		d += s.cfg.ExtraDelay(from, to, s.now)
 	}
-	s.push(&event{at: s.now + d, kind: evMessage, to: to, from: from, msg: msg})
+	s.push(event{at: s.now + d, kind: evMessage, to: to, from: from, msg: msg})
 }
 
-func (s *Sim) push(ev *event) {
+func (s *Sim) push(ev event) {
 	ev.seq = s.seq
 	s.seq++
-	heap.Push(&s.queue, ev)
+	s.queue.push(ev)
 }

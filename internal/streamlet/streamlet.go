@@ -77,6 +77,8 @@ type Replica struct {
 	lastCommitted types.BlockID
 	committedH    types.Height
 
+	sigScratch []byte // reused vote signing-payload buffer
+
 	outs []engine.Output
 }
 
@@ -219,11 +221,12 @@ func (r *Replica) certifiedAt(h types.Height) []*types.Block {
 			}
 			return
 		}
-		for _, c := range r.store.Children(b.ID()) {
+		r.store.VisitChildren(b.ID(), func(c *types.Block) bool {
 			if r.store.IsCertified(c.ID()) {
 				walk(c)
 			}
-		}
+			return true
+		})
 	}
 	walk(r.store.Genesis())
 	return out
@@ -315,7 +318,8 @@ func (r *Replica) maybeVote(b *types.Block) {
 		// SFT-Streamlet: the marker field carries the height marker.
 		Marker: types.Round(r.history.HeightMarker(b)),
 	}
-	v.Signature = r.cfg.Signer.Sign(v.SigningPayload())
+	r.sigScratch = v.AppendSigningPayload(r.sigScratch[:0])
+	v.Signature = r.cfg.Signer.Sign(r.sigScratch)
 	r.votedRound[r.round] = true
 	r.history.RecordVote(b)
 	r.outs = append(r.outs, engine.Broadcast{Msg: &types.VoteMsg{Vote: v}, SelfDeliver: true})
@@ -378,7 +382,10 @@ func (r *Replica) checkCommit(b *types.Block) {
 	if p := r.store.Parent(b.ID()); p != nil {
 		candidates = append(candidates, p)
 	}
-	candidates = append(candidates, r.store.Children(b.ID())...)
+	r.store.VisitChildren(b.ID(), func(c *types.Block) bool {
+		candidates = append(candidates, c)
+		return true
+	})
 	for _, mid := range candidates {
 		p := r.store.Parent(mid.ID())
 		if p == nil || !r.store.IsCertified(p.ID()) || p.Round+1 != mid.Round {
@@ -387,12 +394,13 @@ func (r *Replica) checkCommit(b *types.Block) {
 		if !r.store.IsCertified(mid.ID()) {
 			continue
 		}
-		for _, c := range r.store.Children(mid.ID()) {
+		r.store.VisitChildren(mid.ID(), func(c *types.Block) bool {
 			if r.store.IsCertified(c.ID()) && c.Round == mid.Round+1 {
 				r.commitTo(mid)
-				break
+				return false
 			}
-		}
+			return true
+		})
 	}
 }
 

@@ -1,0 +1,105 @@
+package types
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/intervals"
+)
+
+func sampleVote(withIntervals bool) Vote {
+	v := Vote{
+		Block:     BlockID{1, 2, 3},
+		Round:     9,
+		Height:    8,
+		Voter:     3,
+		Marker:    4,
+		Signature: []byte("sig"),
+	}
+	if withIntervals {
+		v.HasIntervals = true
+		v.Intervals = intervals.New(intervals.Interval{Lo: 1, Hi: 5}, intervals.Interval{Lo: 8, Hi: 9})
+	}
+	return v
+}
+
+// TestSigningPayloadAllocs is the PR-1 allocation guard for vote signing:
+// appending the payload into a buffer with sufficient capacity must not
+// allocate. Engines hold such a buffer per replica.
+func TestSigningPayloadAllocs(t *testing.T) {
+	v := sampleVote(false)
+	buf := make([]byte, 0, 256)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = v.AppendSigningPayload(buf[:0])
+	})
+	if allocs != 0 {
+		t.Errorf("AppendSigningPayload allocates %.1f times, want 0", allocs)
+	}
+}
+
+// TestQCEncodeAllocs guards the certificate encoding used for block hashing:
+// no per-vote allocations once the destination buffer has capacity.
+func TestQCEncodeAllocs(t *testing.T) {
+	v := sampleVote(false)
+	qc := &QC{Block: v.Block, Round: v.Round, Height: v.Height}
+	for i := 0; i < 21; i++ {
+		w := v
+		w.Voter = ReplicaID(i)
+		qc.Votes = append(qc.Votes, w)
+	}
+	buf := make([]byte, 0, 4096)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = qc.Encode(buf[:0])
+	})
+	if allocs != 0 {
+		t.Errorf("QC.Encode allocates %.1f times, want 0", allocs)
+	}
+}
+
+// TestSigningPayloadEquivalence pins that the append-style payload is
+// byte-identical to the allocating form, for marker and interval votes.
+func TestSigningPayloadEquivalence(t *testing.T) {
+	for _, withIv := range []bool{false, true} {
+		v := sampleVote(withIv)
+		direct := v.SigningPayload()
+		appended := v.AppendSigningPayload([]byte("prefix/"))
+		if !bytes.HasPrefix(appended, []byte("prefix/")) {
+			t.Fatal("append variant did not extend the given buffer")
+		}
+		if !bytes.Equal(direct, appended[len("prefix/"):]) {
+			t.Errorf("intervals=%v: payloads differ", withIv)
+		}
+	}
+}
+
+// TestQCEncodeFormat pins the exact wire format of QC.Encode against a
+// reference composition of the primitive encoders. Block IDs hash over this
+// encoding, so any drift would silently fork every replica.
+func TestQCEncodeFormat(t *testing.T) {
+	qc := &QC{Block: BlockID{7}, Round: 3, Height: 2}
+	for i := 0; i < 3; i++ {
+		v := sampleVote(i == 1) // mix marker and interval votes
+		v.Voter = ReplicaID(i)
+		qc.Votes = append(qc.Votes, v)
+	}
+	want := qc.Block[:]
+	want = AppendUint64(want, uint64(qc.Round))
+	want = AppendUint64(want, uint64(qc.Height))
+	want = AppendUint32(want, uint32(len(qc.Votes)))
+	for _, v := range qc.Votes {
+		want = AppendBytes(want, v.SigningPayload())
+		want = AppendBytes(want, v.Signature)
+	}
+	if got := qc.Encode(nil); !bytes.Equal(got, want) {
+		t.Errorf("QC.Encode drifted from the reference format:\n got %x\nwant %x", got, want)
+	}
+}
+
+func BenchmarkSigningPayload(b *testing.B) {
+	v := sampleVote(false)
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = v.AppendSigningPayload(buf[:0])
+	}
+}

@@ -1,6 +1,7 @@
 package types
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"repro/internal/intervals"
@@ -35,7 +36,14 @@ type Vote struct {
 // SigningPayload returns the deterministic byte string a replica signs to
 // produce the vote signature. It covers everything except the signature.
 func (v Vote) SigningPayload() []byte {
-	b := make([]byte, 0, 64)
+	return v.AppendSigningPayload(make([]byte, 0, 96))
+}
+
+// AppendSigningPayload appends the signing payload to b and returns the
+// extended slice. Hot paths (signing and per-vote QC verification) call it
+// with a reused scratch buffer so that payload construction is
+// allocation-free in steady state.
+func (v *Vote) AppendSigningPayload(b []byte) []byte {
 	b = append(b, "vote/"...)
 	b = append(b, v.Block[:]...)
 	b = AppendUint64(b, uint64(v.Round))
@@ -122,10 +130,26 @@ func (q *QC) CheckStructure(quorum int) error {
 	if len(q.Votes) < quorum {
 		return fmt.Errorf("qc for %s r%d: %d votes < quorum %d", q.Block, q.Round, len(q.Votes), quorum)
 	}
-	seen := make(map[ReplicaID]bool, len(q.Votes))
-	for _, v := range q.Votes {
+	// Duplicate-voter detection runs on every QC a replica receives, so the
+	// common case (replica IDs below 1024, i.e. any realistic cluster) uses a
+	// stack bitset instead of allocating a map per call.
+	var bits [16]uint64
+	var seen map[ReplicaID]bool
+	for i := range q.Votes {
+		v := &q.Votes[i]
 		if v.Block != q.Block || v.Round != q.Round {
 			return fmt.Errorf("qc for %s r%d: vote %s mismatched", q.Block, q.Round, v)
+		}
+		if v.Voter < ReplicaID(len(bits)*64) {
+			w, m := v.Voter>>6, uint64(1)<<(v.Voter&63)
+			if bits[w]&m != 0 {
+				return fmt.Errorf("qc for %s r%d: duplicate voter %s", q.Block, q.Round, v.Voter)
+			}
+			bits[w] |= m
+			continue
+		}
+		if seen == nil {
+			seen = make(map[ReplicaID]bool, len(q.Votes))
 		}
 		if seen[v.Voter] {
 			return fmt.Errorf("qc for %s r%d: duplicate voter %s", q.Block, q.Round, v.Voter)
@@ -154,14 +178,19 @@ func (q *QC) Size() int {
 }
 
 // Encode appends a deterministic encoding of the QC, used when hashing the
-// block that carries it.
+// block that carries it. Per-vote payloads are appended in place (length
+// prefix backfilled) so encoding a QC performs no per-vote allocations.
 func (q *QC) Encode(b []byte) []byte {
 	b = append(b, q.Block[:]...)
 	b = AppendUint64(b, uint64(q.Round))
 	b = AppendUint64(b, uint64(q.Height))
 	b = AppendUint32(b, uint32(len(q.Votes)))
-	for _, v := range q.Votes {
-		b = AppendBytes(b, v.SigningPayload())
+	for i := range q.Votes {
+		v := &q.Votes[i]
+		mark := len(b)
+		b = append(b, 0, 0, 0, 0) // length prefix, backfilled below
+		b = v.AppendSigningPayload(b)
+		binary.BigEndian.PutUint32(b[mark:], uint32(len(b)-mark-4))
 		b = AppendBytes(b, v.Signature)
 	}
 	return b
