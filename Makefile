@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test bench bench-smoke bench-micro
+.PHONY: all build vet test test-race bench bench-smoke bench-micro
 
 all: test
 
@@ -13,17 +13,23 @@ vet:
 test: build vet
 	$(GO) test ./...
 
+# Race-detector run; CI runs this as its own job.
+test-race:
+	$(GO) test -race ./...
+
 # Full figure benchmarks at reduced scale (n=31, one virtual minute each).
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x .
 
 # Quick smoke of the headline benchmarks; CI runs this.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkThroughput|BenchmarkAblationBookkeeping' -benchtime=1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkThroughput|BenchmarkAblationBookkeeping|BenchmarkCrashRecovery' -benchtime=1x .
 
-# PR-1 micro-benchmarks: QC cache, event core, tracker, signing payloads.
+# Micro-benchmarks: PR-1 (QC cache, event core, tracker, signing payloads)
+# and PR-2 (WAL append/replay, vote-path journal appends).
 bench-micro:
 	$(GO) test -run '^$$' -bench BenchmarkVerifyQCCached -benchmem ./internal/crypto/
 	$(GO) test -run '^$$' -bench BenchmarkSimnetEventLoop -benchmem ./internal/simnet/
-	$(GO) test -run '^$$' -bench 'BenchmarkTrackerOnQC|BenchmarkMarker' -benchmem ./internal/core/
+	$(GO) test -run '^$$' -bench 'BenchmarkTrackerOnQC|BenchmarkMarker|BenchmarkJournalAppendVote' -benchmem ./internal/core/
 	$(GO) test -run '^$$' -bench BenchmarkSigningPayload -benchmem ./internal/types/
+	$(GO) test -run '^$$' -bench 'BenchmarkAppendFlush|BenchmarkReplay' -benchmem ./internal/wal/

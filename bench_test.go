@@ -168,6 +168,28 @@ func BenchmarkStreamlet(b *testing.B) {
 	}
 }
 
+// BenchmarkCrashRecovery — PR-2 durability workload: kill a replica at T/3,
+// restore it from its WAL at T/2, state-sync rejoin; reports the recovered
+// replica's final height against the observer's plus the shared committed
+// prefix. The run fails outright if the recovered replica commits anything
+// inconsistent.
+func BenchmarkCrashRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.CrashRecovery(
+			harness.Scale{N: 13, F: 4, Duration: benchDuration, Seed: int64(i + 1)},
+			50*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Consistent {
+			b.Fatal("crash recovery produced inconsistent commits")
+		}
+		b.ReportMetric(float64(res.VictimHeight), "victim_height")
+		b.ReportMetric(float64(res.ObserverHeight), "observer_height")
+		b.ReportMetric(float64(res.SharedPrefix), "shared_prefix")
+	}
+}
+
 // BenchmarkAblationVoteMode — DESIGN.md ablation: marker vs interval votes
 // in a fault-free run (bookkeeping/size cost of the richer votes).
 func BenchmarkAblationVoteMode(b *testing.B) {

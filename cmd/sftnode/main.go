@@ -21,18 +21,21 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/crypto"
 	"repro/internal/diembft"
 	"repro/internal/mempool"
 	"repro/internal/runtime"
 	"repro/internal/tcpnet"
 	"repro/internal/types"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -49,6 +52,7 @@ func main() {
 		run      = flag.Duration("run", 0, "exit after this duration (0 = run until signal)")
 		quiet    = flag.Bool("quiet", false, "only print periodic summaries")
 		clients  = flag.String("client-listen", "", "optional address accepting client transaction streams (see cmd/sftclient)")
+		dataDir  = flag.String("data-dir", "", "directory for the write-ahead log; restarting with the same -data-dir recovers the pre-crash state and re-joins via state sync")
 	)
 	flag.Parse()
 	log.SetFlags(log.Lmicroseconds)
@@ -119,6 +123,33 @@ func main() {
 		}()
 	}
 
+	// Durability: with -data-dir the replica write-ahead-logs every vote,
+	// block and certificate its safety depends on (fsynced before the vote
+	// leaves the process) and recovers that state on restart.
+	var journal *core.Journal
+	var recovery *core.Recovery
+	if *dataDir != "" {
+		walPath := filepath.Join(*dataDir, fmt.Sprintf("replica-%d", *id))
+		l, err := wal.Open(walPath, wal.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		journal = core.NewJournal(l)
+		recovery, err = core.Recover(l)
+		if err != nil {
+			log.Fatalf("wal replay failed — durable state is unusable: %v", err)
+		}
+		if !recovery.Empty() {
+			highRound := types.Round(0)
+			if recovery.HighQC != nil {
+				highRound = recovery.HighQC.Round
+			}
+			log.Printf("recovered from %s: %d blocks, %d own votes, voted r%d, committed height %d, high QC r%d",
+				walPath, len(recovery.Blocks), len(recovery.Votes),
+				recovery.VotedRound(), recovery.CommittedHeight, highRound)
+		}
+	}
+
 	rep, err := diembft.New(diembft.Config{
 		ID:               types.ReplicaID(*id),
 		N:                *n,
@@ -132,9 +163,15 @@ func main() {
 		Payload:          payload,
 		MaxCommitLog:     16,
 		PruneKeep:        512,
+		Journal:          journal,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if recovery != nil {
+		if err := rep.Restore(recovery); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	nt, err := tcpnet.Listen(tcpnet.Config{
@@ -149,7 +186,7 @@ func main() {
 	log.Printf("listening on %s, cluster n=%d f=%d", nt.Addr(), *n, f)
 
 	var commits, strong, height atomic.Int64
-	node, err := runtime.NewNode(rep, nt, runtime.Options{
+	nodeOpts := runtime.Options{
 		N: *n,
 		OnCommit: func(b *types.Block) {
 			commits.Add(1)
@@ -164,7 +201,13 @@ func main() {
 				log.Printf("strength %v -> %d-strong (%.1ff)", b.ID(), x, float64(x)/float64(f))
 			}
 		},
-	})
+	}
+	if journal != nil {
+		// Run flushes and closes the WAL on the way out, so a graceful stop
+		// never leaves buffered appends behind.
+		nodeOpts.Journal = journal
+	}
+	node, err := runtime.NewNode(rep, nt, nodeOpts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -41,4 +41,20 @@
 // internal/harness/determinism_test.go and the allocation guards in
 // internal/types, internal/simnet, and internal/core. BENCH_PR1.json
 // records the before/after numbers.
+//
+// # Durability
+//
+// PR 2 added the durability layer: internal/wal (an append-only, segmented,
+// CRC-framed log with batched fsync), the core.Journal record schema over
+// it (accepted blocks, own votes, standalone certificates, locks, commits —
+// in the pinned types encodings), engine Restore hooks that rebuild a
+// crashed replica so its next vote cannot contradict its pre-crash markers,
+// and internal/statesync, the catch-up protocol a recovered or lagging
+// replica uses to re-join. The contract: every record an event stages is
+// flushed under one fsync before the event's outputs — votes above all —
+// reach the network. internal/simnet can kill and restart replicas
+// (Sim.RestartAt), harness scenarios schedule it (harness.CrashPlan), and
+// cmd/sftnode persists across process restarts via -data-dir. README.md
+// documents the full contract; BENCH_PR2.json records the costs (vote-path
+// WAL append: 0 allocs/op; bench-smoke with the WAL disabled: unchanged).
 package repro

@@ -1,8 +1,11 @@
 // Operations demo (§5): running a cluster with the operational tooling the
 // paper sketches — a health monitor that detects stragglers from strong-QC
-// diversity, and the conflicting-transaction gate that holds a sender's
+// diversity, the conflicting-transaction gate that holds a sender's
 // follow-up transactions until its high-valued transaction is strong
-// committed at the required level.
+// committed at the required level, and the durability layer's
+// kill → restart → state-sync-rejoin cycle: one replica is killed mid-run,
+// shows up in the monitor's straggler report while down, and after being
+// restored from its write-ahead log catches back up and disappears from it.
 //
 //	go run ./examples/operations
 package main
@@ -10,14 +13,18 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/crypto"
 	"repro/internal/diembft"
+	"repro/internal/engine"
 	"repro/internal/health"
 	"repro/internal/mempool"
 	"repro/internal/simnet"
 	"repro/internal/types"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -25,6 +32,9 @@ func main() {
 		n         = 7
 		f         = 2
 		straggler = types.ReplicaID(4)
+		victim    = types.ReplicaID(5)
+		crashAt   = 6 * time.Second
+		restartAt = 12 * time.Second
 	)
 	ring, err := crypto.NewKeyRing(n, 13, crypto.SchemeEd25519)
 	if err != nil {
@@ -76,12 +86,12 @@ func main() {
 
 	// Replica 0's proposals drain the gated pool; other replicas use
 	// synthetic filler.
-	for i := 0; i < n; i++ {
-		id := types.ReplicaID(i)
+	buildReplica := func(id types.ReplicaID, journal *core.Journal) *diembft.Replica {
 		cfg := diembft.Config{
 			ID: id, N: n, F: f,
 			Signer: ring.Signer(id), Verifier: ring, VerifySignatures: true,
 			SFT: true, RoundTimeout: 600 * time.Millisecond,
+			Journal: journal,
 		}
 		if id == 0 {
 			cfg.Payload = func(r types.Round) types.Payload {
@@ -92,10 +102,59 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		sim.SetEngine(id, rep)
+		return rep
 	}
-	sim.Run(20 * time.Second)
 
+	// The victim runs journal-backed so the kill at 6s is survivable: at 12s
+	// it is rebuilt from its WAL and re-joins via state sync.
+	walDir, err := os.MkdirTemp("", "sft-operations-wal-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(walDir)
+	openJournal := func() *core.Journal {
+		l, err := wal.Open(walDir, wal.Options{NoSync: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return core.NewJournal(l)
+	}
+
+	for i := 0; i < n; i++ {
+		id := types.ReplicaID(i)
+		var journal *core.Journal
+		if id == victim {
+			journal = openJournal()
+		}
+		sim.SetEngine(id, buildReplica(id, journal))
+	}
+	sim.CrashAt(victim, crashAt)
+	sim.RestartAt(victim, restartAt, func() engine.Engine {
+		journal := openJournal()
+		rec, err := core.Recover(journal.Log())
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := buildReplica(victim, journal)
+		if err := rep.Restore(rec); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("t=%v  replica %d restored from WAL: %d blocks, %d own votes, committed height %d\n",
+			restartAt, victim, len(rec.Blocks), len(rec.Votes), rec.CommittedHeight)
+		return rep
+	})
+
+	stragglerReport := func(when time.Duration) {
+		st := monitor.Snapshot().Stragglers
+		fmt.Printf("t=%v  stragglers per strong-QC diversity: %v\n", when, st)
+	}
+	// Sample the monitor while the victim is down, then run to completion.
+	sim.Run(11 * time.Second)
+	stragglerReport(11 * time.Second)
+	sim.Run(20 * time.Second)
+	stragglerReport(20 * time.Second)
+
+	fmt.Println()
 	rep := monitor.Snapshot()
 	fmt.Printf("health after %d QCs (window %d rounds):\n", rep.QCsObserved, 2*n)
 	fmt.Printf("  strong-QC diversity: %d/%d replicas -> max reachable level %d (2f = %d)\n",
@@ -105,6 +164,9 @@ func main() {
 		marker := ""
 		if types.ReplicaID(id) == straggler {
 			marker = "   <- straggler (enters QCs only when leading)"
+		}
+		if types.ReplicaID(id) == victim {
+			marker = "   <- killed at 6s, WAL-restored + state-synced at 12s"
 		}
 		fmt.Printf("  replica %d appeared in %3d recent QCs%s\n", id, c, marker)
 	}

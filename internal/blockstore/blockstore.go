@@ -7,6 +7,7 @@ package blockstore
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/types"
 )
@@ -99,22 +100,28 @@ func (s *Store) Insert(b *types.Block) error {
 }
 
 // RegisterQC records a certificate for a stored block and updates the
-// highest QC. It returns the certified block.
-func (s *Store) RegisterQC(qc *types.QC) (*types.Block, error) {
+// highest QC. It returns the certified block and whether the certificate
+// improved stored state (first or larger cert for the block, or a new high
+// QC) — the durability journal uses the flag to log each certificate once
+// instead of on every re-delivery.
+func (s *Store) RegisterQC(qc *types.QC) (*types.Block, bool, error) {
 	n, ok := s.nodes[qc.Block]
 	if !ok {
-		return nil, fmt.Errorf("%w: qc for %s", ErrUnknownBlock, qc.Block)
+		return nil, false, fmt.Errorf("%w: qc for %s", ErrUnknownBlock, qc.Block)
 	}
+	improved := false
 	if n.qc == nil || len(qc.Votes) > len(n.qc.Votes) {
 		// Keep the largest certificate seen for the block: Figure 8's
 		// extra-wait experiment produces QCs with more than 2f+1 votes and
 		// bigger certificates carry more endorsement information.
 		n.qc = qc
+		improved = true
 	}
 	if qc.RanksHigher(s.highQC) {
 		s.highQC = qc
+		improved = true
 	}
-	return n.block, nil
+	return n.block, improved, nil
 }
 
 // QCFor returns the certificate stored for the block, or nil.
@@ -270,6 +277,59 @@ func (s *Store) WalkAncestors(id types.BlockID, fn func(*types.Block) bool) {
 			return
 		}
 	}
+}
+
+// Snapshot returns every stored block except genesis in parent-before-child
+// order (ascending height), suitable for bulk Restore or for serving a full
+// state transfer. Certificates are not included; callers that need them pair
+// the snapshot with QCFor.
+func (s *Store) Snapshot() []*types.Block {
+	out := make([]*types.Block, 0, len(s.nodes)-1)
+	for _, n := range s.nodes {
+		if !n.block.IsGenesis() {
+			out = append(out, n.block)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Height != b.Height {
+			return a.Height < b.Height
+		}
+		return a.Round < b.Round
+	})
+	return out
+}
+
+// Restore bulk-inserts a snapshot (or a WAL replay) into the store,
+// registering each block's embedded justify certificate, and returns how
+// many blocks were installed. Blocks whose parent is absent are skipped —
+// the same boundary semantics as pruning, where ancestry walks stop at a
+// detached edge — so restoring a log whose head was compacted degrades
+// gracefully rather than failing. Duplicates are skipped silently.
+//
+// onInstall, if non-nil, observes each newly installed block together with
+// whether its justify improved the stored certificate state; the engines'
+// recovery hooks use it to rebuild their own bookkeeping (proposed rounds,
+// endorsement trackers) alongside the tree.
+func (s *Store) Restore(blocks []*types.Block, onInstall func(b *types.Block, qcImproved bool)) int {
+	installed := 0
+	for _, b := range blocks {
+		if b == nil || s.Has(b.ID()) {
+			continue
+		}
+		if err := s.Insert(b); err != nil {
+			continue
+		}
+		installed++
+		improved := false
+		if b.Justify != nil {
+			_, improved, _ = s.RegisterQC(b.Justify)
+		}
+		if onInstall != nil {
+			onInstall(b, improved)
+		}
+	}
+	return installed
 }
 
 // PruneBelow discards every block below height h and re-anchors the tree at

@@ -38,7 +38,7 @@ func (cb *chainBuilder) qc(b *types.Block, voters ...types.ReplicaID) *types.QC 
 		votes[i] = types.Vote{Block: b.ID(), Round: b.Round, Height: b.Height, Voter: v}
 	}
 	qc := &types.QC{Block: b.ID(), Round: b.Round, Height: b.Height, Votes: votes}
-	if _, err := cb.s.RegisterQC(qc); err != nil {
+	if _, _, err := cb.s.RegisterQC(qc); err != nil {
 		cb.t.Fatalf("register qc: %v", err)
 	}
 	return qc
@@ -174,7 +174,7 @@ func TestQCRegistration(t *testing.T) {
 		t.Errorf("smaller QC replaced bigger: %d votes", got)
 	}
 	// Unknown block.
-	if _, err := cb.s.RegisterQC(&types.QC{Block: types.BlockID{9}, Round: 9}); err == nil {
+	if _, _, err := cb.s.RegisterQC(&types.QC{Block: types.BlockID{9}, Round: 9}); err == nil {
 		t.Error("QC for unknown block accepted")
 	}
 }
@@ -222,5 +222,132 @@ func TestPruneBelow(t *testing.T) {
 	// Chain operations above the cut still work.
 	if chain := cb.s.ChainBetween(blocks[3].ID(), cur.ID()); len(chain) != 2 {
 		t.Errorf("chain above cut has %d blocks", len(chain))
+	}
+}
+
+// TestPruningBoundaryQueries pins the ancestry/conflict semantics at and
+// below PrunedHeight — the boundary recovery replay leans on: a detached
+// edge behaves exactly like an unknown relation, never like agreement.
+func TestPruningBoundaryQueries(t *testing.T) {
+	cb := newBuilder(t)
+	g := cb.s.Genesis()
+	// Spine to height 8 with a live fork branching at height 4.
+	cur := g
+	var spine []*types.Block
+	for r := types.Round(1); r <= 8; r++ {
+		cur = cb.mk(cur, r)
+		spine = append(spine, cur)
+	}
+	forkA := cb.mk(spine[3], 9)  // height 5, conflicts with spine[4..]
+	forkB := cb.mk(forkA, 10)    // height 6
+	tip := cur
+
+	cut := types.Height(4)
+	cb.s.PruneBelow(cut, tip.ID())
+
+	// AT the boundary: the anchor block (height == prunedHeight) survives
+	// and all queries against it behave normally.
+	anchor := spine[3]
+	if !cb.s.Has(anchor.ID()) {
+		t.Fatal("anchor at the pruned height must survive")
+	}
+	if !cb.s.IsAncestor(anchor.ID(), tip.ID()) {
+		t.Error("anchor not an ancestor of the tip")
+	}
+	if cb.s.Conflicts(anchor.ID(), tip.ID()) {
+		t.Error("anchor conflicts with its own descendant")
+	}
+	if got := cb.s.AncestorAtHeight(tip.ID(), cut); got == nil || got.ID() != anchor.ID() {
+		t.Errorf("AncestorAtHeight(cut) = %v, want the anchor", got)
+	}
+
+	// BELOW the boundary: pruned blocks are unknown — ancestry is false,
+	// lookups are nil, and Conflicts is conservatively TRUE (an unknown
+	// relation must never pass for agreement: markers computed over it can
+	// only over-report, which is the safe direction).
+	pruned := spine[1] // height 2, gone
+	if cb.s.Has(pruned.ID()) {
+		t.Fatal("below-cut block survived")
+	}
+	if cb.s.IsAncestor(pruned.ID(), tip.ID()) {
+		t.Error("pruned block still reported as ancestor")
+	}
+	if !cb.s.Conflicts(pruned.ID(), tip.ID()) {
+		t.Error("unknown relation must conservatively count as conflicting")
+	}
+	if cb.s.AncestorAtHeight(tip.ID(), 2) != nil {
+		t.Error("AncestorAtHeight below the cut must be nil")
+	}
+	if cb.s.CommonAncestor(pruned.ID(), tip.ID()) != nil {
+		t.Error("CommonAncestor with a pruned block must be nil")
+	}
+
+	// ACROSS the boundary: the surviving fork still conflicts with the
+	// spine above the cut, and their common ancestor is the anchor.
+	if !cb.s.Conflicts(forkB.ID(), tip.ID()) {
+		t.Error("surviving fork no longer conflicts with the spine")
+	}
+	if ca := cb.s.CommonAncestor(forkB.ID(), tip.ID()); ca == nil || ca.ID() != anchor.ID() {
+		t.Errorf("common ancestor across the fork = %v, want the anchor", ca)
+	}
+	// A walk from the fork stops at the detached edge rather than claiming
+	// genesis ancestry.
+	if cb.s.IsAncestor(g.ID(), forkB.ID()) {
+		t.Error("walk across the pruned edge reached genesis")
+	}
+	// ChainBetween from a pruned block is unknown ancestry -> nil.
+	if cb.s.ChainBetween(pruned.ID(), tip.ID()) != nil {
+		t.Error("ChainBetween from a pruned block must be nil")
+	}
+}
+
+// TestSnapshotRestore covers the durability hooks: a snapshot re-installed
+// into a fresh store reproduces the tree, certificates included via the
+// embedded justifies, and restore degrades gracefully on detached blocks.
+func TestSnapshotRestore(t *testing.T) {
+	cb := newBuilder(t)
+	g := cb.s.Genesis()
+	cur := g
+	qc := cb.s.HighQC()
+	for r := types.Round(1); r <= 5; r++ {
+		b := types.NewBlock(cur.ID(), qc, r, cur.Height+1, 0, int64(r), types.Payload{}, nil)
+		if err := cb.s.Insert(b); err != nil {
+			t.Fatal(err)
+		}
+		qc = cb.qc(b, 0, 1, 2)
+		cur = b
+	}
+	snap := cb.s.Snapshot()
+	if len(snap) != 5 {
+		t.Fatalf("snapshot has %d blocks, want 5", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i].Height <= snap[i-1].Height {
+			t.Fatal("snapshot not in ascending height order")
+		}
+	}
+
+	fresh := blockstore.New()
+	if n := fresh.Restore(snap, nil); n != 5 {
+		t.Fatalf("restored %d blocks, want 5", n)
+	}
+	for _, b := range snap {
+		if !fresh.Has(b.ID()) {
+			t.Fatalf("restored store missing %v", b)
+		}
+	}
+	// Justifies certify heights 1..4; the high QC tracks the highest round
+	// certificate among them.
+	if !fresh.IsCertified(snap[3].ID()) {
+		t.Error("restored store lost certification state")
+	}
+	// Restore with a hole: dropping the first block detaches the rest.
+	holey := blockstore.New()
+	if n := holey.Restore(snap[1:], nil); n != 0 {
+		t.Errorf("restore across a hole installed %d blocks, want 0", n)
+	}
+	// Idempotent re-restore.
+	if n := fresh.Restore(snap, nil); n != 0 {
+		t.Errorf("re-restore installed %d blocks, want 0", n)
 	}
 }

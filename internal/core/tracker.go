@@ -442,6 +442,18 @@ func (t *Tracker) raise(b *types.Block, x int) {
 	}
 }
 
+// Restore rebuilds endorsement state by re-unpacking recovered certificates
+// in order. The caller typically mutes its OnStrength callback during
+// recovery (levels reached pre-crash are being reinstated, not newly
+// observed); the blocks the QCs certify must already be back in the store.
+func (t *Tracker) Restore(qcs []*types.QC) {
+	for _, qc := range qcs {
+		if qc != nil {
+			t.OnQC(qc)
+		}
+	}
+}
+
 // Forget releases bookkeeping for blocks below the given height; pair with
 // blockstore pruning on long runs.
 func (t *Tracker) Forget(below types.Height) {

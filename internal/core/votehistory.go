@@ -47,6 +47,14 @@ func (h *VoteHistory) RecordVote(b *types.Block) {
 	h.voted = append(h.voted, VotedBlock{ID: b.ID(), Round: b.Round, Height: b.Height})
 }
 
+// Restore rebuilds the history from recovered entries (oldest first),
+// replacing any current state. It is the crash-recovery hook: a replica
+// restarted from its WAL reinstates exactly the voted set its pre-crash
+// markers summarized, so post-restart votes can never contradict them.
+func (h *VoteHistory) Restore(entries []VotedBlock) {
+	h.voted = append(h.voted[:0], entries...)
+}
+
 // Len returns the number of recorded votes.
 func (h *VoteHistory) Len() int { return len(h.voted) }
 

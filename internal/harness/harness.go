@@ -8,8 +8,11 @@ package harness
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/crypto"
 	"repro/internal/diembft"
 	"repro/internal/engine"
@@ -17,6 +20,7 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/streamlet"
 	"repro/internal/types"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -78,6 +82,19 @@ type Scenario struct {
 	Crash     map[types.ReplicaID]time.Duration
 	Byzantine map[types.ReplicaID]diembft.Misbehavior
 
+	// Crashes are kill/restart schedules: each plan's replica runs with a
+	// write-ahead log, is killed at Crash, and (when Restart > 0) comes
+	// back restored from that log and re-joins via state sync. Replicas
+	// listed here must not also appear in Crash/Byzantine.
+	Crashes []CrashPlan
+	// DataDir roots the per-replica WAL directories for Crashes (and, when
+	// set with no Crashes, gives EVERY replica a journal). Empty means a
+	// temporary directory that is removed when Run returns.
+	DataDir string
+	// RecordChains makes Result.Chains hold every replica's committed block
+	// per height — the crash-recovery consistency checks read it.
+	RecordChains bool
+
 	// Levels are the strength values x (in replicas tolerated) whose
 	// first-reach latency is recorded. Defaults to the 1.0f..2.0f sweep.
 	Levels []int
@@ -92,6 +109,18 @@ type Scenario struct {
 	// to the paper's ~1000 txns / ~450KB).
 	PayloadTxns  int
 	PayloadBytes int
+}
+
+// CrashPlan schedules one replica's kill and (optional) restart. The
+// replica runs journal-backed; at Crash it stops processing events (its WAL
+// retains everything flushed — i.e. everything, since engines flush per
+// event); at Restart a fresh engine is recovered from the WAL, re-joins via
+// state sync, and resumes voting under its pre-crash marker obligations.
+type CrashPlan struct {
+	Replica types.ReplicaID
+	Crash   time.Duration
+	// Restart of 0 means the replica stays down.
+	Restart time.Duration
 }
 
 // Result aggregates one scenario run.
@@ -116,6 +145,13 @@ type Result struct {
 	BytesPerBlock float64
 	FinalRound    types.Round
 	Events        int64
+
+	// Observer is the replica whose commits the scalar counters use (the
+	// first one that is neither crashed, Byzantine, nor under a CrashPlan).
+	Observer types.ReplicaID
+	// Chains maps replica -> height -> committed block when
+	// Scenario.RecordChains is set.
+	Chains map[types.ReplicaID]map[types.Height]types.BlockID
 }
 
 // DefaultLevels returns the paper's x sweep {1.0f, 1.1f, ..., 2.0f} as
@@ -181,6 +217,7 @@ type collector struct {
 	byLevel  map[int]*metrics.Series
 	reached  map[types.ReplicaID]map[types.BlockID]int
 	commits  map[types.ReplicaID]int
+	chains   map[types.ReplicaID]map[types.Height]types.BlockID
 	observer types.ReplicaID
 }
 
@@ -196,6 +233,9 @@ func newCollector(sc *Scenario, observer types.ReplicaID) *collector {
 	for _, lv := range sc.Levels {
 		c.byLevel[lv] = &metrics.Series{}
 	}
+	if sc.RecordChains {
+		c.chains = make(map[types.ReplicaID]map[types.Height]types.BlockID)
+	}
 	return c
 }
 
@@ -208,6 +248,14 @@ func (c *collector) inWindow(b *types.Block) bool {
 
 func (c *collector) onCommit(rep types.ReplicaID, now time.Duration, b *types.Block) {
 	c.commits[rep]++
+	if c.chains != nil {
+		m, ok := c.chains[rep]
+		if !ok {
+			m = make(map[types.Height]types.BlockID)
+			c.chains[rep] = m
+		}
+		m[b.Height] = b.ID()
+	}
 	if c.inWindow(b) {
 		c.regular.AddDuration(now - time.Duration(b.Timestamp))
 	}
@@ -252,7 +300,12 @@ func Run(sc *Scenario) (*Result, error) {
 		return nil, err
 	}
 
-	// Observer: first replica that is neither crashed nor Byzantine.
+	// Observer: first replica that is neither crashed nor Byzantine nor
+	// scheduled for a kill/restart.
+	planned := make(map[types.ReplicaID]bool, len(s.Crashes))
+	for _, plan := range s.Crashes {
+		planned[plan.Replica] = true
+	}
 	observer := types.ReplicaID(0)
 	for i := 0; i < s.N; i++ {
 		id := types.ReplicaID(i)
@@ -260,6 +313,9 @@ func Run(sc *Scenario) (*Result, error) {
 			continue
 		}
 		if _, byz := s.Byzantine[id]; byz {
+			continue
+		}
+		if planned[id] {
 			continue
 		}
 		observer = id
@@ -286,9 +342,53 @@ func Run(sc *Scenario) (*Result, error) {
 	sim := simnet.New(simCfg)
 
 	payload := workload.PaperPayload(s.Seed, s.PayloadTxns, s.PayloadBytes)
+
+	// Durability: replicas under a CrashPlan (or every replica, when a
+	// DataDir is pinned) run journal-backed so restarts can recover.
+	durable := make(map[types.ReplicaID]bool)
+	for _, plan := range s.Crashes {
+		durable[plan.Replica] = true
+	}
+	dataDir := s.DataDir
+	if len(durable) > 0 || dataDir != "" {
+		if dataDir == "" {
+			tmp, err := os.MkdirTemp("", "sft-wal-")
+			if err != nil {
+				return nil, fmt.Errorf("harness: wal dir: %w", err)
+			}
+			defer os.RemoveAll(tmp)
+			dataDir = tmp
+		} else if len(s.Crashes) == 0 {
+			for i := 0; i < s.N; i++ {
+				durable[types.ReplicaID(i)] = true
+			}
+		}
+	}
+	walDir := func(id types.ReplicaID) string {
+		return filepath.Join(dataDir, fmt.Sprintf("replica-%d", id))
+	}
+	openJournal := func(id types.ReplicaID) (*core.Journal, error) {
+		// NoSync: simulated crashes stop event dispatch, not the host
+		// process, so page-cache durability models the kill faithfully and
+		// scenario runs stay fast. Real deployments (cmd/sftnode) fsync.
+		l, err := wal.Open(walDir(id), wal.Options{NoSync: true})
+		if err != nil {
+			return nil, err
+		}
+		return core.NewJournal(l), nil
+	}
+
 	for i := 0; i < s.N; i++ {
 		id := types.ReplicaID(i)
-		eng, err := buildEngine(s, id, ring, payload)
+		var journal *core.Journal
+		if durable[id] {
+			j, err := openJournal(id)
+			if err != nil {
+				return nil, err
+			}
+			journal = j
+		}
+		eng, err := buildEngine(s, id, ring, payload, journal)
 		if err != nil {
 			return nil, err
 		}
@@ -297,10 +397,38 @@ func Run(sc *Scenario) (*Result, error) {
 	for id, at := range s.Crash {
 		sim.CrashAt(id, at)
 	}
+	for _, plan := range s.Crashes {
+		sim.CrashAt(plan.Replica, plan.Crash)
+		if plan.Restart <= 0 {
+			continue
+		}
+		id := plan.Replica
+		sim.RestartAt(id, plan.Restart, func() engine.Engine {
+			// Runs at virtual time plan.Restart: recover the WAL as of the
+			// crash and build a fresh engine around it.
+			journal, err := openJournal(id)
+			if err != nil {
+				panic(fmt.Sprintf("harness: restart %v: %v", id, err))
+			}
+			rec, err := core.Recover(journal.Log())
+			if err != nil {
+				panic(fmt.Sprintf("harness: recover %v: %v", id, err))
+			}
+			eng, err := buildEngine(s, id, ring, payload, journal)
+			if err != nil {
+				panic(fmt.Sprintf("harness: rebuild %v: %v", id, err))
+			}
+			if err := eng.(restorer).Restore(rec); err != nil {
+				panic(fmt.Sprintf("harness: restore %v: %v", id, err))
+			}
+			return eng
+		})
+	}
 	sim.Run(s.Duration)
 
 	res := &Result{
 		Scenario:        s,
+		Observer:        observer,
 		CommittedBlocks: col.commits[observer],
 		LevelLatency:    make(map[int]metrics.Summary, len(s.Levels)),
 		Msgs:            sim.Stats(),
@@ -317,10 +445,16 @@ func Run(sc *Scenario) (*Result, error) {
 		res.MsgsPerCommit = float64(res.Msgs.Count) / float64(res.CommittedBlocks)
 		res.BytesPerBlock = float64(res.Msgs.Bytes) / float64(res.CommittedBlocks)
 	}
+	res.Chains = col.chains
 	return res, nil
 }
 
-func buildEngine(s *Scenario, id types.ReplicaID, ring *crypto.KeyRing, payload func(types.Round) types.Payload) (engine.Engine, error) {
+// restorer is the Restore hook both engines implement.
+type restorer interface {
+	Restore(*core.Recovery) error
+}
+
+func buildEngine(s *Scenario, id types.ReplicaID, ring *crypto.KeyRing, payload func(types.Round) types.Payload, journal *core.Journal) (engine.Engine, error) {
 	switch s.Protocol {
 	case ProtoStreamlet:
 		cfg := streamlet.Config{
@@ -335,6 +469,7 @@ func buildEngine(s *Scenario, id types.ReplicaID, ring *crypto.KeyRing, payload 
 			Horizon:          s.Horizon,
 			DisableEcho:      s.DisableEcho,
 			Payload:          payload,
+			Journal:          journal,
 		}
 		if b, ok := s.Byzantine[id]; ok {
 			cfg.WithholdVotes = b.WithholdVotes
@@ -359,6 +494,7 @@ func buildEngine(s *Scenario, id types.ReplicaID, ring *crypto.KeyRing, payload 
 			ExtraWaitFor:     s.ExtraWaitFor,
 			Payload:          payload,
 			PruneKeep:        s.PruneKeep,
+			Journal:          journal,
 		}
 		if b, ok := s.Byzantine[id]; ok {
 			bb := b

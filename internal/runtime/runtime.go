@@ -31,6 +31,13 @@ type Transport interface {
 	Close() error
 }
 
+// Durable is the durability resource a node owns while running —
+// typically a *core.Journal wrapping the engine's write-ahead log. Close
+// must flush (with fsync) and release it.
+type Durable interface {
+	Close() error
+}
+
 // Options configures a Node.
 type Options struct {
 	// N is the number of replicas (for broadcast fan-out).
@@ -39,6 +46,11 @@ type Options struct {
 	OnCommit func(b *types.Block)
 	// OnStrength, if non-nil, observes strong-commit level updates.
 	OnStrength func(b *types.Block, x int)
+	// Journal, if non-nil, is flushed and closed when Run returns — the
+	// engine appends to it synchronously from the event loop, so closing
+	// after the loop exits guarantees no buffered appends are dropped on a
+	// graceful shutdown (context cancellation included).
+	Journal Durable
 }
 
 // Node runs one engine on a transport until its context is cancelled.
@@ -69,10 +81,22 @@ func NewNode(eng engine.Engine, tr Transport, opts Options) (*Node, error) {
 }
 
 // Run executes the node's event loop until ctx is cancelled. It owns the
-// engine: no other goroutine may touch it while Run is active.
-func (n *Node) Run(ctx context.Context) error {
+// engine: no other goroutine may touch it while Run is active. If a journal
+// is configured it is flushed and closed on the way out, so a graceful stop
+// (signal, -run timeout) never drops buffered WAL appends.
+func (n *Node) Run(ctx context.Context) (err error) {
 	n.start = time.Now()
 	defer close(n.stopping)
+	if n.opts.Journal != nil {
+		defer func() {
+			// The loop has exited; the engine is quiescent, so this flush
+			// observes every append. Surface a close failure unless the run
+			// is already reporting an error.
+			if cerr := n.opts.Journal.Close(); cerr != nil && (err == nil || err == ctx.Err()) {
+				err = cerr
+			}
+		}()
+	}
 	n.apply(n.eng.Init(n.now()))
 	for {
 		select {

@@ -30,6 +30,11 @@ type event struct {
 	to   types.ReplicaID
 	from types.ReplicaID
 	msg  types.Message
+
+	// build, set on restart events, constructs the replacement engine at
+	// dispatch time — by then the crashed replica's WAL holds everything up
+	// to the crash, so the factory recovers exactly the pre-crash state.
+	build func() engine.Engine
 }
 
 // eventQueue is a pooled, value-based binary min-heap. Events live in a slab
@@ -107,7 +112,10 @@ func (q *eventQueue) pop() event {
 		i = smallest
 	}
 	ev := q.slab[idx]
-	q.slab[idx].msg = nil // drop the message reference so the GC can reclaim it
+	// Drop reference-typed fields so the GC can reclaim them while the slot
+	// sits on the free list.
+	q.slab[idx].msg = nil
+	q.slab[idx].build = nil
 	q.free = append(q.free, idx)
 	return ev
 }
@@ -194,6 +202,17 @@ func (s *Sim) CrashAt(id types.ReplicaID, at time.Duration) {
 	s.push(event{at: at, kind: evCrash, to: id})
 }
 
+// RestartAt schedules replica id to come back at time at with the engine the
+// factory builds — typically one recovered from the replica's write-ahead
+// log. The factory runs at dispatch time (virtual time at), after every
+// pre-crash event has been processed, so it observes the final durable
+// state. Restarting clears the crashed flag; messages sent to the replica
+// while it was down were delivered into the void, exactly like a real
+// process restart.
+func (s *Sim) RestartAt(id types.ReplicaID, at time.Duration, build func() engine.Engine) {
+	s.push(event{at: at, kind: evStart, to: id, build: build})
+}
+
 // Run initializes every engine at time 0 (if not already started) and
 // processes events until the virtual clock passes `until` or the queue
 // drains.
@@ -223,6 +242,11 @@ func (s *Sim) dispatch(ev event) {
 	if ev.kind == evCrash {
 		s.crashed[id] = true
 		return
+	}
+	if ev.kind == evStart && ev.build != nil {
+		// Restart: install the recovered engine and fall through to Init.
+		s.engines[id] = ev.build()
+		s.crashed[id] = false
 	}
 	if s.crashed[id] || s.engines[id] == nil {
 		return

@@ -164,7 +164,7 @@ func TestLongRangeAttackComparison(t *testing.T) {
 		// (length forkPoint.Height+1) is still far shorter than the longest
 		// certified chain, so proposals extending B' are refused too.
 		if err := store.Insert(bPrime); err == nil {
-			if _, err := store.RegisterQC(forgeQC(bPrime)); err != nil {
+			if _, _, err := store.RegisterQC(forgeQC(bPrime)); err != nil {
 				t.Fatal(err)
 			}
 		}

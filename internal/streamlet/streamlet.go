@@ -15,6 +15,7 @@ import (
 	"repro/internal/crypto"
 	"repro/internal/engine"
 	"repro/internal/pacemaker"
+	"repro/internal/statesync"
 	"repro/internal/types"
 )
 
@@ -48,6 +49,11 @@ type Config struct {
 
 	// WithholdVotes makes the replica silently Byzantine.
 	WithholdVotes bool
+
+	// Journal, if non-nil, write-ahead-logs accepted blocks, own votes,
+	// formed certificates and commits, flushed before each event's outputs
+	// are released (the same durability contract as the DiemBFT engine).
+	Journal *core.Journal
 }
 
 func (c *Config) quorum() int { return 2*c.F + 1 }
@@ -79,6 +85,13 @@ type Replica struct {
 
 	sigScratch []byte // reused vote signing-payload buffer
 
+	// journal is the durability log (nil = in-memory replica); restoring
+	// mutes journaling and Strength re-emission during Restore; recovered
+	// makes Init rejoin via state sync.
+	journal   *core.Journal
+	restoring bool
+	recovered bool
+
 	outs []engine.Output
 }
 
@@ -103,6 +116,7 @@ func New(cfg Config) (*Replica, error) {
 		seenProp:   make(map[types.BlockID]bool),
 		seenVote:   make(map[voteKey]bool),
 	}
+	r.journal = cfg.Journal
 	r.history = core.NewVoteHistory(r.store)
 	r.lastCommitted = r.store.Genesis().ID()
 	if cfg.SFT {
@@ -112,6 +126,9 @@ func New(cfg Config) (*Replica, error) {
 			Mode:    core.ModeHeight,
 			Horizon: cfg.Horizon,
 			OnStrength: func(b *types.Block, x int) {
+				if r.restoring {
+					return
+				}
 				r.outs = append(r.outs, engine.Strength{Block: b, X: x})
 			},
 		})
@@ -131,10 +148,95 @@ func (r *Replica) Tracker() *core.Tracker { return r.tracker }
 // Round returns the current lock-step round.
 func (r *Replica) Round() types.Round { return r.round }
 
-// Init implements engine.Engine.
+// CommittedHeight returns the height of the last commit.
+func (r *Replica) CommittedHeight() types.Height { return r.committedH }
+
+// LastCommitted returns the ID of the last committed block.
+func (r *Replica) LastCommitted() types.BlockID { return r.lastCommitted }
+
+// History exposes the vote history (tests and recovery diagnostics).
+func (r *Replica) History() *core.VoteHistory { return r.history }
+
+// Restore rebuilds the replica from a journal replay; call after New,
+// before Init. Votes, certificates and the committed prefix are reinstated
+// so post-restart height markers cannot contradict pre-crash ones.
+func (r *Replica) Restore(rec *core.Recovery) error {
+	if rec == nil || rec.Empty() {
+		return nil
+	}
+	r.restoring = true
+	defer func() { r.restoring = false }()
+	r.store.Restore(rec.Blocks, func(b *types.Block, qcImproved bool) {
+		r.seenProp[b.ID()] = true
+		if qcImproved {
+			r.noteRestoredCert(b.Justify)
+		}
+	})
+	for _, qc := range rec.QCs {
+		if r.store.Has(qc.Block) {
+			r.registerCert(qc)
+		}
+	}
+	voted := make([]core.VotedBlock, 0, len(rec.Votes))
+	for i := range rec.Votes {
+		v := &rec.Votes[i]
+		voted = append(voted, core.VotedBlock{ID: v.Block, Round: v.Round, Height: v.Height})
+		r.votedRound[v.Round] = true
+		r.seenVote[voteKey{block: v.Block, voter: v.Voter}] = true
+	}
+	r.history.Restore(voted)
+	if rec.CommittedHeight > 0 {
+		r.lastCommitted = rec.Committed
+		r.committedH = rec.CommittedHeight
+	}
+	r.recovered = true
+	return nil
+}
+
+// registerCert installs a recovered standalone certificate: store, longest
+// certified chain, endorsement tracker.
+func (r *Replica) registerCert(qc *types.QC) {
+	if _, improved, err := r.store.RegisterQC(qc); err != nil || !improved {
+		return
+	}
+	r.noteRestoredCert(qc)
+}
+
+// noteRestoredCert absorbs a certificate the restore path already
+// registered: longest-certified-chain state plus the endorsement tracker.
+// No commit re-evaluation — Restore reinstates the committed prefix from
+// the journal's commit records instead of re-emitting Commit outputs.
+func (r *Replica) noteRestoredCert(qc *types.QC) {
+	b := r.store.Block(qc.Block)
+	if b == nil {
+		return
+	}
+	if b.Height > r.maxCertH {
+		r.maxCertH = b.Height
+	}
+	if r.tracker != nil {
+		r.tracker.OnQC(qc)
+	}
+}
+
+// Init implements engine.Engine. Streamlet rounds are lock-step wall-clock
+// slots of 2∆, so a replica initialized mid-run (a crash-restart) derives
+// its round from the clock instead of starting over at 1; a recovered
+// replica also broadcasts a state-sync request to fetch what it missed.
 func (r *Replica) Init(now time.Duration) []engine.Output {
 	r.outs = nil
-	r.outs = append(r.outs, engine.SetTimer{ID: int(r.round), Delay: 2 * r.cfg.Delta})
+	if slot := types.Round(now / (2 * r.cfg.Delta)); slot+1 > r.round {
+		r.round = slot + 1
+	}
+	// Align the first timer to the next slot boundary so a mid-run restart
+	// keeps ticking in phase with the rest of the cluster.
+	delay := 2*r.cfg.Delta - now%(2*r.cfg.Delta)
+	r.outs = append(r.outs, engine.SetTimer{ID: int(r.round), Delay: delay})
+	if r.recovered {
+		r.outs = append(r.outs, engine.Broadcast{
+			Msg: statesync.NewRequest(r.committedH, r.cfg.ID),
+		})
+	}
 	r.maybePropose(now)
 	return r.take()
 }
@@ -168,13 +270,98 @@ func (r *Replica) handle(now time.Duration, msg types.Message) {
 		// Process the relayed inner message through the same paths; the
 		// dedup sets prevent loops and double-counting.
 		r.handle(now, m.Inner)
+	case *types.StateSyncRequest:
+		r.onStateSyncRequest(m)
+	case *types.StateSyncResponse:
+		r.onStateSyncResponse(m)
 	}
 }
 
+// take drains the output buffer, flushing staged journal records first so
+// nothing the event produced leaves before its durable state (see the
+// DiemBFT engine's take for the contract).
 func (r *Replica) take() []engine.Output {
+	if r.journal != nil {
+		if err := r.journal.Flush(); err != nil {
+			panic(fmt.Sprintf("streamlet: wal flush: %v", err))
+		}
+	}
 	outs := r.outs
 	r.outs = nil
 	return outs
+}
+
+func (r *Replica) journalBlock(b *types.Block) {
+	if r.journal != nil && !r.restoring {
+		_ = r.journal.AppendBlock(b) // errors surface at the take() flush
+	}
+}
+
+// onStateSyncRequest serves the catch-up protocol (internal/statesync).
+func (r *Replica) onStateSyncRequest(m *types.StateSyncRequest) {
+	if m.Sender == r.cfg.ID {
+		return
+	}
+	if resp := statesync.Serve(r.store, m, r.cfg.ID, statesync.DefaultMaxBlocks); resp != nil {
+		r.outs = append(r.outs, engine.Send{To: m.Sender, Msg: resp})
+	}
+}
+
+// onStateSyncResponse installs a catch-up segment: blocks are journaled,
+// certificates feed the longest-certified-chain state and the tracker, and
+// the commit rule is re-run over every newly certified block.
+func (r *Replica) onStateSyncResponse(m *types.StateSyncResponse) {
+	ap := statesync.Applier{
+		Store:  r.store,
+		Quorum: r.cfg.quorum(),
+		OnInstall: func(b *types.Block) {
+			r.seenProp[b.ID()] = true
+			r.journalBlock(b)
+		},
+		OnQC:     r.afterCert,
+		OnHighQC: r.onHighCert,
+	}
+	if r.cfg.VerifySignatures {
+		ap.VerifyQC = func(qc *types.QC) error {
+			return crypto.VerifyQC(r.cfg.Verifier, qc, r.cfg.quorum())
+		}
+	}
+	_, _ = ap.Apply(m)
+}
+
+// afterCert absorbs an embedded justify certificate the applier already
+// registered: longest-certified-chain state, endorsement tracker, commit
+// rule. No journaling — the block that carried the QC was journaled.
+func (r *Replica) afterCert(qc *types.QC) {
+	b := r.store.Block(qc.Block)
+	if b == nil {
+		return
+	}
+	if b.Height > r.maxCertH {
+		r.maxCertH = b.Height
+	}
+	if r.tracker != nil {
+		r.tracker.OnQC(qc)
+	}
+	r.checkCommit(b)
+}
+
+// onHighCert registers the responder's standalone high QC; since no
+// journaled block embeds it, the certificate record goes to the journal
+// itself (once, on improvement).
+func (r *Replica) onHighCert(qc *types.QC) {
+	b, improved, err := r.store.RegisterQC(qc)
+	if err != nil {
+		return
+	}
+	if !improved {
+		r.checkCommit(b)
+		return
+	}
+	if r.journal != nil && !r.restoring {
+		_ = r.journal.AppendQC(qc)
+	}
+	r.afterCert(qc)
 }
 
 // echo relays a first-seen message to everyone (Figure 10's message echo
@@ -248,6 +435,8 @@ func (r *Replica) maybePropose(now time.Duration) {
 	b := types.NewBlock(parent.ID(), qc, r.round, parent.Height+1, r.cfg.ID, int64(now), payload, nil)
 	p := &types.Proposal{Block: b, Round: r.round, Sender: r.cfg.ID}
 	p.Signature = r.cfg.Signer.Sign(p.SigningPayload())
+	// Journal own proposals before they can leave (see the DiemBFT engine).
+	r.journalBlock(b)
 	r.outs = append(r.outs, engine.Broadcast{Msg: p, SelfDeliver: true})
 }
 
@@ -287,6 +476,10 @@ func (r *Replica) acceptProposal(now time.Duration, p *types.Proposal) {
 	if err := r.store.Insert(b); err != nil {
 		return
 	}
+	if b.Proposer != r.cfg.ID {
+		// Own blocks were journaled at propose time.
+		r.journalBlock(b)
+	}
 	r.maybeVote(b)
 	r.tryCertify(b)
 	if kids := r.orphans[b.ID()]; len(kids) > 0 {
@@ -320,6 +513,10 @@ func (r *Replica) maybeVote(b *types.Block) {
 	}
 	r.sigScratch = v.AppendSigningPayload(r.sigScratch[:0])
 	v.Signature = r.cfg.Signer.Sign(r.sigScratch)
+	// The vote record is flushed by take() before the broadcast leaves.
+	if r.journal != nil && !r.restoring {
+		_ = r.journal.AppendVote(&v)
+	}
 	r.votedRound[r.round] = true
 	r.history.RecordVote(b)
 	r.outs = append(r.outs, engine.Broadcast{Msg: &types.VoteMsg{Vote: v}, SelfDeliver: true})
@@ -360,8 +557,14 @@ func (r *Replica) tryCertify(b *types.Block) {
 	}
 	sort.Slice(votes, func(i, j int) bool { return votes[i].Voter < votes[j].Voter })
 	qc := &types.QC{Block: id, Round: b.Round, Height: b.Height, Votes: votes}
-	if _, err := r.store.RegisterQC(qc); err != nil {
+	_, improved, err := r.store.RegisterQC(qc)
+	if err != nil {
 		return
+	}
+	if improved && r.journal != nil && !r.restoring {
+		// Streamlet certificates are formed from the local vote set and not
+		// embedded in any journaled block until a child extends them.
+		_ = r.journal.AppendQC(qc)
 	}
 	// Locking rule: the longest certified chain may have grown.
 	if b.Height > r.maxCertH {
@@ -417,4 +620,7 @@ func (r *Replica) commitTo(b *types.Block) {
 	}
 	r.lastCommitted = b.ID()
 	r.committedH = b.Height
+	if r.journal != nil && !r.restoring {
+		_ = r.journal.AppendCommit(b.ID(), b.Height, b.Round)
+	}
 }

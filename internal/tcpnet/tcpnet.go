@@ -29,6 +29,8 @@ func RegisterMessages() {
 		gob.Register(&types.ExtraVote{})
 		gob.Register(&types.SyncRequest{})
 		gob.Register(&types.SyncResponse{})
+		gob.Register(&types.StateSyncRequest{})
+		gob.Register(&types.StateSyncResponse{})
 	})
 }
 

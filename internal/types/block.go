@@ -78,25 +78,9 @@ func (b *Block) ID() BlockID {
 }
 
 func (b *Block) computeID() BlockID {
-	buf := make([]byte, 0, 256)
-	buf = append(buf, "block/"...)
-	buf = append(buf, b.Parent[:]...)
-	if b.Justify != nil {
-		buf = append(buf, 1)
-		buf = b.Justify.Encode(buf)
-	} else {
-		buf = append(buf, 0)
-	}
-	buf = AppendUint64(buf, uint64(b.Round))
-	buf = AppendUint64(buf, uint64(b.Height))
-	buf = AppendUint32(buf, uint32(b.Proposer))
-	buf = AppendUint64(buf, uint64(b.Timestamp))
-	buf = b.Payload.Encode(buf)
-	buf = AppendUint32(buf, uint32(len(b.CommitLog)))
-	for _, rec := range b.CommitLog {
-		buf = rec.Encode(buf)
-	}
-	return BlockID(sha256.Sum256(buf))
+	// The ID preimage IS the block's wire encoding (see wire.go), so a block
+	// decoded from the WAL or a state-sync frame recomputes the same ID.
+	return BlockID(sha256.Sum256(b.AppendEncoding(make([]byte, 0, 256))))
 }
 
 // IsGenesis reports whether the block is the genesis block.

@@ -15,6 +15,8 @@ const (
 	MsgExtraVote // FBFT baseline: a late vote multicast by the leader
 	MsgSyncRequest
 	MsgSyncResponse
+	MsgStateSyncRequest
+	MsgStateSyncResponse
 )
 
 // Message is the interface implemented by every consensus wire message.
@@ -167,6 +169,59 @@ func (s *SyncResponse) Size() int {
 // String renders the response for logs.
 func (s *SyncResponse) String() string {
 	return fmt.Sprintf("syncresp{%d blocks by %s}", len(s.Blocks), s.Sender)
+}
+
+// StateSyncRequest asks a peer for the certified chain above the
+// requester's committed height. Unlike SyncRequest (which heals one known
+// missing block), it is the catch-up message of internal/statesync: a
+// recovered or lagging replica that only knows how far it got asks peers
+// for everything after that.
+type StateSyncRequest struct {
+	// Have is the requester's committed height; responders send certified
+	// blocks strictly above it.
+	Have   Height
+	Sender ReplicaID
+}
+
+// Type implements Message.
+func (s *StateSyncRequest) Type() MsgType { return MsgStateSyncRequest }
+
+// Size implements Message.
+func (s *StateSyncRequest) Size() int { return 1 + 8 + 4 }
+
+// String renders the request for logs.
+func (s *StateSyncRequest) String() string {
+	return fmt.Sprintf("statesyncreq{above h%d by %s}", s.Have, s.Sender)
+}
+
+// StateSyncResponse carries a contiguous ascending certified chain segment
+// starting just above the requester's committed height. Interior blocks are
+// certified by their successor's embedded justify QC; HighQC certifies the
+// final block when the segment reaches the responder's tip.
+type StateSyncResponse struct {
+	Blocks []*Block
+	HighQC *QC
+	Sender ReplicaID
+}
+
+// Type implements Message.
+func (s *StateSyncResponse) Type() MsgType { return MsgStateSyncResponse }
+
+// Size implements Message.
+func (s *StateSyncResponse) Size() int {
+	n := 1 + 4
+	for _, b := range s.Blocks {
+		n += b.Size()
+	}
+	if s.HighQC != nil {
+		n += s.HighQC.Size()
+	}
+	return n
+}
+
+// String renders the response for logs.
+func (s *StateSyncResponse) String() string {
+	return fmt.Sprintf("statesyncresp{%d blocks by %s}", len(s.Blocks), s.Sender)
 }
 
 // ExtraVote is the Appendix B FBFT baseline message: after a QC already
