@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-smoke bench-micro
+.PHONY: all build vet test test-race bench bench-smoke bench-micro bench-guard
 
 all: test
 
@@ -25,11 +25,19 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkThroughput|BenchmarkAblationBookkeeping|BenchmarkCrashRecovery' -benchtime=1x .
 
-# Micro-benchmarks: PR-1 (QC cache, event core, tracker, signing payloads)
-# and PR-2 (WAL append/replay, vote-path journal appends).
+# Micro-benchmarks: PR-1 (QC cache, event core, tracker, signing payloads),
+# PR-2 (WAL append/replay, vote-path journal appends), and PR-3 (batched
+# signature verification vs the serial cold path).
 bench-micro:
-	$(GO) test -run '^$$' -bench BenchmarkVerifyQCCached -benchmem ./internal/crypto/
+	$(GO) test -run '^$$' -bench 'BenchmarkVerifyQCCached|BenchmarkVerifyQCBatch' -benchmem ./internal/crypto/
 	$(GO) test -run '^$$' -bench BenchmarkSimnetEventLoop -benchmem ./internal/simnet/
 	$(GO) test -run '^$$' -bench 'BenchmarkTrackerOnQC|BenchmarkMarker|BenchmarkJournalAppendVote' -benchmem ./internal/core/
 	$(GO) test -run '^$$' -bench BenchmarkSigningPayload -benchmem ./internal/types/
 	$(GO) test -run '^$$' -bench 'BenchmarkAppendFlush|BenchmarkReplay' -benchmem ./internal/wal/
+
+# Bench guard: every AllocsPerRun regression guard, run as tests so any
+# regression is a hard failure, then the micro-benchmarks for the numbers.
+# CI runs this; record results in BENCH_PR<n>.json when they move.
+bench-guard:
+	$(GO) test -run 'Alloc' -count=1 ./internal/types/ ./internal/simnet/ ./internal/core/ ./internal/wal/ ./internal/crypto/
+	$(MAKE) bench-micro

@@ -111,7 +111,7 @@ func BenchmarkThroughput(b *testing.B) {
 // (linear) vs FBFT-adapted (quadratic), n ∈ {7, 16, 31}.
 func BenchmarkMessageComplexity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		points, err := harness.MessageComplexity([]int{2, 5, 10}, 30*time.Second, int64(i+1))
+		points, err := harness.MessageComplexity(harness.Scale{Duration: 30 * time.Second, Seed: int64(i + 1)}, []int{2, 5, 10})
 		if err != nil {
 			b.Fatal(err)
 		}

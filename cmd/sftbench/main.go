@@ -6,12 +6,22 @@
 //
 //	sftbench -experiment fig7a [-n 100] [-duration 5m] [-delta 100ms] [-seed 1]
 //	sftbench -experiment all -n 31 -duration 90s
+//	sftbench -experiment verifypipeline -scheme ed25519 -n 31 -duration 60s
 //
 // Experiments: fig7a, fig7b, fig8, throughput, msgcomplexity, theorem2,
-// theorem3, streamlet, crashrecovery, all. crashrecovery exercises the
-// durability layer: a replica is killed mid-run, restored from its
-// write-ahead log, and re-joins via state sync; the report compares its
-// commits against the no-crash baseline.
+// theorem3, streamlet, crashrecovery, verifypipeline, all. crashrecovery
+// exercises the durability layer: a replica is killed mid-run, restored from
+// its write-ahead log, and re-joins via state sync; the report compares its
+// commits against the no-crash baseline. verifypipeline A/Bs the
+// verification pipeline (prevalidate/apply split + batched signature
+// checking) under real crypto and prints the determinism verdict; because it
+// defaults to ed25519 (expensive at paper scale), it runs only when named
+// explicitly, not under "all".
+//
+// -scheme selects the signature implementation for every experiment: "sim"
+// (fast, deterministic, the default) or "ed25519" (real crypto; implies full
+// signature verification). -pipeline additionally routes every experiment
+// through the verification pipeline.
 package main
 
 import (
@@ -21,16 +31,19 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/crypto"
 	"repro/internal/harness"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run (fig7a|fig7b|fig8|throughput|msgcomplexity|theorem2|theorem3|streamlet|crashrecovery|all)")
+		experiment = flag.String("experiment", "all", "which experiment to run (fig7a|fig7b|fig8|throughput|msgcomplexity|theorem2|theorem3|streamlet|crashrecovery|verifypipeline|all)")
 		n          = flag.Int("n", 100, "number of replicas (3f+1)")
 		duration   = flag.Duration("duration", 5*time.Minute, "virtual run duration")
 		delta      = flag.Duration("delta", 0, "inter-region delay; 0 sweeps the paper's {100ms,200ms}")
 		seed       = flag.Int64("seed", 1, "simulation seed")
+		scheme     = flag.String("scheme", crypto.SchemeSim, "signature scheme (sim|ed25519); ed25519 implies signature verification")
+		pipeline   = flag.Bool("pipeline", false, "route experiments through the verification pipeline (prevalidate/apply split)")
 	)
 	flag.Parse()
 
@@ -38,7 +51,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sftbench: n=%d is not 3f+1\n", *n)
 		os.Exit(1)
 	}
-	sc := harness.Scale{N: *n, F: (*n - 1) / 3, Duration: *duration, Seed: *seed}
+	if *scheme != crypto.SchemeSim && *scheme != crypto.SchemeEd25519 {
+		fmt.Fprintf(os.Stderr, "sftbench: unknown scheme %q (want sim or ed25519)\n", *scheme)
+		os.Exit(1)
+	}
+	sc := harness.Scale{
+		N: *n, F: (*n - 1) / 3, Duration: *duration, Seed: *seed,
+		Scheme: *scheme, Pipeline: *pipeline,
+	}
+	if *experiment == "verifypipeline" && !schemeSetExplicitly() {
+		// The ablation exists to measure real crypto: unless the user chose
+		// a scheme explicitly, override the -scheme flag's toy sim default —
+		// resolved here so the banner announces the scheme actually run.
+		sc.Scheme = crypto.SchemeEd25519
+	}
 	deltas := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond}
 	if *delta != 0 {
 		deltas = []time.Duration{*delta}
@@ -48,7 +74,8 @@ func main() {
 		if *experiment != "all" && *experiment != name {
 			return
 		}
-		fmt.Printf("==> %s (n=%d f=%d duration=%v seed=%d)\n", name, sc.N, sc.F, sc.Duration, sc.Seed)
+		fmt.Printf("==> %s (n=%d f=%d duration=%v seed=%d scheme=%s pipeline=%v)\n",
+			name, sc.N, sc.F, sc.Duration, sc.Seed, sc.Scheme, sc.Pipeline)
 		start := time.Now()
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "sftbench: %s: %v\n", name, err)
@@ -66,6 +93,56 @@ func main() {
 	run("theorem3", func() error { return theorem3(sc) })
 	run("streamlet", func() error { return streamletExp(sc) })
 	run("crashrecovery", func() error { return crashRecovery(sc, deltas[0]) })
+	// verifypipeline is explicit-only (not part of "all"): it defaults to
+	// real ed25519 signatures, and two serially-verified macro runs at paper
+	// scale would dominate the whole sweep's wall time.
+	if *experiment == "verifypipeline" {
+		run("verifypipeline", func() error { return verifyPipeline(sc, deltas[0]) })
+	}
+}
+
+// schemeSetExplicitly reports whether -scheme appeared on the command line.
+func schemeSetExplicitly() bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "scheme" {
+			set = true
+		}
+	})
+	return set
+}
+
+func verifyPipeline(sc harness.Scale, delta time.Duration) error {
+	res, err := harness.VerifyPipeline(sc, delta)
+	if err != nil {
+		return err
+	}
+	verdict := res.Verdict()
+	printTable(fmt.Sprintf("Verification pipeline ablation (scheme=%s): prevalidate/apply split on vs off", res.Scheme),
+		[]string{"metric", "pipeline off", "pipeline on"},
+		[][]string{
+			{"events processed", fmt.Sprintf("%d", res.Off.Events), fmt.Sprintf("%d", res.On.Events)},
+			{"events/sec (host)", fmt.Sprintf("%.0f", res.OffEventsPerSec), fmt.Sprintf("%.0f", res.OnEventsPerSec)},
+			{"wall time", res.OffWall.Round(time.Millisecond).String(), res.OnWall.Round(time.Millisecond).String()},
+			{"blocks committed", fmt.Sprintf("%d", res.Off.CommittedBlocks), fmt.Sprintf("%d", res.On.CommittedBlocks)},
+			{"regular latency (s)", fmt.Sprintf("%.3f", res.Off.RegularLatency.Mean), fmt.Sprintf("%.3f", res.On.RegularLatency.Mean)},
+			{"messages", fmt.Sprintf("%d", res.Off.Msgs.Count), fmt.Sprintf("%d", res.On.Msgs.Count)},
+			{"determinism verdict", verdict, verdict},
+		})
+	rows := [][]string{{"serial (baseline)", fmt.Sprintf("%.0f", res.SerialNsPerQC/1e3), "1.00"}}
+	for _, p := range res.Sweep {
+		rows = append(rows, []string{
+			fmt.Sprintf("batch, %d worker(s)", p.Workers),
+			fmt.Sprintf("%.0f", p.NsPerQC/1e3),
+			fmt.Sprintf("%.2f", p.Speedup),
+		})
+	}
+	printTable(fmt.Sprintf("Cold QC verification (%d signatures per certificate): batch worker sweep", res.Quorum),
+		[]string{"path", "µs/QC", "speedup"}, rows)
+	if !res.Identical {
+		return fmt.Errorf("pipeline on/off runs diverged")
+	}
+	return nil
 }
 
 func crashRecovery(sc harness.Scale, delta time.Duration) error {
@@ -190,7 +267,9 @@ func msgComplexity(sc harness.Scale) error {
 	if sc.N >= 100 {
 		fs = append(fs, 33)
 	}
-	points, err := harness.MessageComplexity(fs, sc.Duration/5, sc.Seed)
+	mcScale := sc
+	mcScale.Duration = sc.Duration / 5
+	points, err := harness.MessageComplexity(mcScale, fs)
 	if err != nil {
 		return err
 	}

@@ -22,6 +22,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	rt "runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -53,6 +54,8 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "only print periodic summaries")
 		clients  = flag.String("client-listen", "", "optional address accepting client transaction streams (see cmd/sftclient)")
 		dataDir  = flag.String("data-dir", "", "directory for the write-ahead log; restarting with the same -data-dir recovers the pre-crash state and re-joins via state sync")
+		pipeline = flag.Bool("pipeline", true, "verify signatures off the event loop, on the per-peer tcpnet reader goroutines, with batched QC verification")
+		workers  = flag.Int("pipeline-workers", 0, "batch-verification concurrency per cold QC (with -pipeline); 0 = GOMAXPROCS divided across the n-1 concurrent peer readers")
 	)
 	flag.Parse()
 	log.SetFlags(log.Lmicroseconds)
@@ -150,6 +153,17 @@ func main() {
 		}
 	}
 
+	batchWorkers := 1
+	if *pipeline {
+		batchWorkers = *workers
+		if batchWorkers <= 0 {
+			// The n-1 per-peer reader goroutines already verify concurrently;
+			// sizing the per-QC fan-out as GOMAXPROCS/(n-1) keeps a burst of
+			// cold certificates from every peer at ~GOMAXPROCS runnable
+			// goroutines instead of (n-1)*GOMAXPROCS.
+			batchWorkers = max(1, rt.GOMAXPROCS(0)/max(1, *n-1))
+		}
+	}
 	rep, err := diembft.New(diembft.Config{
 		ID:               types.ReplicaID(*id),
 		N:                *n,
@@ -157,6 +171,7 @@ func main() {
 		Signer:           ring.Signer(types.ReplicaID(*id)),
 		Verifier:         ring,
 		VerifySignatures: true,
+		BatchWorkers:     batchWorkers,
 		SFT:              true,
 		RoundTimeout:     *timeout,
 		ExtraWait:        *wait,
@@ -174,16 +189,22 @@ func main() {
 		}
 	}
 
-	nt, err := tcpnet.Listen(tcpnet.Config{
+	netCfg := tcpnet.Config{
 		ID:     types.ReplicaID(*id),
 		Listen: *listen,
 		Peers:  peers,
-	})
+	}
+	if *pipeline {
+		// Stateless verification runs on the per-peer reader goroutines; the
+		// engine loop receives pre-verified frames and does no crypto.
+		netCfg.Prevalidate = rep.Prevalidate
+	}
+	nt, err := tcpnet.Listen(netCfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer nt.Close()
-	log.Printf("listening on %s, cluster n=%d f=%d", nt.Addr(), *n, f)
+	log.Printf("listening on %s, cluster n=%d f=%d (pipeline=%v batch-workers=%d)", nt.Addr(), *n, f, *pipeline, batchWorkers)
 
 	var commits, strong, height atomic.Int64
 	nodeOpts := runtime.Options{
@@ -207,6 +228,10 @@ func main() {
 		// never leaves buffered appends behind.
 		nodeOpts.Journal = journal
 	}
+	// No PrevalidateWorkers here: the tcpnet hook already verifies every
+	// frame on its per-peer reader goroutine, so the node-level worker pool
+	// would only add queue hops. The pool is for transports without a
+	// prevalidation hook (e.g. runtime.LocalNetwork).
 	node, err := runtime.NewNode(rep, nt, nodeOpts)
 	if err != nil {
 		log.Fatal(err)
@@ -228,8 +253,10 @@ func main() {
 			case <-ctx.Done():
 				return
 			case <-tick.C:
-				log.Printf("summary: %d commits, %d strength updates, committed height %d",
-					commits.Load(), strong.Load(), height.Load())
+				fs := nt.FrameStats()
+				log.Printf("summary: %d commits, %d strength updates, committed height %d, dropped frames: %d spoofed / %d malformed / %d failed-verify",
+					commits.Load(), strong.Load(), height.Load(),
+					fs.Spoofed, fs.Malformed, fs.Prevalidated+node.PrevalidateDrops())
 			}
 		}
 	}()

@@ -42,6 +42,24 @@
 // internal/types, internal/simnet, and internal/core. BENCH_PR1.json
 // records the before/after numbers.
 //
+// # Verification pipeline
+//
+// PR 3 moved signature verification — the dominant cost under real ed25519
+// crypto — off the engines' single-threaded event loop. Both engines
+// implement engine.Pipelined: a stateless Prevalidate stage (structure,
+// signatures, certificates; safe to call concurrently with the event loop)
+// and an OnVerifiedMessage state stage that skips the checks Prevalidate
+// performed. crypto.BatchVerifier folds a certificate's 2f+1 signatures
+// (and cross-message batches) into one sharded, worker-parallel pass,
+// bisecting failed shards so a corrupted signature is attributed to the
+// exact signer. tcpnet prevalidates on its per-peer reader goroutines,
+// runtime.Node adds a bounded worker pool sharded by sender, and both
+// preserve per-sender FIFO order — the only delivery order the network
+// guarantees. simnet routes through the same split synchronously, keeping
+// fixed-seed runs bit-identical with the pipeline on or off (the PR-3
+// determinism oracle). README.md documents the ordering and determinism
+// constraints; BENCH_PR3.json records the measurements.
+//
 // # Durability
 //
 // PR 2 added the durability layer: internal/wal (an append-only, segmented,

@@ -1,0 +1,203 @@
+package crypto
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/types"
+)
+
+// BatchVerifier accumulates (signer, payload, signature) triples and checks
+// them in one pass over the whole batch instead of one call per signature.
+// The paper's flexible-quorum certificates make this profitable: every QC
+// carries `quorum` independent signatures over tiny payloads, and the
+// verification pipeline additionally folds signatures from *different*
+// messages into one batch before they reach the engine loop.
+//
+// The batch is checked shard-by-shard: the verifier splits the items into up
+// to `workers` contiguous shards, verifies each shard with one aggregate
+// pass, and — only when a shard's aggregate check fails — bisects that shard
+// to pinpoint exactly which items are invalid. Bisection preserves exact
+// attribution: a corrupted signature in a batch of hundreds is still charged
+// to the precise signer, so Byzantine senders cannot hide behind honest
+// traffic batched alongside them.
+//
+// The aggregate check is the substitution point for a true multi-scalar
+// ed25519 batch equation (sum([z_i]s_i)B = sum([z_i]R_i) + sum([z_i k_i]A_i);
+// ~1.9x over serial verification). The standard library exposes no batch
+// primitive, so with stdlib-only ed25519 the aggregate pass degrades to a
+// short-circuiting serial sweep of the shard and the speedup comes from the
+// worker parallelism, which scales with cores. Swapping in a real batch
+// backend changes only the aggregate pass; the accumulation API, sharding,
+// and bisection attribution are already shaped for it.
+//
+// Payload bytes are copied into an internal arena at Add time (callers reuse
+// scratch buffers for signing payloads); signature slices are retained and
+// must stay immutable until Verify returns. A BatchVerifier is reusable via
+// Reset but not safe for concurrent use; Verify itself fans work out to
+// goroutines internally.
+type BatchVerifier struct {
+	v     Verifier
+	items []batchItem
+	arena []byte
+	bad   []int
+}
+
+type batchItem struct {
+	signer types.ReplicaID
+	off    int32
+	n      int32
+	sig    []byte
+}
+
+// NewBatchVerifier creates an empty batch bound to the verifier.
+func NewBatchVerifier(v Verifier) *BatchVerifier {
+	return &BatchVerifier{v: v}
+}
+
+// Reset empties the batch and rebinds it to v, retaining internal buffers so
+// steady-state reuse performs no allocations.
+func (b *BatchVerifier) Reset(v Verifier) {
+	b.v = v
+	b.items = b.items[:0]
+	b.arena = b.arena[:0]
+	b.bad = b.bad[:0]
+}
+
+// Add appends one verification job. payload is copied; sig is retained and
+// must not be mutated until Verify returns.
+func (b *BatchVerifier) Add(signer types.ReplicaID, payload, sig []byte) {
+	off := len(b.arena)
+	b.arena = append(b.arena, payload...)
+	b.items = append(b.items, batchItem{
+		signer: signer,
+		off:    int32(off),
+		n:      int32(len(payload)),
+		sig:    sig,
+	})
+}
+
+// Len returns the number of accumulated jobs.
+func (b *BatchVerifier) Len() int { return len(b.items) }
+
+// Bad returns the indices (in Add order, ascending) of the items whose
+// signatures failed the last Verify. The slice is reused by Reset.
+func (b *BatchVerifier) Bad() []int { return b.bad }
+
+// Verify checks the whole batch and reports whether every signature is
+// valid. workers bounds the verification concurrency: < 1 selects
+// GOMAXPROCS, 1 keeps everything on the calling goroutine (the mode the
+// deterministic simulator uses). On failure Bad() lists the exact invalid
+// indices, found by bisecting only the shards whose aggregate check failed.
+func (b *BatchVerifier) Verify(workers int) bool {
+	b.bad = b.bad[:0]
+	n := len(b.items)
+	if n == 0 {
+		return true
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		if !b.valid(0, n) {
+			b.bisect(0, n)
+		}
+		return len(b.bad) == 0
+	}
+	// Contiguous shards, one goroutine each; each shard bisects privately and
+	// the per-shard bad lists are concatenated in shard order, which keeps
+	// Bad() ascending without a sort.
+	shardBad := make([][]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			if !b.valid(lo, hi) {
+				sub := BatchVerifier{v: b.v, items: b.items, arena: b.arena}
+				sub.bisect(lo, hi)
+				shardBad[w] = sub.bad
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, bad := range shardBad {
+		b.bad = append(b.bad, bad...)
+	}
+	return len(b.bad) == 0
+}
+
+// valid is the aggregate pass over items [lo, hi): it answers only "is every
+// signature in this range valid", the exact contract a multi-scalar batch
+// equation provides. See the type comment for the stdlib fallback.
+func (b *BatchVerifier) valid(lo, hi int) bool {
+	for i := lo; i < hi; i++ {
+		it := &b.items[i]
+		if !b.v.Verify(it.signer, b.arena[it.off:it.off+it.n], it.sig) {
+			return false
+		}
+	}
+	return true
+}
+
+// bisect pinpoints every invalid item in [lo, hi), which the caller has
+// already determined to fail as a whole. Each recursion level re-checks both
+// halves aggregately, descending only into failing halves — O(k log n)
+// aggregate passes for k bad items.
+func (b *BatchVerifier) bisect(lo, hi int) {
+	if hi-lo == 1 {
+		b.bad = append(b.bad, lo)
+		return
+	}
+	mid := lo + (hi-lo)/2
+	if !b.valid(lo, mid) {
+		b.bisect(lo, mid)
+	}
+	if !b.valid(mid, hi) {
+		b.bisect(mid, hi)
+	}
+}
+
+// batchPool recycles BatchVerifiers across the prevalidation workers and the
+// engines' QC-verification path, keeping batch construction allocation-free
+// in steady state.
+var batchPool = sync.Pool{New: func() any { return new(BatchVerifier) }}
+
+// BatchVerifyQC is VerifyQC's batch counterpart: structure check, then all
+// vote signatures in one batch pass with up to workers-way concurrency. On
+// failure the error names the first offending vote (exact attribution via
+// bisection) and how many of the batch were invalid.
+func BatchVerifyQC(v Verifier, qc *types.QC, quorum, workers int) error {
+	if err := qc.CheckStructure(quorum); err != nil {
+		return err
+	}
+	if len(qc.Votes) == 0 {
+		return nil // genesis QC, valid by convention
+	}
+	bv := batchPool.Get().(*BatchVerifier)
+	bv.Reset(v)
+	var scratch [128]byte
+	buf := scratch[:0]
+	for i := range qc.Votes {
+		vote := &qc.Votes[i]
+		buf = vote.AppendSigningPayload(buf[:0])
+		bv.Add(vote.Voter, buf, vote.Signature)
+	}
+	var err error
+	if !bv.Verify(workers) {
+		bad := bv.Bad()
+		err = fmt.Errorf("crypto: bad signature on %v (%d of %d in batch invalid)",
+			&qc.Votes[bad[0]], len(bad), len(qc.Votes))
+	}
+	batchPool.Put(bv)
+	return err
+}

@@ -1,0 +1,267 @@
+package crypto_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/crypto"
+	"repro/internal/types"
+)
+
+// batchCase builds a batch of signed payloads with a chosen set of
+// corrupted indices and returns the verifier plus the per-item (signer,
+// payload, signature) triples for the serial differential check.
+type batchCase struct {
+	signers  []types.ReplicaID
+	payloads [][]byte
+	sigs     [][]byte
+}
+
+func buildBatchCase(kr *crypto.KeyRing, rng *rand.Rand, size int, corrupt map[int]bool) *batchCase {
+	c := &batchCase{}
+	for i := 0; i < size; i++ {
+		signer := types.ReplicaID(rng.Intn(kr.N()))
+		payload := make([]byte, 1+rng.Intn(96))
+		rng.Read(payload)
+		sig := kr.Signer(signer).Sign(payload)
+		if corrupt[i] {
+			switch rng.Intn(3) {
+			case 0: // flipped signature bit
+				sig = append([]byte(nil), sig...)
+				sig[rng.Intn(len(sig))] ^= 1 << uint(rng.Intn(8))
+			case 1: // signature attributed to the wrong signer
+				signer = types.ReplicaID((int(signer) + 1) % kr.N())
+			default: // payload mutated after signing
+				payload[rng.Intn(len(payload))] ^= 1
+			}
+		}
+		c.signers = append(c.signers, signer)
+		c.payloads = append(c.payloads, payload)
+		c.sigs = append(c.sigs, sig)
+	}
+	return c
+}
+
+// serialBad is the ground truth: one KeyRing.Verify call per item.
+func (c *batchCase) serialBad(kr *crypto.KeyRing) []int {
+	var bad []int
+	for i := range c.signers {
+		if !kr.Verify(c.signers[i], c.payloads[i], c.sigs[i]) {
+			bad = append(bad, i)
+		}
+	}
+	return bad
+}
+
+func (c *batchCase) fill(bv *crypto.BatchVerifier) {
+	for i := range c.signers {
+		bv.Add(c.signers[i], c.payloads[i], c.sigs[i])
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBatchVerifierDifferential is the randomized differential test: over
+// many random batches (valid and corrupted in random patterns), the batch
+// verifier must agree with serial KeyRing.Verify item by item, and its
+// bisection must pinpoint exactly the corrupted indices — at every worker
+// count, for both signature schemes.
+func TestBatchVerifierDifferential(t *testing.T) {
+	for _, scheme := range []string{crypto.SchemeSim, crypto.SchemeEd25519} {
+		t.Run("scheme="+scheme, func(t *testing.T) {
+			kr, err := crypto.NewKeyRing(11, 42, scheme)
+			if err != nil {
+				t.Fatal(err)
+			}
+			trials := 64
+			if scheme == crypto.SchemeEd25519 {
+				trials = 12 // real crypto: fewer, still covering every corruption mode
+			}
+			rng := rand.New(rand.NewSource(99))
+			bv := crypto.NewBatchVerifier(kr)
+			for trial := 0; trial < trials; trial++ {
+				size := 1 + rng.Intn(48)
+				corrupt := map[int]bool{}
+				// Roughly a third of trials fully valid; otherwise corrupt a
+				// random subset, sometimes dense, sometimes a single item.
+				if trial%3 != 0 {
+					k := 1 + rng.Intn(1+size/2)
+					for j := 0; j < k; j++ {
+						corrupt[rng.Intn(size)] = true
+					}
+				}
+				c := buildBatchCase(kr, rng, size, corrupt)
+				want := c.serialBad(kr)
+				for _, workers := range []int{1, 2, 3, 8} {
+					bv.Reset(kr)
+					c.fill(bv)
+					ok := bv.Verify(workers)
+					if ok != (len(want) == 0) {
+						t.Fatalf("trial %d workers %d: Verify=%v, serial found %d bad", trial, workers, ok, len(want))
+					}
+					if !equalInts(bv.Bad(), want) {
+						t.Fatalf("trial %d workers %d: Bad()=%v, serial ground truth %v", trial, workers, bv.Bad(), want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// FuzzBatchVerifier drives the differential property from fuzz input: the
+// bytes choose batch size, corruption pattern, and worker count, and the
+// oracle is serial verification. Run seeds in CI; `go test -fuzz` explores.
+func FuzzBatchVerifier(f *testing.F) {
+	f.Add(int64(1), uint16(5), uint32(0), uint8(1))
+	f.Add(int64(2), uint16(17), uint32(0xffff), uint8(3))
+	f.Add(int64(3), uint16(1), uint32(1), uint8(0))
+	f.Add(int64(4), uint16(64), uint32(0x10101010), uint8(16))
+	kr, err := crypto.NewKeyRing(7, 7, crypto.SchemeSim)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, seed int64, sizeRaw uint16, corruptMask uint32, workersRaw uint8) {
+		size := 1 + int(sizeRaw)%64
+		rng := rand.New(rand.NewSource(seed))
+		corrupt := map[int]bool{}
+		for i := 0; i < size && i < 32; i++ {
+			if corruptMask&(1<<uint(i)) != 0 {
+				corrupt[i] = true
+			}
+		}
+		c := buildBatchCase(kr, rng, size, corrupt)
+		want := c.serialBad(kr)
+		bv := crypto.NewBatchVerifier(kr)
+		c.fill(bv)
+		ok := bv.Verify(int(workersRaw) % 9)
+		if ok != (len(want) == 0) || !equalInts(bv.Bad(), want) {
+			t.Fatalf("batch disagrees with serial: Verify=%v Bad=%v want %v", ok, bv.Bad(), want)
+		}
+	})
+}
+
+// TestBatchVerifyQCAttribution pins the acceptance property: a corrupted
+// signature inside a batch-verified QC is attributed to the correct sender
+// and rejected, while the untampered certificate passes at every worker
+// count.
+func TestBatchVerifyQCAttribution(t *testing.T) {
+	for _, scheme := range []string{crypto.SchemeSim, crypto.SchemeEd25519} {
+		t.Run("scheme="+scheme, func(t *testing.T) {
+			kr, err := crypto.NewKeyRing(7, 1, scheme)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var block types.BlockID
+			block[0] = 3
+			qc := &types.QC{Block: block, Round: 4, Height: 4}
+			for i := 0; i < 5; i++ {
+				v := types.Vote{Block: block, Round: 4, Height: 4, Voter: types.ReplicaID(i)}
+				v.Signature = kr.Signer(v.Voter).Sign(v.SigningPayload())
+				qc.Votes = append(qc.Votes, v)
+			}
+			for _, workers := range []int{1, 2, 8} {
+				if err := crypto.BatchVerifyQC(kr, qc, 5, workers); err != nil {
+					t.Fatalf("valid QC rejected at workers=%d: %v", workers, err)
+				}
+			}
+			for _, corruptIdx := range []int{0, 2, 4} {
+				bad := &types.QC{Block: qc.Block, Round: qc.Round, Height: qc.Height}
+				bad.Votes = append([]types.Vote(nil), qc.Votes...)
+				bad.Votes[corruptIdx].Signature = append([]byte(nil), qc.Votes[corruptIdx].Signature...)
+				bad.Votes[corruptIdx].Signature[1] ^= 0x40
+				for _, workers := range []int{1, 2, 8} {
+					err := crypto.BatchVerifyQC(kr, bad, 5, workers)
+					if err == nil {
+						t.Fatalf("corrupted vote %d passed at workers=%d", corruptIdx, workers)
+					}
+					if want := bad.Votes[corruptIdx].String(); !strings.Contains(err.Error(), want) {
+						t.Fatalf("corrupted vote %d not attributed: %v (want mention of %s)", corruptIdx, err, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchVerifierAddsNoAllocs guards the batch layer's overhead: once its
+// arena has warmed up, accumulating and verifying a batch allocates nothing
+// beyond what the underlying per-signature Verify itself allocates.
+func TestBatchVerifierAddsNoAllocs(t *testing.T) {
+	kr, err := crypto.NewKeyRing(7, 1, crypto.SchemeSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	c := buildBatchCase(kr, rng, 16, nil)
+
+	serial := testing.AllocsPerRun(200, func() {
+		for i := range c.signers {
+			if !kr.Verify(c.signers[i], c.payloads[i], c.sigs[i]) {
+				t.Fatal("serial verify failed")
+			}
+		}
+	})
+	bv := crypto.NewBatchVerifier(kr)
+	c.fill(bv)
+	bv.Verify(1) // warm the arena and item slices
+	batch := testing.AllocsPerRun(200, func() {
+		bv.Reset(kr)
+		c.fill(bv)
+		if !bv.Verify(1) {
+			t.Fatal("batch verify failed")
+		}
+	})
+	if batch > serial {
+		t.Fatalf("batch path allocates %.1f/run, serial baseline %.1f/run", batch, serial)
+	}
+}
+
+// BenchmarkVerifyQCBatch compares a cold certificate verification on the
+// serial path against the batch path at several worker counts, for both
+// schemes. On a multi-core host the batch path scales with workers; on a
+// single-core host it must stay within noise of serial (the batch layer's
+// own overhead is the only difference).
+func BenchmarkVerifyQCBatch(b *testing.B) {
+	for _, scheme := range []string{crypto.SchemeSim, crypto.SchemeEd25519} {
+		kr, err := crypto.NewKeyRing(31, 1, scheme)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var block types.BlockID
+		block[0] = 7
+		qc := &types.QC{Block: block, Round: 5, Height: 5}
+		for i := 0; i < 21; i++ {
+			v := types.Vote{Block: block, Round: 5, Height: 5, Voter: types.ReplicaID(i)}
+			v.Signature = kr.Signer(v.Voter).Sign(v.SigningPayload())
+			qc.Votes = append(qc.Votes, v)
+		}
+		b.Run("scheme="+scheme+"/serial", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := crypto.VerifyQC(kr, qc, 21); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("scheme=%s/batch/workers=%d", scheme, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := crypto.BatchVerifyQC(kr, qc, 21, workers); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

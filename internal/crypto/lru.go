@@ -1,0 +1,61 @@
+package crypto
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruSet is the mutex-guarded, LRU-bounded key set behind the verification
+// memos (QCCache, SigCache). Lookups refresh recency; inserts are
+// double-checked so concurrent misses that verified the same content twice
+// insert once; the oldest key falls off past capacity. Nothing is stored
+// but the keys themselves — the memos cache only the fact "this content
+// verified", which signature immutability makes permanently true.
+type lruSet[K comparable] struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[K]*list.Element
+	order    *list.List // front = most recently used; values are K
+}
+
+func newLRUSet[K comparable](capacity int) *lruSet[K] {
+	return &lruSet[K]{
+		capacity: capacity,
+		entries:  make(map[K]*list.Element, capacity),
+		order:    list.New(),
+	}
+}
+
+// contains reports whether k is cached, refreshing its recency on hit.
+func (s *lruSet[K]) contains(k K) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[k]
+	if ok {
+		s.order.MoveToFront(el)
+	}
+	return ok
+}
+
+// add inserts k unless a concurrent caller already did, evicting the oldest
+// entry past capacity.
+func (s *lruSet[K]) add(k K) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[k]; ok {
+		return
+	}
+	s.entries[k] = s.order.PushFront(k)
+	if s.order.Len() > s.capacity {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.entries, oldest.Value.(K))
+	}
+}
+
+// len returns the number of cached keys.
+func (s *lruSet[K]) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.order.Len()
+}

@@ -1,8 +1,9 @@
 package crypto
 
 import (
-	"container/list"
 	"crypto/sha256"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/types"
 )
@@ -21,16 +22,21 @@ import (
 // or forged signatures — never alias. The quorum parameter is part of the
 // key as well, since structural validity depends on it.
 //
-// A QCCache belongs to one replica engine and, like the engines themselves,
-// is not safe for concurrent use.
+// A QCCache belongs to one replica engine. Since the verification pipeline
+// consults it from prevalidation workers concurrently with the engine loop,
+// the key set is the shared internally-synchronized lruSet; the signature
+// verification itself (the expensive part) runs outside its lock, so two
+// workers may at worst verify the same novel certificate twice — a benign
+// duplication, since insertion is idempotent.
 type QCCache struct {
-	capacity int
-	entries  map[qcKey]*list.Element
-	order    *list.List // front = most recently used; values are qcKey
-	scratch  []byte     // reused encoding buffer for digest computation
-
-	hits, misses int64
+	set          *lruSet[qcKey]
+	hits, misses atomic.Int64
 }
+
+// encodeScratch recycles QC-encoding buffers for key computation, which runs
+// before the cache lock is taken so concurrent prevalidation workers never
+// serialize on each other's hashing.
+var encodeScratch = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
 
 type qcKey struct {
 	block  types.BlockID
@@ -49,11 +55,7 @@ func NewQCCache(capacity int) *QCCache {
 	if capacity <= 0 {
 		capacity = DefaultQCCacheSize
 	}
-	return &QCCache{
-		capacity: capacity,
-		entries:  make(map[qcKey]*list.Element, capacity),
-		order:    list.New(),
-	}
+	return &QCCache{set: newLRUSet[qcKey](capacity)}
 }
 
 // VerifyQC behaves exactly like the package-level VerifyQC but consults the
@@ -61,31 +63,57 @@ func NewQCCache(capacity int) *QCCache {
 // and never cached; failed verifications are not cached either, so a replica
 // re-examines a bad certificate if it is delivered again.
 func (c *QCCache) VerifyQC(v Verifier, qc *types.QC, quorum int) error {
+	return c.verify(v, qc, quorum, 0, false)
+}
+
+// VerifyQCBatch is VerifyQC with the batch verification path: a miss checks
+// all vote signatures via BatchVerifyQC (one aggregate pass with up to
+// workers-way concurrency, bisection attribution on failure) instead of one
+// serial call per vote. Hits and the memo itself are identical.
+func (c *QCCache) VerifyQCBatch(v Verifier, qc *types.QC, quorum, workers int) error {
+	return c.verify(v, qc, quorum, workers, true)
+}
+
+func (c *QCCache) verify(v Verifier, qc *types.QC, quorum, workers int, batch bool) error {
 	if len(qc.Votes) == 0 {
 		return qc.CheckStructure(quorum)
 	}
-	c.scratch = qc.Encode(c.scratch[:0])
-	key := qcKey{block: qc.Block, digest: sha256.Sum256(c.scratch), quorum: quorum}
-	if el, ok := c.entries[key]; ok {
-		c.hits++
-		c.order.MoveToFront(el)
+	// Key computation (encode + digest) happens outside the lock: the mutex
+	// guards only the map and LRU list.
+	bufp := encodeScratch.Get().(*[]byte)
+	buf := qc.Encode((*bufp)[:0])
+	key := qcKey{block: qc.Block, digest: sha256.Sum256(buf), quorum: quorum}
+	*bufp = buf
+	encodeScratch.Put(bufp)
+
+	if c.set.contains(key) {
+		c.hits.Add(1)
 		return nil
 	}
-	if err := VerifyQC(v, qc, quorum); err != nil {
+
+	// Signature work runs outside the lock so concurrent prevalidation
+	// workers never serialize on each other's crypto.
+	var err error
+	if batch {
+		err = BatchVerifyQC(v, qc, quorum, workers)
+	} else {
+		err = VerifyQC(v, qc, quorum)
+	}
+	if err != nil {
 		return err
 	}
-	c.misses++
-	c.entries[key] = c.order.PushFront(key)
-	if c.order.Len() > c.capacity {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(qcKey))
-	}
+
+	// Counted as a miss even when a concurrent worker raced us to the
+	// insert — this pass did the verification work either way.
+	c.misses.Add(1)
+	c.set.add(key)
 	return nil
 }
 
 // Len returns the number of cached certificates.
-func (c *QCCache) Len() int { return c.order.Len() }
+func (c *QCCache) Len() int { return c.set.len() }
 
 // Stats returns cache hit/miss counters for diagnostics and benchmarks.
-func (c *QCCache) Stats() (hits, misses int64) { return c.hits, c.misses }
+func (c *QCCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}

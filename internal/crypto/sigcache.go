@@ -1,0 +1,77 @@
+package crypto
+
+import (
+	"crypto/sha256"
+
+	"repro/internal/types"
+)
+
+// SigCache memoizes successful single-signature verifications by content
+// digest. Streamlet's echo mechanism delivers the same vote or proposal to a
+// replica up to n times (once directly, once per relayer); the state stage
+// dedups those copies before its signature check, but the prevalidation
+// stage is stateless and would otherwise pay a full ed25519 verification per
+// copy. Signatures are immutable, so a (signer, payload, signature) triple
+// that verified once verifies forever — the memo needs no invalidation, only
+// an LRU bound.
+//
+// The key is a SHA-256 over signer, payload, and signature bytes, so a
+// corrupted or re-attributed copy of a cached message never aliases the
+// valid one: it misses, verifies in full, and fails. Like QCCache, a
+// SigCache is internally synchronized (via the shared lruSet) for use from
+// concurrent prevalidation workers; nothing is cached on failure.
+type SigCache struct {
+	set *lruSet[[32]byte]
+}
+
+// DefaultSigCacheSize covers the in-flight rounds of a paper-scale cluster:
+// one vote and one proposal per replica per round, a few rounds deep.
+const DefaultSigCacheSize = 4096
+
+// NewSigCache creates a cache holding at most capacity verified signatures.
+// capacity <= 0 selects DefaultSigCacheSize.
+func NewSigCache(capacity int) *SigCache {
+	if capacity <= 0 {
+		capacity = DefaultSigCacheSize
+	}
+	return &SigCache{set: newLRUSet[[32]byte](capacity)}
+}
+
+// Verify behaves like v.Verify but consults the memo first and records
+// successes. One digest pass replaces re-verification of byte-identical
+// deliveries; results are identical to calling v.Verify directly.
+func (c *SigCache) Verify(v Verifier, id types.ReplicaID, payload, sig []byte) bool {
+	key := sigKey(id, payload, sig)
+	if c.set.contains(key) {
+		return true
+	}
+	if !v.Verify(id, payload, sig) {
+		return false
+	}
+	c.set.add(key)
+	return true
+}
+
+// Len returns the number of cached signatures.
+func (c *SigCache) Len() int { return c.set.len() }
+
+// sigKey digests the triple with length framing so (payload, sig) boundary
+// ambiguity cannot alias two different triples.
+func sigKey(id types.ReplicaID, payload, sig []byte) [32]byte {
+	h := sha256.New()
+	var hdr [12]byte
+	hdr[0] = byte(id)
+	hdr[1] = byte(id >> 8)
+	hdr[2] = byte(id >> 16)
+	hdr[3] = byte(id >> 24)
+	n := uint64(len(payload))
+	for i := 0; i < 8; i++ {
+		hdr[4+i] = byte(n >> (8 * i))
+	}
+	h.Write(hdr[:])
+	h.Write(payload)
+	h.Write(sig)
+	var key [32]byte
+	h.Sum(key[:0])
+	return key
+}

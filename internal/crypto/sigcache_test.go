@@ -1,0 +1,65 @@
+package crypto_test
+
+import (
+	"testing"
+
+	"repro/internal/crypto"
+)
+
+// TestSigCacheNoAliasing pins the memo's safety property: a byte-identical
+// re-delivery is served from the cache, while any corrupted or re-attributed
+// variant of a cached triple misses, verifies in full, and fails.
+func TestSigCacheNoAliasing(t *testing.T) {
+	kr, err := crypto.NewKeyRing(4, 1, crypto.SchemeSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := crypto.NewSigCache(8)
+	payload := []byte("streamlet vote payload")
+	sig := kr.Signer(2).Sign(payload)
+
+	for i := 0; i < 3; i++ {
+		if !c.Verify(kr, 2, payload, sig) {
+			t.Fatalf("delivery %d of a valid triple rejected", i)
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d entries after 3 identical deliveries, want 1", c.Len())
+	}
+
+	// Flipped signature bit: must not alias the cached entry.
+	bad := append([]byte(nil), sig...)
+	bad[0] ^= 1
+	if c.Verify(kr, 2, payload, bad) {
+		t.Fatal("corrupted signature passed via the cache")
+	}
+	// Re-attributed to another signer: must not alias either.
+	if c.Verify(kr, 3, payload, sig) {
+		t.Fatal("re-attributed signature passed via the cache")
+	}
+	// Payload/signature boundary shift with identical concatenation.
+	if c.Verify(kr, 2, payload[:len(payload)-1], append([]byte{payload[len(payload)-1]}, sig...)) {
+		t.Fatal("boundary-shifted triple passed via the cache")
+	}
+	// The original still verifies and failures were not cached.
+	if !c.Verify(kr, 2, payload, sig) || c.Len() != 1 {
+		t.Fatalf("cache corrupted by failed attempts: len=%d", c.Len())
+	}
+}
+
+func TestSigCacheLRUEviction(t *testing.T) {
+	kr, err := crypto.NewKeyRing(4, 1, crypto.SchemeSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := crypto.NewSigCache(2)
+	payloads := [][]byte{[]byte("a"), []byte("b"), []byte("c")}
+	for _, p := range payloads {
+		if !c.Verify(kr, 1, p, kr.Signer(1).Sign(p)) {
+			t.Fatal("valid triple rejected")
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want capacity 2", c.Len())
+	}
+}

@@ -1,0 +1,129 @@
+package diembft
+
+import (
+	"fmt"
+
+	"repro/internal/crypto"
+	"repro/internal/pacemaker"
+	"repro/internal/statesync"
+	"repro/internal/types"
+)
+
+// syncMaxBlocks caps how many blocks one sync response may carry, shared by
+// the onSyncRequest serve path and warmSegment's warming bound so the two
+// cannot drift apart (a larger serve cap with a smaller warm bound would
+// silently push the tail of every segment back onto cold engine-loop
+// verification). It matches the state-sync protocol's segment cap.
+const syncMaxBlocks = statesync.DefaultMaxBlocks
+
+// Prevalidate implements engine.Pipelined: every check on an inbound message
+// that reads no mutable replica state — structural sanity, sender
+// signatures, and certificate verification. Runtimes call it from transport
+// reader goroutines and worker pools concurrently with the event loop; the
+// only shared structure it touches is the verified-QC cache, which is
+// internally synchronized (and which OnVerifiedMessage's state stage then
+// hits instead of re-verifying).
+//
+// A nil return means the state stage will not need to verify any signature
+// on this message; an error means the state stage would have dropped the
+// message without producing outputs, so the runtime can discard it.
+//
+// Bulk sync segments (SyncResponse, StateSyncResponse) are the one
+// exception: their accept/reject semantics are prefix-stateful (the engine
+// installs blocks link by link and stops at the first bad one), so
+// Prevalidate never rejects them. It still pulls their signature work
+// off-loop by verifying every segment certificate into the shared QC cache,
+// which turns the engine loop's own verification into cache hits.
+func (r *Replica) Prevalidate(from types.ReplicaID, msg types.Message) error {
+	if !r.cfg.VerifySignatures {
+		return nil
+	}
+	switch m := msg.(type) {
+	case *types.Proposal:
+		return r.prevalidateProposal(m)
+	case *types.VoteMsg:
+		return crypto.VerifyVote(r.cfg.Verifier, m.Vote)
+	case *types.Timeout:
+		return r.prevalidateTimeout(m)
+	case *types.ExtraVote:
+		return crypto.VerifyVote(r.cfg.Verifier, m.Vote)
+	case *types.SyncResponse:
+		r.warmSegment(m.Blocks, nil)
+		return nil
+	case *types.StateSyncResponse:
+		r.warmSegment(m.Blocks, m.HighQC)
+		return nil
+	}
+	// SyncRequest/StateSyncRequest carry no signatures; unknown message
+	// types are the state stage's business to ignore.
+	return nil
+}
+
+// prevalidateProposal mirrors validProposal's checks exactly — all of them
+// are stateless, so the whole validation moves off-loop.
+func (r *Replica) prevalidateProposal(p *types.Proposal) error {
+	if p.Block == nil || p.Block.Justify == nil {
+		return fmt.Errorf("diembft: proposal without block or justify")
+	}
+	if p.Block.Round != p.Round || p.Block.Proposer != p.Sender {
+		return fmt.Errorf("diembft: proposal round/proposer mismatch")
+	}
+	if pacemaker.Leader(p.Round, r.cfg.N) != p.Sender {
+		return fmt.Errorf("diembft: proposal from non-leader %v", p.Sender)
+	}
+	if p.Block.Justify.Block != p.Block.Parent {
+		return fmt.Errorf("diembft: justify does not certify parent")
+	}
+	if !r.cfg.Verifier.Verify(p.Sender, p.SigningPayload(), p.Signature) {
+		return fmt.Errorf("diembft: bad proposal signature from %v", p.Sender)
+	}
+	// verifyQC structure-checks the certificate itself; no separate
+	// CheckStructure pass is needed.
+	return r.verifyQC(p.Block.Justify)
+}
+
+// prevalidateTimeout mirrors onTimeout's verification: sender signature and
+// the attached high QC. Unlike the inline path, no Sender == self exception
+// is needed here: a replica's own timeout only reaches it through trusted
+// local self-delivery, which runtimes hand to OnVerifiedMessage without
+// calling Prevalidate at all — anything arriving here came off the network
+// and gets the full check. For honest traffic (network timeouts always name
+// a remote sender) the two paths behave identically.
+func (r *Replica) prevalidateTimeout(t *types.Timeout) error {
+	if !r.cfg.Verifier.Verify(t.Sender, t.SigningPayload(), t.Signature) {
+		return fmt.Errorf("diembft: bad timeout signature from %v", t.Sender)
+	}
+	if t.HighQC != nil {
+		// verifyQC structure-checks the certificate itself.
+		return r.verifyQC(t.HighQC)
+	}
+	return nil
+}
+
+// warmSegment verifies a sync segment's certificates into the shared QC
+// cache without judging the segment — entries that fail are simply not
+// cached and the state stage rejects them with its usual link-by-link
+// semantics. The warm is bounded the same way the state stage's work is:
+// honest serves cap segments at statesync.DefaultMaxBlocks, and a segment
+// is rejected at its first bad certificate, so warming beyond either bound
+// would only hand a Byzantine peer a CPU-amplification vector (thousands of
+// garbage QCs burned on a reader goroutine for one cheap frame).
+func (r *Replica) warmSegment(blocks []*types.Block, highQC *types.QC) {
+	if r.qcCache == nil {
+		return
+	}
+	if len(blocks) > syncMaxBlocks {
+		blocks = blocks[:syncMaxBlocks]
+	}
+	for _, b := range blocks {
+		if b == nil || b.Justify == nil {
+			continue
+		}
+		if err := r.verifyQC(b.Justify); err != nil {
+			return
+		}
+	}
+	if highQC != nil {
+		_ = r.verifyQC(highQC)
+	}
+}

@@ -1,0 +1,151 @@
+package diembft_test
+
+import (
+	"testing"
+
+	"repro/internal/crypto"
+	"repro/internal/types"
+)
+
+// TestPrevalidateProposal pins the stateless stage on proposals: genuine
+// ones pass, forged signatures and forged justify certificates fail — and a
+// message that passed Prevalidate is then accepted by the verified state
+// stage without re-verification.
+func TestPrevalidateProposal(t *testing.T) {
+	ring, _ := crypto.NewKeyRing(4, 1, crypto.SchemeSim)
+	rep := soloReplica(t, 1, 4, 1, ring)
+	rep.Init(0)
+
+	good := genuineProposal(ring, 1)
+	if err := rep.Prevalidate(0, good); err != nil {
+		t.Fatalf("genuine proposal rejected: %v", err)
+	}
+	if !hasVote(rep.OnVerifiedMessage(0, 0, good)) {
+		t.Fatal("verified state stage did not vote for a prevalidated proposal")
+	}
+
+	forged := genuineProposal(ring, 2)
+	forged.Signature = ring.Signer(2).Sign(forged.SigningPayload())
+	if err := rep.Prevalidate(0, forged); err == nil {
+		t.Fatal("forged proposal signature passed prevalidation")
+	}
+
+	wrongLeader := genuineProposal(ring, 3)
+	wrongLeader.Sender = 2
+	wrongLeader.Block.Proposer = 2
+	wrongLeader.Signature = ring.Signer(2).Sign(wrongLeader.SigningPayload())
+	if err := rep.Prevalidate(2, wrongLeader); err == nil {
+		t.Fatal("wrong-leader proposal passed prevalidation")
+	}
+}
+
+// TestPrevalidateVoteAndTimeout covers the remaining signed message types:
+// tampered votes and timeouts (including a corrupted attached high QC) must
+// fail, genuine ones pass.
+func TestPrevalidateVoteAndTimeout(t *testing.T) {
+	ring, _ := crypto.NewKeyRing(4, 1, crypto.SchemeSim)
+	rep := soloReplica(t, 1, 4, 1, ring)
+	rep.Init(0)
+
+	good := genuineProposal(ring, 1)
+	v := types.Vote{Block: good.Block.ID(), Round: 1, Height: 1, Voter: 2}
+	v.Signature = ring.Signer(2).Sign(v.SigningPayload())
+	if err := rep.Prevalidate(2, &types.VoteMsg{Vote: v}); err != nil {
+		t.Fatalf("genuine vote rejected: %v", err)
+	}
+	bad := v
+	bad.Marker = 9 // payload no longer matches the signature
+	if err := rep.Prevalidate(2, &types.VoteMsg{Vote: bad}); err == nil {
+		t.Fatal("tampered vote passed prevalidation")
+	}
+
+	// Timeout carrying a valid QC.
+	var votes []types.Vote
+	for i := 0; i < 3; i++ {
+		qv := types.Vote{Block: good.Block.ID(), Round: 1, Height: 1, Voter: types.ReplicaID(i)}
+		qv.Signature = ring.Signer(qv.Voter).Sign(qv.SigningPayload())
+		votes = append(votes, qv)
+	}
+	qc := &types.QC{Block: good.Block.ID(), Round: 1, Height: 1, Votes: votes}
+	to := &types.Timeout{Round: 2, HighQC: qc, Sender: 3}
+	to.Signature = ring.Signer(3).Sign(to.SigningPayload())
+	if err := rep.Prevalidate(3, to); err != nil {
+		t.Fatalf("genuine timeout rejected: %v", err)
+	}
+
+	corrupted := &types.QC{Block: qc.Block, Round: qc.Round, Height: qc.Height}
+	corrupted.Votes = append([]types.Vote(nil), qc.Votes...)
+	corrupted.Votes[1].Signature = []byte("forged")
+	badTO := &types.Timeout{Round: 2, HighQC: corrupted, Sender: 3}
+	badTO.Signature = ring.Signer(3).Sign(badTO.SigningPayload())
+	if err := rep.Prevalidate(3, badTO); err == nil {
+		t.Fatal("timeout with corrupted high QC passed prevalidation")
+	}
+
+	badSig := &types.Timeout{Round: 2, HighQC: qc, Sender: 3}
+	badSig.Signature = ring.Signer(2).Sign(badSig.SigningPayload())
+	if err := rep.Prevalidate(3, badSig); err == nil {
+		t.Fatal("timeout with forged sender signature passed prevalidation")
+	}
+}
+
+// TestSpoofedSelfTimeoutRejected pins the loopback-trust rule on the inline
+// path: a network peer sending a Timeout that claims Sender == receiver
+// (with a forged high QC) must not bypass verification — only true local
+// loopback (transport from == self) skips it.
+func TestSpoofedSelfTimeoutRejected(t *testing.T) {
+	ring, _ := crypto.NewKeyRing(4, 1, crypto.SchemeSim)
+	rep := soloReplica(t, 1, 4, 1, ring)
+	rep.Init(0)
+
+	g := types.Genesis()
+	b1 := types.NewBlock(g.ID(), types.NewGenesisQC(g.ID()), 5, 1, 0, 5, types.Payload{}, nil)
+	var votes []types.Vote
+	for i := 0; i < 3; i++ {
+		v := types.Vote{Block: b1.ID(), Round: 5, Height: 1, Voter: types.ReplicaID(i)}
+		v.Signature = []byte("forged")
+		votes = append(votes, v)
+	}
+	forgedQC := &types.QC{Block: b1.ID(), Round: 5, Height: 1, Votes: votes}
+	spoofed := &types.Timeout{Round: 5, HighQC: forgedQC, Sender: 1 /* the receiver itself */}
+	spoofed.Signature = []byte("forged")
+
+	rep.OnMessage(0, 2, spoofed) // delivered from the network, not loopback
+	if rep.HighQC().Round == 5 {
+		t.Fatal("forged high QC accepted from a spoofed self-sender timeout")
+	}
+	if err := rep.Prevalidate(2, spoofed); err == nil {
+		t.Fatal("spoofed self-sender timeout passed prevalidation")
+	}
+}
+
+// TestPrevalidatePassesSyncSegments pins the documented exception: bulk sync
+// responses are never rejected by prevalidation (their prefix semantics are
+// the engine loop's), even when a segment certificate is corrupt.
+func TestPrevalidatePassesSyncSegments(t *testing.T) {
+	ring, _ := crypto.NewKeyRing(4, 1, crypto.SchemeSim)
+	rep := soloReplica(t, 1, 4, 1, ring)
+	rep.Init(0)
+
+	g := types.Genesis()
+	b1 := types.NewBlock(g.ID(), types.NewGenesisQC(g.ID()), 1, 1, 0, 5, types.Payload{}, nil)
+	var votes []types.Vote
+	for i := 0; i < 3; i++ {
+		v := types.Vote{Block: b1.ID(), Round: 1, Height: 1, Voter: types.ReplicaID(i)}
+		v.Signature = []byte("forged")
+		votes = append(votes, v)
+	}
+	badQC := &types.QC{Block: b1.ID(), Round: 1, Height: 1, Votes: votes}
+	b2 := types.NewBlock(b1.ID(), badQC, 2, 2, 1, 6, types.Payload{}, nil)
+
+	resp := &types.SyncResponse{Blocks: []*types.Block{b2}, Sender: 2}
+	if err := rep.Prevalidate(2, resp); err != nil {
+		t.Fatalf("sync segment rejected by prevalidation: %v", err)
+	}
+	// The verified state stage still rejects the corrupt link itself.
+	before := rep.Store().Len()
+	rep.OnVerifiedMessage(0, 2, resp)
+	if rep.Store().Len() != before {
+		t.Fatal("corrupt sync segment block was installed")
+	}
+}

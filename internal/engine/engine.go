@@ -29,6 +29,42 @@ type Engine interface {
 	OnTimer(now time.Duration, id int) []Output
 }
 
+// Pipelined is implemented by engines whose message handling splits into a
+// stateless prevalidation stage and the serial state-machine stage. The
+// split is what lets runtimes take signature verification — the dominant
+// cost under real crypto — off the single-threaded event loop: transports
+// and worker pools call Prevalidate concurrently, drop messages that fail,
+// and deliver survivors through OnVerifiedMessage, which skips every
+// signature check Prevalidate already performed.
+//
+// Contract:
+//
+//   - Prevalidate must be pure with respect to replica state: it may read
+//     only immutable configuration (keys, quorum size, cluster shape) and
+//     internally synchronized caches, never the protocol state machine. It
+//     is safe to call from any number of goroutines concurrently with the
+//     event loop.
+//   - Prevalidate failing means the message is discardable: the state stage
+//     would have dropped it without producing outputs. Runtimes must not
+//     deliver a message whose Prevalidate returned an error.
+//   - OnVerifiedMessage must produce byte-identical outputs to OnMessage for
+//     any message that passes Prevalidate — the fixed-seed determinism
+//     oracle in internal/harness pins this equivalence.
+//   - Per-sender FIFO: runtimes must preserve the relative order of
+//     messages from one sender between Prevalidate and OnVerifiedMessage.
+//     Cross-sender order is unconstrained, exactly like the network.
+type Pipelined interface {
+	Engine
+	// Prevalidate runs every stateless check on msg: structural sanity,
+	// signatures, certificate verification. A nil error marks the message
+	// deliverable via OnVerifiedMessage.
+	Prevalidate(from types.ReplicaID, msg types.Message) error
+	// OnVerifiedMessage is OnMessage for a message that already passed
+	// Prevalidate (or was generated locally): signature and certificate
+	// checks are skipped, state transitions are identical.
+	OnVerifiedMessage(now time.Duration, from types.ReplicaID, msg types.Message) []Output
+}
+
 // Output is one action requested by an engine. The concrete types below are
 // the full set; runtimes switch on them.
 type Output interface{ isOutput() }

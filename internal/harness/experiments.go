@@ -22,6 +22,14 @@ type Scale struct {
 	Duration time.Duration
 	// Seed defaults to 1.
 	Seed int64
+	// Scheme selects the signature implementation for every scenario the
+	// experiment builds: "" or crypto.SchemeSim for the fast deterministic
+	// scheme, crypto.SchemeEd25519 for real crypto (which implies signature
+	// verification; see Scenario.Scheme).
+	Scheme string
+	// Pipeline enables the verification pipeline (prevalidate/apply split)
+	// in every scenario the experiment builds.
+	Pipeline bool
 }
 
 func (s Scale) withDefaults() Scale {
@@ -72,8 +80,10 @@ func symmetricScenario(sc Scale, delta time.Duration) *Scenario {
 		Seed:     sc.Seed,
 		Duration: sc.Duration,
 		// Rounds take ~2*delta (+straggler-led slack); never time out.
-		RoundTimeout: 4*delta + 4*stragglerPenalty,
-		SFT:          true,
+		RoundTimeout:   4*delta + 4*stragglerPenalty,
+		SFT:            true,
+		Scheme:         sc.Scheme,
+		VerifyPipeline: sc.Pipeline,
 	}
 }
 
@@ -115,8 +125,10 @@ func Figure7b(sc Scale, delta time.Duration) (*Result, error) {
 		// 150ms: far above A/B's ~40ms rounds, below region C's round trip
 		// at delta=200ms (~400ms), above it at delta=100ms (~200ms...240ms
 		// reach the voters before their round timer expires).
-		RoundTimeout: 150 * time.Millisecond,
-		SFT:          true,
+		RoundTimeout:   150 * time.Millisecond,
+		SFT:            true,
+		Scheme:         sc.Scheme,
+		VerifyPipeline: sc.Pipeline,
 	})
 }
 
@@ -174,11 +186,18 @@ type ComplexityPoint struct {
 
 // MessageComplexity compares messages per block decision between
 // SFT-DiemBFT (linear, §3.2) and the FBFT adaptation (quadratic, Appendix
-// B) as n grows. About f replicas are stragglers whose votes arrive after
-// the QC forms; FBFT's leaders multicast each such late vote.
-func MessageComplexity(fs []int, duration time.Duration, seed int64) ([]ComplexityPoint, error) {
+// B) as n grows (sc supplies duration, seed, and crypto scheme; its cluster
+// size is ignored in favor of the fs sweep). About f replicas are stragglers
+// whose votes arrive after the QC forms; FBFT's leaders multicast each such
+// late vote.
+func MessageComplexity(sc Scale, fs []int) ([]ComplexityPoint, error) {
+	duration := sc.Duration
 	if duration == 0 {
 		duration = time.Minute
+	}
+	seed := sc.Seed
+	if seed == 0 {
+		seed = 1
 	}
 	out := make([]ComplexityPoint, 0, len(fs))
 	for _, f := range fs {
@@ -187,15 +206,17 @@ func MessageComplexity(fs []int, duration time.Duration, seed int64) ([]Complexi
 			model := simnet.NewSymmetricModel(n, 3, intraDelay, 100*time.Millisecond, 10*time.Millisecond)
 			model.Penalty = stragglerSet(n, f) // f stragglers -> f late votes/round
 			return &Scenario{
-				Name:         "msgcomplexity",
-				N:            n,
-				F:            f,
-				Latency:      model,
-				Seed:         seed,
-				Duration:     duration,
-				RoundTimeout: time.Second,
-				SFT:          !fbft,
-				FBFT:         fbft,
+				Name:           "msgcomplexity",
+				N:              n,
+				F:              f,
+				Latency:        model,
+				Seed:           seed,
+				Duration:       duration,
+				RoundTimeout:   time.Second,
+				SFT:            !fbft,
+				FBFT:           fbft,
+				Scheme:         sc.Scheme,
+				VerifyPipeline: sc.Pipeline,
 			}
 		}
 		sft, err := Run(mk(false))
@@ -228,15 +249,17 @@ func Theorem2(sc Scale, c int) (*Result, int, error) {
 	target := 2*sc.F - c
 	model := simnet.NewSymmetricModel(sc.N, 3, intraDelay, 20*time.Millisecond, 5*time.Millisecond)
 	res, err := Run(&Scenario{
-		Name:         "theorem2",
-		N:            sc.N,
-		F:            sc.F,
-		Latency:      model,
-		Seed:         sc.Seed,
-		Duration:     sc.Duration,
-		RoundTimeout: 250 * time.Millisecond,
-		SFT:          true,
-		Levels:       []int{sc.F, target},
+		Name:           "theorem2",
+		N:              sc.N,
+		F:              sc.F,
+		Latency:        model,
+		Seed:           sc.Seed,
+		Duration:       sc.Duration,
+		RoundTimeout:   250 * time.Millisecond,
+		SFT:            true,
+		Scheme:         sc.Scheme,
+		VerifyPipeline: sc.Pipeline,
+		Levels:         []int{sc.F, target},
 	})
 	return res, target, err
 }
@@ -255,17 +278,19 @@ func Theorem3(sc Scale, t int) (marker, interval *Result, target int, err error)
 	mk := func(mode diembft.VoteMode) *Scenario {
 		model := simnet.NewSymmetricModel(sc.N, 3, intraDelay, 20*time.Millisecond, 5*time.Millisecond)
 		return &Scenario{
-			Name:         "theorem3",
-			N:            sc.N,
-			F:            sc.F,
-			Latency:      model,
-			Seed:         sc.Seed,
-			Duration:     sc.Duration,
-			RoundTimeout: 250 * time.Millisecond,
-			SFT:          true,
-			VoteMode:     mode,
-			Byzantine:    byz,
-			Levels:       []int{sc.F, target},
+			Name:           "theorem3",
+			N:              sc.N,
+			F:              sc.F,
+			Latency:        model,
+			Seed:           sc.Seed,
+			Duration:       sc.Duration,
+			RoundTimeout:   250 * time.Millisecond,
+			SFT:            true,
+			VoteMode:       mode,
+			Byzantine:      byz,
+			Scheme:         sc.Scheme,
+			VerifyPipeline: sc.Pipeline,
+			Levels:         []int{sc.F, target},
 		}
 	}
 	marker, err = Run(mk(diembft.VoteMarker))
@@ -401,8 +426,10 @@ func StreamletLatency(sc Scale, delta time.Duration) (*Result, error) {
 		Duration: sc.Duration,
 		// Streamlet's lock-step parameter must bound the actual network
 		// delay: delta/2 base + jitter + margin.
-		Delta:       delta,
-		SFT:         true,
-		DisableEcho: sc.N > 31, // echo is O(n^3); keep it for small clusters only
+		Delta:          delta,
+		SFT:            true,
+		Scheme:         sc.Scheme,
+		VerifyPipeline: sc.Pipeline,
+		DisableEcho:    sc.N > 31, // echo is O(n^3); keep it for small clusters only
 	})
 }

@@ -90,7 +90,7 @@ func TestMessageComplexityScaling(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation experiment")
 	}
-	points, err := harness.MessageComplexity([]int{2, 5, 10}, 30*time.Second, 8)
+	points, err := harness.MessageComplexity(harness.Scale{Duration: 30 * time.Second, Seed: 8}, []int{2, 5, 10})
 	if err != nil {
 		t.Fatal(err)
 	}

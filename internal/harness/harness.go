@@ -68,6 +68,17 @@ type Scenario struct {
 	DisableEcho bool
 
 	VerifySignatures bool
+	// Scheme selects the signature implementation: crypto.SchemeSim (the
+	// default, fast and deterministic) or crypto.SchemeEd25519 for real
+	// crypto. An ed25519 scenario implies VerifySignatures — running real
+	// signatures without checking them measures nothing.
+	Scheme string
+	// VerifyPipeline routes deliveries through the engines' prevalidate /
+	// apply split (stateless signature work separated from state
+	// transitions). The simulator runs the split synchronously, so results
+	// stay deterministic and — for honest traffic — bit-identical to the
+	// pipeline being off; see Config.Prevalidate in internal/simnet.
+	VerifyPipeline bool
 	// DisableQCCache turns off the per-replica verified-QC memo (DiemBFT
 	// engines), forcing every delivery to re-verify. The determinism tests
 	// use it to assert cache-on and cache-off runs are bit-identical.
@@ -206,6 +217,12 @@ func (s *Scenario) withDefaults() *Scenario {
 	if c.TailMargin == 0 {
 		c.TailMargin = c.Duration / 5
 	}
+	if c.Scheme == "" {
+		c.Scheme = crypto.SchemeSim
+	}
+	if c.Scheme == crypto.SchemeEd25519 {
+		c.VerifySignatures = true
+	}
 	return &c
 }
 
@@ -295,7 +312,7 @@ func Run(sc *Scenario) (*Result, error) {
 	if s.Latency == nil {
 		return nil, fmt.Errorf("harness: latency model required")
 	}
-	ring, err := crypto.NewKeyRing(s.N, s.Seed, crypto.SchemeSim)
+	ring, err := crypto.NewKeyRing(s.N, s.Seed, s.Scheme)
 	if err != nil {
 		return nil, err
 	}
@@ -324,11 +341,12 @@ func Run(sc *Scenario) (*Result, error) {
 	col := newCollector(s, observer)
 
 	simCfg := simnet.Config{
-		N:          s.N,
-		Latency:    s.Latency,
-		Seed:       s.Seed,
-		OnCommit:   col.onCommit,
-		OnStrength: col.onStrength,
+		N:           s.N,
+		Latency:     s.Latency,
+		Seed:        s.Seed,
+		OnCommit:    col.onCommit,
+		OnStrength:  col.onStrength,
+		Prevalidate: s.VerifyPipeline,
 	}
 	if s.GST > 0 {
 		gst, extra := s.GST, s.PreGSTExtra

@@ -1,0 +1,201 @@
+package harness
+
+import (
+	"fmt"
+	"reflect"
+	"time"
+
+	"repro/internal/crypto"
+	"repro/internal/types"
+)
+
+// This file hosts the VerifyPipeline ablation: the PR-3 experiment that
+// answers "what does the verification pipeline buy under real crypto, and
+// does it change anything?" in one report. It has two halves:
+//
+//   - A macro A/B on the simulator: the same fixed-seed scenario with the
+//     prevalidate/apply split off and on. The simulator is single-threaded,
+//     so this half measures the pipeline's bookkeeping overhead and — the
+//     important part — proves the determinism oracle: commits, latencies,
+//     message counts, and processed events must be bit-identical.
+//   - A batch-verification worker sweep off the simulator: cold QC
+//     verifications through crypto.BatchVerifyQC at several worker counts
+//     against the serial crypto.VerifyQC baseline. This half carries the
+//     hardware-dependent claim; its speedup scales with cores (and is ~1x
+//     on a single-core host, where only the batch plumbing overhead shows).
+
+// BatchSweepPoint is one worker count of the batch-verification micro sweep.
+type BatchSweepPoint struct {
+	Workers int
+	// NsPerQC is the mean wall time of one cold BatchVerifyQC call.
+	NsPerQC float64
+	// Speedup is SerialNsPerQC / NsPerQC.
+	Speedup float64
+}
+
+// VerifyPipelineResult aggregates the ablation.
+type VerifyPipelineResult struct {
+	Scheme string
+
+	// Off/On are the same fixed-seed scenario without and with the
+	// verification pipeline; OffWall/OnWall their host wall-clock times.
+	Off, On         *Result
+	OffWall, OnWall time.Duration
+	// OffEventsPerSec/OnEventsPerSec are simulator events processed per
+	// host second — the macro throughput measure.
+	OffEventsPerSec, OnEventsPerSec float64
+
+	// Identical is the determinism verdict: the pipeline changed nothing
+	// about the run's results.
+	Identical bool
+
+	// SerialNsPerQC is the serial cold-verification baseline for the sweep.
+	SerialNsPerQC float64
+	// Quorum is the number of signatures per certificate in the sweep.
+	Quorum int
+	// Sweep holds one point per worker count.
+	Sweep []BatchSweepPoint
+}
+
+// VerifyPipeline runs the ablation at the given scale. The scenario follows
+// sc.Scheme, defaulting to real ed25519 signatures — the scheme whose serial
+// verification cost motivates the pipeline.
+func VerifyPipeline(sc Scale, delta time.Duration) (*VerifyPipelineResult, error) {
+	sc = sc.withDefaults()
+	if sc.Scheme == "" {
+		sc.Scheme = crypto.SchemeEd25519
+	}
+	out := &VerifyPipelineResult{Scheme: sc.Scheme}
+
+	mk := func(pipeline bool) *Scenario {
+		s := symmetricScenario(Scale{
+			N: sc.N, F: sc.F, Duration: sc.Duration, Seed: sc.Seed,
+			Scheme: sc.Scheme, Pipeline: pipeline,
+		}, delta)
+		s.Name = "verifypipeline"
+		s.VerifySignatures = true
+		return s
+	}
+
+	start := time.Now()
+	off, err := Run(mk(false))
+	if err != nil {
+		return nil, err
+	}
+	out.OffWall = time.Since(start)
+	start = time.Now()
+	on, err := Run(mk(true))
+	if err != nil {
+		return nil, err
+	}
+	out.OnWall = time.Since(start)
+
+	out.Off, out.On = off, on
+	out.OffEventsPerSec = float64(off.Events) / out.OffWall.Seconds()
+	out.OnEventsPerSec = float64(on.Events) / out.OnWall.Seconds()
+	out.Identical = ResultsEquivalent(off, on)
+
+	quorum := 2*sc.F + 1
+	serial, sweep, err := BatchVerifySweep(sc.Scheme, sc.N, quorum, sc.Seed, []int{1, 2, 4, 8})
+	if err != nil {
+		return nil, err
+	}
+	out.SerialNsPerQC = serial
+	out.Quorum = quorum
+	out.Sweep = sweep
+	return out, nil
+}
+
+// ResultsEquivalent reports whether two runs produced identical results in
+// every dimension the determinism oracle pins: commits, transaction counts,
+// processed events, message accounting (including the per-type breakdown),
+// and all latency summaries.
+func ResultsEquivalent(a, b *Result) bool {
+	type view struct {
+		Blocks  int
+		Txns    int64
+		Events  int64
+		Count   int64
+		Bytes   int64
+		ByType  map[types.MsgType]int64
+		Regular interface{}
+		Levels  interface{}
+	}
+	strip := func(r *Result) view {
+		return view{
+			Blocks:  r.CommittedBlocks,
+			Txns:    r.CommittedTxns,
+			Events:  r.Events,
+			Count:   r.Msgs.Count,
+			Bytes:   r.Msgs.Bytes,
+			ByType:  r.Msgs.ByType,
+			Regular: r.RegularLatency,
+			Levels:  r.LevelLatency,
+		}
+	}
+	return reflect.DeepEqual(strip(a), strip(b))
+}
+
+// BatchVerifySweep measures cold QC verification: the serial VerifyQC
+// baseline, then BatchVerifyQC at each worker count. Every measured call is
+// a cache-less cold verification of a quorum-sized certificate — the
+// workload a leader faces on every first delivery.
+func BatchVerifySweep(scheme string, n, quorum int, seed int64, workers []int) (serialNsPerQC float64, sweep []BatchSweepPoint, err error) {
+	ring, err := crypto.NewKeyRing(n, seed, scheme)
+	if err != nil {
+		return 0, nil, err
+	}
+	var block types.BlockID
+	block[0] = 0x5f
+	qc := &types.QC{Block: block, Round: 9, Height: 9}
+	for i := 0; i < quorum; i++ {
+		v := types.Vote{Block: block, Round: 9, Height: 9, Voter: types.ReplicaID(i)}
+		v.Signature = ring.Signer(v.Voter).Sign(v.SigningPayload())
+		qc.Votes = append(qc.Votes, v)
+	}
+
+	measure := func(fn func() error) (float64, error) {
+		// Time-boxed: enough iterations for a stable mean without making the
+		// ed25519 sweep dominate the experiment's wall time.
+		const (
+			minIters = 8
+			budget   = 250 * time.Millisecond
+		)
+		iters := 0
+		start := time.Now()
+		for time.Since(start) < budget || iters < minIters {
+			if err := fn(); err != nil {
+				return 0, err
+			}
+			iters++
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(iters), nil
+	}
+
+	serialNsPerQC, err = measure(func() error { return crypto.VerifyQC(ring, qc, quorum) })
+	if err != nil {
+		return 0, nil, err
+	}
+	for _, w := range workers {
+		ns, err := measure(func() error { return crypto.BatchVerifyQC(ring, qc, quorum, w) })
+		if err != nil {
+			return 0, nil, err
+		}
+		sweep = append(sweep, BatchSweepPoint{Workers: w, NsPerQC: ns, Speedup: serialNsPerQC / ns})
+	}
+	return serialNsPerQC, sweep, nil
+}
+
+// Verdict renders the determinism outcome; reports print it verbatim.
+func (r *VerifyPipelineResult) Verdict() string {
+	if !r.Identical {
+		return "DIVERGED — determinism violation"
+	}
+	return "IDENTICAL"
+}
+
+// String renders the result compactly for logs.
+func (r *VerifyPipelineResult) String() string {
+	return fmt.Sprintf("verifypipeline{scheme=%s off=%.0f ev/s on=%.0f ev/s, %s}",
+		r.Scheme, r.OffEventsPerSec, r.OnEventsPerSec, r.Verdict())
+}

@@ -1,0 +1,109 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/crypto"
+	"repro/internal/simnet"
+)
+
+// pipelineScenario is the fixed-seed scenario the verification-pipeline
+// determinism oracle runs, parameterized over scheme, protocol, and the
+// pipeline switch.
+func pipelineScenario(seed int64, scheme string, proto Protocol, pipeline bool) *Scenario {
+	sc := &Scenario{
+		Name:             "pipeline-determinism",
+		Protocol:         proto,
+		N:                7,
+		F:                2,
+		Latency:          simnet.NewSymmetricModel(7, 3, intraDelay, 50*time.Millisecond, symJitter),
+		Seed:             seed,
+		Duration:         20 * time.Second,
+		RoundTimeout:     2 * time.Second,
+		SFT:              true,
+		Scheme:           scheme,
+		VerifySignatures: true,
+		VerifyPipeline:   pipeline,
+	}
+	if proto == ProtoStreamlet {
+		sc.Delta = 100 * time.Millisecond
+	}
+	return sc
+}
+
+// TestDeterminismVerifyPipelineOnOff is PR-3's regression oracle: routing a
+// fixed-seed run through the prevalidate/apply split (batched signature
+// verification, OnVerifiedMessage state stage) must leave commits, level
+// latencies, message accounting, and processed events bit-identical to the
+// classic inline path — for both crypto schemes and both protocols
+// (Streamlet's run includes the echo relay, which prevalidation recurses
+// into).
+func TestDeterminismVerifyPipelineOnOff(t *testing.T) {
+	cases := []struct {
+		name   string
+		scheme string
+		proto  Protocol
+		seeds  []int64
+	}{
+		{"diembft/sim", crypto.SchemeSim, ProtoDiemBFT, []int64{1, 7, 42}},
+		{"diembft/ed25519", crypto.SchemeEd25519, ProtoDiemBFT, []int64{1}},
+		{"streamlet/sim", crypto.SchemeSim, ProtoStreamlet, []int64{1, 7}},
+		{"streamlet/ed25519", crypto.SchemeEd25519, ProtoStreamlet, []int64{1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, seed := range tc.seeds {
+				off, err := Run(pipelineScenario(seed, tc.scheme, tc.proto, false))
+				if err != nil {
+					t.Fatal(err)
+				}
+				on, err := Run(pipelineScenario(seed, tc.scheme, tc.proto, true))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if off.CommittedBlocks == 0 {
+					t.Fatalf("seed %d: no commits; scenario too short to be meaningful", seed)
+				}
+				if !reflect.DeepEqual(fp(off), fp(on)) {
+					t.Errorf("seed %d: pipeline-on run differs from pipeline-off run:\n on=%+v\noff=%+v",
+						seed, fp(on), fp(off))
+				}
+				if !ResultsEquivalent(off, on) {
+					t.Errorf("seed %d: ResultsEquivalent disagrees with fingerprint equality", seed)
+				}
+			}
+		})
+	}
+}
+
+// TestVerifyPipelineExperiment smoke-tests the sftbench-facing ablation at
+// reduced scale: it must report identical on/off results and produce a
+// worker sweep with sane values.
+func TestVerifyPipelineExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	res, err := VerifyPipeline(Scale{N: 7, F: 2, Duration: 15 * time.Second, Seed: 2}, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheme != crypto.SchemeEd25519 {
+		t.Fatalf("experiment defaulted to scheme %q, want ed25519", res.Scheme)
+	}
+	if !res.Identical {
+		t.Fatal("pipeline on/off runs diverged")
+	}
+	if res.On.CommittedBlocks == 0 {
+		t.Fatal("no commits in ablation run")
+	}
+	if len(res.Sweep) == 0 || res.SerialNsPerQC <= 0 {
+		t.Fatalf("batch sweep missing: serial=%v sweep=%v", res.SerialNsPerQC, res.Sweep)
+	}
+	for _, p := range res.Sweep {
+		if p.NsPerQC <= 0 || p.Speedup <= 0 {
+			t.Fatalf("degenerate sweep point %+v", p)
+		}
+	}
+}

@@ -1,13 +1,29 @@
 // Package metrics provides the small statistics toolkit the experiment
-// harness uses: streaming series with mean/percentile/min/max summaries.
+// harness uses — streaming series with mean/percentile/min/max summaries —
+// plus the concurrency-safe counters the transports and the verification
+// pipeline export (dropped frames, prevalidation rejects).
 package metrics
 
 import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 	"time"
 )
+
+// Counter is a concurrency-safe monotonic event counter. Transports
+// increment it from reader goroutines; operators read it from anywhere. The
+// zero value is ready to use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
 
 // Series accumulates float64 samples.
 type Series struct {

@@ -14,10 +14,14 @@ import (
 	"repro/internal/types"
 )
 
-// Inbound is one received message.
+// Inbound is one received message. Verified marks a message that already
+// passed the engine's stateless Prevalidate stage (on a transport reader
+// goroutine or the node's worker pool) or was generated locally; the event
+// loop applies such messages without re-checking signatures.
 type Inbound struct {
-	From types.ReplicaID
-	Msg  types.Message
+	From     types.ReplicaID
+	Msg      types.Message
+	Verified bool
 }
 
 // Transport moves messages between replicas.
@@ -51,6 +55,12 @@ type Options struct {
 	// after the loop exits guarantees no buffered appends are dropped on a
 	// graceful shutdown (context cancellation included).
 	Journal Durable
+	// PrevalidateWorkers, when > 0 and the engine implements
+	// engine.Pipelined, inserts a bounded worker pool between the transport
+	// and the event loop: signature and certificate checks run concurrently
+	// there (per-sender FIFO preserved) and the loop applies pre-verified
+	// messages without any crypto. 0 keeps the classic single-threaded path.
+	PrevalidateWorkers int
 }
 
 // Node runs one engine on a transport until its context is cancelled.
@@ -60,24 +70,61 @@ type Node struct {
 	opts  Options
 	start time.Time
 
+	// pipelined is non-nil when the engine supports the prevalidate/apply
+	// split; pipe is the worker-pool stage (nil when PrevalidateWorkers is
+	// 0). Both are set once in NewNode and immutable afterwards, so stats
+	// accessors may read them from any goroutine. recv is the channel the
+	// event loop consumes: the pipeline's output when the pool is on, the
+	// transport's otherwise.
+	pipelined engine.Pipelined
+	pipe      *prevalidatePipeline
+	recv      <-chan Inbound
+	// src is the transport's inbound channel, captured once in NewNode (the
+	// Transport contract doesn't promise Recv returns a stable channel); the
+	// pipeline drains it when enabled, otherwise recv aliases it.
+	src <-chan Inbound
+
 	timerCh  chan int
 	loopback chan Inbound
 	stopping chan struct{}
 }
 
-// NewNode wires an engine to a transport.
+// NewNode wires an engine to a transport. When Options.PrevalidateWorkers is
+// set and the engine implements engine.Pipelined, the prevalidation worker
+// pool is constructed here (so the wiring is immutable and stats accessors
+// are race-free) but its goroutines only start — and the transport is only
+// drained — once Run is called.
 func NewNode(eng engine.Engine, tr Transport, opts Options) (*Node, error) {
 	if opts.N <= 0 {
 		return nil, fmt.Errorf("runtime: N must be positive")
 	}
-	return &Node{
+	n := &Node{
 		eng:      eng,
 		tr:       tr,
 		opts:     opts,
 		timerCh:  make(chan int, 64),
 		loopback: make(chan Inbound, 64),
 		stopping: make(chan struct{}),
-	}, nil
+	}
+	n.src = tr.Recv()
+	n.recv = n.src
+	if pe, ok := eng.(engine.Pipelined); ok {
+		n.pipelined = pe
+		if opts.PrevalidateWorkers > 0 {
+			n.pipe = newPrevalidatePipeline(pe, opts.PrevalidateWorkers)
+			n.recv = n.pipe.out
+		}
+	}
+	return n, nil
+}
+
+// PrevalidateDrops returns how many inbound messages the node's worker pool
+// rejected during prevalidation (0 when the pipeline is off).
+func (n *Node) PrevalidateDrops() int64 {
+	if n.pipe == nil {
+		return 0
+	}
+	return n.pipe.Drops()
 }
 
 // Run executes the node's event loop until ctx is cancelled. It owns the
@@ -97,22 +144,35 @@ func (n *Node) Run(ctx context.Context) (err error) {
 			}
 		}()
 	}
+	if n.pipe != nil {
+		n.pipe.start(n.src, n.stopping)
+	}
 	n.apply(n.eng.Init(n.now()))
 	for {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case in, ok := <-n.tr.Recv():
+		case in, ok := <-n.recv:
 			if !ok {
 				return nil
 			}
-			n.apply(n.eng.OnMessage(n.now(), in.From, in.Msg))
+			n.apply(n.dispatch(in))
 		case in := <-n.loopback:
-			n.apply(n.eng.OnMessage(n.now(), in.From, in.Msg))
+			n.apply(n.dispatch(in))
 		case id := <-n.timerCh:
 			n.apply(n.eng.OnTimer(n.now(), id))
 		}
 	}
+}
+
+// dispatch applies one inbound message: messages that already passed
+// prevalidation (worker pool, transport reader hook, or local loopback) skip
+// the engine's signature checks via OnVerifiedMessage.
+func (n *Node) dispatch(in Inbound) []engine.Output {
+	if in.Verified && n.pipelined != nil {
+		return n.pipelined.OnVerifiedMessage(n.now(), in.From, in.Msg)
+	}
+	return n.eng.OnMessage(n.now(), in.From, in.Msg)
 }
 
 func (n *Node) now() time.Duration { return time.Since(n.start) }
@@ -123,7 +183,8 @@ func (n *Node) apply(outs []engine.Output) {
 		switch o := out.(type) {
 		case engine.Send:
 			if o.To == self {
-				n.enqueueLoopback(Inbound{From: self, Msg: o.Msg})
+				// Locally generated: trusted, no prevalidation needed.
+				n.enqueueLoopback(Inbound{From: self, Msg: o.Msg, Verified: true})
 				continue
 			}
 			// Best-effort: the consensus protocol tolerates message loss
@@ -138,7 +199,7 @@ func (n *Node) apply(outs []engine.Output) {
 				_ = n.tr.Send(to, o.Msg)
 			}
 			if o.SelfDeliver {
-				n.enqueueLoopback(Inbound{From: self, Msg: o.Msg})
+				n.enqueueLoopback(Inbound{From: self, Msg: o.Msg, Verified: true})
 			}
 		case engine.SetTimer:
 			id := o.ID

@@ -145,6 +145,16 @@ type Config struct {
 	// ExtraDelay, if non-nil, adds to the model latency (e.g. unbounded
 	// delays before GST).
 	ExtraDelay func(from, to types.ReplicaID, now time.Duration) time.Duration
+	// Prevalidate routes message deliveries through the engines'
+	// prevalidate/apply split (engine.Pipelined): each delivery is
+	// prevalidated synchronously — the simulator stays single-threaded and
+	// deterministic — and applied via OnVerifiedMessage, exercising the
+	// exact code path the real runtime's worker pool uses. Deliveries that
+	// fail prevalidation are dropped (and counted), which for honest traffic
+	// never happens, keeping fixed-seed runs bit-identical to Prevalidate
+	// off. Engines that do not implement engine.Pipelined fall back to
+	// OnMessage.
+	Prevalidate bool
 }
 
 // Sim is one simulation instance. Create with New, attach engines with
@@ -152,22 +162,28 @@ type Config struct {
 type Sim struct {
 	cfg     Config
 	engines []engine.Engine
-	crashed []bool
-	queue   eventQueue
-	seq     uint64
-	now     time.Duration
-	rng     *rand.Rand
-	stats   MsgStats
-	events  int64
+	// pipelined caches the engine.Pipelined capability per slot (nil when
+	// Config.Prevalidate is off or the engine lacks the split), so the
+	// dispatch loop pays no type assertion per event.
+	pipelined  []engine.Pipelined
+	crashed    []bool
+	queue      eventQueue
+	seq        uint64
+	now        time.Duration
+	rng        *rand.Rand
+	stats      MsgStats
+	events     int64
+	prevalDrop int64
 }
 
 // New creates a simulation with n empty engine slots.
 func New(cfg Config) *Sim {
 	s := &Sim{
-		cfg:     cfg,
-		engines: make([]engine.Engine, cfg.N),
-		crashed: make([]bool, cfg.N),
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		cfg:       cfg,
+		engines:   make([]engine.Engine, cfg.N),
+		pipelined: make([]engine.Pipelined, cfg.N),
+		crashed:   make([]bool, cfg.N),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
 	}
 	s.stats.ByType = make(map[types.MsgType]int64)
 	return s
@@ -177,7 +193,17 @@ func New(cfg Config) *Sim {
 // replica that is down from the start.
 func (s *Sim) SetEngine(id types.ReplicaID, e engine.Engine) {
 	s.engines[id] = e
+	s.pipelined[id] = nil
+	if s.cfg.Prevalidate {
+		if p, ok := e.(engine.Pipelined); ok {
+			s.pipelined[id] = p
+		}
+	}
 }
+
+// PrevalidateDrops returns how many deliveries failed prevalidation (always
+// 0 for honest traffic; scripted adversaries sign their messages too).
+func (s *Sim) PrevalidateDrops() int64 { return s.prevalDrop }
 
 // Now returns the current virtual time.
 func (s *Sim) Now() time.Duration { return s.now }
@@ -245,7 +271,7 @@ func (s *Sim) dispatch(ev event) {
 	}
 	if ev.kind == evStart && ev.build != nil {
 		// Restart: install the recovered engine and fall through to Init.
-		s.engines[id] = ev.build()
+		s.SetEngine(id, ev.build())
 		s.crashed[id] = false
 	}
 	if s.crashed[id] || s.engines[id] == nil {
@@ -257,7 +283,20 @@ func (s *Sim) dispatch(ev event) {
 	case evStart:
 		outs = eng.Init(s.now)
 	case evMessage:
-		outs = eng.OnMessage(s.now, ev.from, ev.msg)
+		if p := s.pipelined[id]; p != nil {
+			// The verification-pipeline path, run synchronously so the
+			// simulation stays deterministic. Self-deliveries are locally
+			// generated and trusted, exactly like the runtime's loopback.
+			if ev.from != id {
+				if err := p.Prevalidate(ev.from, ev.msg); err != nil {
+					s.prevalDrop++
+					return
+				}
+			}
+			outs = p.OnVerifiedMessage(s.now, ev.from, ev.msg)
+		} else {
+			outs = eng.OnMessage(s.now, ev.from, ev.msg)
+		}
 	case evTimer:
 		outs = eng.OnTimer(s.now, ev.tid)
 	}

@@ -1,0 +1,69 @@
+package streamlet
+
+import (
+	"fmt"
+
+	"repro/internal/pacemaker"
+	"repro/internal/types"
+)
+
+// Prevalidate implements engine.Pipelined: the stateless checks of every
+// Streamlet message — proposal and vote signatures, recursively through the
+// echo relay wrapper. It reads only immutable configuration, so runtimes may
+// call it from any number of goroutines concurrently with the event loop.
+//
+// StateSyncResponse segments keep their link-by-link engine-loop
+// verification (their accept/reject semantics are prefix-stateful), and sync
+// requests carry no signatures; both pass through unjudged.
+func (r *Replica) Prevalidate(from types.ReplicaID, msg types.Message) error {
+	if !r.cfg.VerifySignatures {
+		return nil
+	}
+	if _, isEcho := msg.(*types.Echo); isEcho {
+		// The relay wrapper adds no signature of its own; Figure 10's echo
+		// mechanism trusts the inner message's original signature, so
+		// prevalidation unwraps exactly like the state stage's handler —
+		// with the same nesting cap, so the two stages agree on every input.
+		if msg = unwrapEcho(msg); msg == nil {
+			return fmt.Errorf("streamlet: empty or over-nested echo")
+		}
+	}
+	switch m := msg.(type) {
+	case *types.Proposal:
+		return r.prevalidateProposal(m)
+	case *types.VoteMsg:
+		return r.prevalidateVote(m.Vote)
+	}
+	return nil
+}
+
+// prevalidateVote checks a vote signature through the verified-signature
+// memo: the echo mechanism re-delivers byte-identical votes up to n times,
+// and only the first copy pays the full verification (a corrupted or
+// re-attributed copy digests differently, misses, and fails in full).
+func (r *Replica) prevalidateVote(v types.Vote) error {
+	var scratch [128]byte
+	payload := v.AppendSigningPayload(scratch[:0])
+	if !r.sigCache.Verify(r.cfg.Verifier, v.Voter, payload, v.Signature) {
+		return fmt.Errorf("streamlet: bad vote signature from %v", v.Voter)
+	}
+	return nil
+}
+
+// prevalidateProposal mirrors the stateless half of the voting-rule checks:
+// well-formedness, round leadership, and the proposer's signature.
+func (r *Replica) prevalidateProposal(p *types.Proposal) error {
+	if p.Block == nil {
+		return fmt.Errorf("streamlet: proposal without block")
+	}
+	if p.Block.Round != p.Round || p.Block.Proposer != p.Sender {
+		return fmt.Errorf("streamlet: proposal round/proposer mismatch")
+	}
+	if pacemaker.Leader(p.Round, r.cfg.N) != p.Sender {
+		return fmt.Errorf("streamlet: proposal from non-leader %v", p.Sender)
+	}
+	if !r.sigCache.Verify(r.cfg.Verifier, p.Sender, p.SigningPayload(), p.Signature) {
+		return fmt.Errorf("streamlet: bad proposal signature from %v", p.Sender)
+	}
+	return nil
+}

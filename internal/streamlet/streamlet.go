@@ -85,12 +85,24 @@ type Replica struct {
 
 	sigScratch []byte // reused vote signing-payload buffer
 
+	// sigCache memoizes verified vote/proposal signatures for Prevalidate
+	// (nil when signature checking is off). The echo mechanism delivers each
+	// message up to n times; the state stage dedups copies before its
+	// signature check, and this memo gives the stateless prevalidation stage
+	// the same economy. Internally synchronized.
+	sigCache *crypto.SigCache
+
 	// journal is the durability log (nil = in-memory replica); restoring
 	// mutes journaling and Strength re-emission during Restore; recovered
 	// makes Init rejoin via state sync.
 	journal   *core.Journal
 	restoring bool
 	recovered bool
+
+	// preverified is set while handling a message that already passed
+	// Prevalidate (see engine.Pipelined); the state stage then skips its
+	// signature checks. Only the event-loop goroutine touches it.
+	preverified bool
 
 	outs []engine.Output
 }
@@ -117,6 +129,9 @@ func New(cfg Config) (*Replica, error) {
 		seenVote:   make(map[voteKey]bool),
 	}
 	r.journal = cfg.Journal
+	if cfg.VerifySignatures {
+		r.sigCache = crypto.NewSigCache(0)
+	}
 	r.history = core.NewVoteHistory(r.store)
 	r.lastCommitted = r.store.Genesis().ID()
 	if cfg.SFT {
@@ -255,21 +270,55 @@ func (r *Replica) OnTimer(now time.Duration, id int) []engine.Output {
 
 // OnMessage implements engine.Engine.
 func (r *Replica) OnMessage(now time.Duration, from types.ReplicaID, msg types.Message) []engine.Output {
+	r.preverified = false
 	r.outs = nil
 	r.handle(now, msg)
 	return r.take()
 }
 
+// OnVerifiedMessage implements engine.Pipelined: identical state transitions
+// to OnMessage, minus the signature checks Prevalidate already performed.
+func (r *Replica) OnVerifiedMessage(now time.Duration, from types.ReplicaID, msg types.Message) []engine.Output {
+	r.preverified = true
+	r.outs = nil
+	r.handle(now, msg)
+	r.preverified = false
+	return r.take()
+}
+
+// checkSigs reports whether the current event must verify signatures itself.
+func (r *Replica) checkSigs() bool { return r.cfg.VerifySignatures && !r.preverified }
+
+// maxEchoDepth bounds echo unwrapping. Honest replicas wrap a base message
+// exactly once (echo() never re-wraps an echo), so anything nested deeper is
+// adversarial; an explicit cap keeps a maliciously nested chain from
+// recursing the handler (or Prevalidate, on a transport reader goroutine)
+// into a stack overflow.
+const maxEchoDepth = 4
+
+// unwrapEcho strips up to maxEchoDepth relay wrappers, returning nil for
+// chains that are empty or nested beyond the cap.
+func unwrapEcho(msg types.Message) types.Message {
+	for depth := 0; ; depth++ {
+		e, ok := msg.(*types.Echo)
+		if !ok {
+			return msg
+		}
+		if e.Inner == nil || depth >= maxEchoDepth {
+			return nil
+		}
+		msg = e.Inner
+	}
+}
+
 func (r *Replica) handle(now time.Duration, msg types.Message) {
-	switch m := msg.(type) {
+	// Relayed messages are processed through the same paths as direct ones;
+	// the dedup sets prevent loops and double-counting.
+	switch m := unwrapEcho(msg).(type) {
 	case *types.Proposal:
 		r.onProposal(now, m)
 	case *types.VoteMsg:
 		r.onVote(now, m.Vote)
-	case *types.Echo:
-		// Process the relayed inner message through the same paths; the
-		// dedup sets prevent loops and double-counting.
-		r.handle(now, m.Inner)
 	case *types.StateSyncRequest:
 		r.onStateSyncRequest(m)
 	case *types.StateSyncResponse:
@@ -465,7 +514,7 @@ func (r *Replica) validProposal(p *types.Proposal) bool {
 	if pacemaker.Leader(p.Round, r.cfg.N) != p.Sender {
 		return false
 	}
-	if r.cfg.VerifySignatures && !r.cfg.Verifier.Verify(p.Sender, p.SigningPayload(), p.Signature) {
+	if r.checkSigs() && !r.cfg.Verifier.Verify(p.Sender, p.SigningPayload(), p.Signature) {
 		return false
 	}
 	return true
@@ -529,7 +578,7 @@ func (r *Replica) onVote(now time.Duration, v types.Vote) {
 	if r.seenVote[k] {
 		return
 	}
-	if r.cfg.VerifySignatures && crypto.VerifyVote(r.cfg.Verifier, v) != nil {
+	if r.checkSigs() && crypto.VerifyVote(r.cfg.Verifier, v) != nil {
 		return
 	}
 	r.seenVote[k] = true

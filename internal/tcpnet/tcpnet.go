@@ -6,11 +6,14 @@ package tcpnet
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/runtime"
 	"repro/internal/types"
 )
@@ -56,6 +59,29 @@ type Config struct {
 	Peers map[types.ReplicaID]string
 	// DialRetry is the pause between failed dials (default 250ms).
 	DialRetry time.Duration
+	// Prevalidate, if non-nil, runs on every decoded frame while still on
+	// its connection's reader goroutine — one goroutine per peer, so
+	// signature checking parallelizes across senders with per-sender FIFO
+	// order intact. Frames that fail are dropped (and counted); frames that
+	// pass surface with Inbound.Verified set, telling the engine loop to
+	// skip its own signature checks. Wire it to engine.Pipelined.Prevalidate.
+	Prevalidate func(from types.ReplicaID, msg types.Message) error
+}
+
+// FrameStats counts frames the transport dropped before they reached the
+// engine, split by cause. Silent drops are invisible in production — a peer
+// spraying garbage looks identical to a quiet network — so the reader loops
+// count every discard.
+type FrameStats struct {
+	// Spoofed frames claimed a sender other than the connection's
+	// handshake identity.
+	Spoofed int64
+	// Malformed frames decoded to a nil message, or broke the gob stream
+	// mid-connection (which terminates that connection).
+	Malformed int64
+	// Prevalidated frames failed the Prevalidate hook (bad signature or
+	// certificate).
+	Prevalidated int64
 }
 
 // Net is a TCP-backed runtime.Transport.
@@ -64,12 +90,25 @@ type Net struct {
 	ln   net.Listener
 	recv chan runtime.Inbound
 
+	spoofed      metrics.Counter
+	malformed    metrics.Counter
+	prevalidated metrics.Counter
+
 	mu       sync.Mutex
 	conns    map[types.ReplicaID]*peerConn
 	accepted map[net.Conn]bool
 	closed   bool
 	wg       sync.WaitGroup
 	closing  chan struct{}
+}
+
+// FrameStats returns a snapshot of the dropped-frame counters.
+func (n *Net) FrameStats() FrameStats {
+	return FrameStats{
+		Spoofed:      n.spoofed.Load(),
+		Malformed:    n.malformed.Load(),
+		Prevalidated: n.prevalidated.Load(),
+	}
 }
 
 type peerConn struct {
@@ -248,18 +287,71 @@ func (n *Net) readLoop(conn net.Conn) {
 	if err := dec.Decode(&h); err != nil {
 		return
 	}
+	if h.From == n.cfg.ID {
+		// A peer claiming to be this node is spoofing by definition —
+		// engines treat from == self as trusted local loopback, so such a
+		// connection must never produce inbound messages.
+		n.spoofed.Inc()
+		return
+	}
 	for {
 		var env envelope
 		if err := dec.Decode(&env); err != nil {
+			// A garbage frame mid-stream is malformed (it also
+			// desynchronizes the gob stream, so the connection ends here).
+			// Transport failures — peer crash, reset, truncation — are
+			// ordinary disconnects, not garbage: counting them would make a
+			// healthy cluster under routine restarts indistinguishable from
+			// one being sprayed with junk.
+			if isDecodeGarbage(err) && !n.isClosing() {
+				n.malformed.Inc()
+			}
 			return
 		}
-		if env.From != h.From || env.Msg == nil {
-			continue // spoofed or malformed frame
+		if env.From != h.From {
+			n.spoofed.Inc()
+			continue
+		}
+		if env.Msg == nil {
+			n.malformed.Inc()
+			continue
+		}
+		verified := false
+		if n.cfg.Prevalidate != nil {
+			// Stateless signature/certificate checks run here, on the
+			// per-connection reader goroutine, so the engine loop receives
+			// the frame pre-verified. One reader per peer keeps per-sender
+			// FIFO order while spreading crypto across cores.
+			if err := n.cfg.Prevalidate(env.From, env.Msg); err != nil {
+				n.prevalidated.Inc()
+				continue
+			}
+			verified = true
 		}
 		select {
-		case n.recv <- runtime.Inbound{From: env.From, Msg: env.Msg}:
+		case n.recv <- runtime.Inbound{From: env.From, Msg: env.Msg, Verified: verified}:
 		case <-n.closing:
 			return
 		}
 	}
+}
+
+func (n *Net) isClosing() bool {
+	select {
+	case <-n.closing:
+		return true
+	default:
+		return false
+	}
+}
+
+// isDecodeGarbage distinguishes a corrupt frame from an ordinary transport
+// failure: EOF variants, closed sockets, and network-level errors all mean
+// the peer went away, not that it sent garbage.
+func isDecodeGarbage(err error) bool {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return false
+	}
+	var ne net.Error
+	return !errors.As(err, &ne)
 }
