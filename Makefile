@@ -1,11 +1,17 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-smoke bench-micro bench-guard
+.PHONY: all build build-examples vet test test-race bench bench-smoke bench-micro bench-guard
 
 all: test
 
 build:
 	$(GO) build ./...
+
+# Smoke-compile the facade examples on their own: `go build ./...` covers
+# them too, but this target is the CI step that fails loudly when an
+# examples-only regression slips in.
+build-examples:
+	$(GO) build ./examples/...
 
 vet:
 	$(GO) vet ./...

@@ -35,6 +35,21 @@ import (
 	"repro/internal/harness"
 )
 
+// experimentNames lists every -experiment value, in the order the "all"
+// sweep runs them (verifypipeline is explicit-only; "all" skips it).
+var experimentNames = []string{
+	"fig7a", "fig7b", "fig8", "throughput", "msgcomplexity",
+	"theorem2", "theorem3", "streamlet", "crashrecovery", "verifypipeline", "all",
+}
+
+var validExperiments = func() map[string]bool {
+	m := make(map[string]bool, len(experimentNames))
+	for _, name := range experimentNames {
+		m[name] = true
+	}
+	return m
+}()
+
 func main() {
 	var (
 		experiment = flag.String("experiment", "all", "which experiment to run (fig7a|fig7b|fig8|throughput|msgcomplexity|theorem2|theorem3|streamlet|crashrecovery|verifypipeline|all)")
@@ -51,9 +66,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sftbench: n=%d is not 3f+1\n", *n)
 		os.Exit(1)
 	}
+	// Validate enum flags up front: a typo'd -experiment or -scheme must be
+	// a usage error listing the valid choices, not a silent zero-value run.
+	if !validExperiments[*experiment] {
+		fmt.Fprintf(os.Stderr, "sftbench: unknown experiment %q\nvalid choices: %s\n",
+			*experiment, strings.Join(experimentNames, ", "))
+		flag.Usage()
+		os.Exit(2)
+	}
 	if *scheme != crypto.SchemeSim && *scheme != crypto.SchemeEd25519 {
-		fmt.Fprintf(os.Stderr, "sftbench: unknown scheme %q (want sim or ed25519)\n", *scheme)
-		os.Exit(1)
+		fmt.Fprintf(os.Stderr, "sftbench: unknown scheme %q\nvalid choices: %s, %s\n",
+			*scheme, crypto.SchemeSim, crypto.SchemeEd25519)
+		flag.Usage()
+		os.Exit(2)
 	}
 	sc := harness.Scale{
 		N: *n, F: (*n - 1) / 3, Duration: *duration, Seed: *seed,

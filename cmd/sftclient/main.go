@@ -1,17 +1,18 @@
 // Command sftclient streams transactions to an sftnode's -client-listen
-// socket, simulating application load against a real cluster.
+// socket through the sft facade's transaction-stream protocol, simulating
+// application load against a real cluster.
 //
 //	sftclient -node 127.0.0.1:9000 -rate 500 -run 30s
 package main
 
 import (
-	"encoding/gob"
 	"flag"
+	"fmt"
 	"log"
-	"net"
 	"time"
 
 	"repro/internal/workload"
+	"repro/sft"
 )
 
 func main() {
@@ -22,17 +23,21 @@ func main() {
 		run     = flag.Duration("run", 30*time.Second, "how long to stream")
 		clients = flag.Uint("clients", 8, "simulated client identities")
 		seed    = flag.Int64("seed", 1, "workload seed")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Printf("sftclient %s\n", sft.Version)
+		return
+	}
 	log.SetFlags(log.Lmicroseconds)
 	log.SetPrefix("sftclient ")
 
-	conn, err := net.DialTimeout("tcp", *node, 3*time.Second)
+	stream, err := sft.DialTransactions(*node, 3*time.Second)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer conn.Close()
-	enc := gob.NewEncoder(conn)
+	defer stream.Close()
 	gen := workload.NewGenerator(*seed, uint32(*clients), *size)
 
 	interval := time.Second / time.Duration(max(1, *rate))
@@ -43,7 +48,7 @@ func main() {
 	sent := 0
 	for time.Now().Before(deadline) {
 		<-tick.C
-		if err := enc.Encode(gen.Next()); err != nil {
+		if err := stream.Submit(gen.Next()); err != nil {
 			log.Fatalf("after %d txns: %v", sent, err)
 		}
 		sent++

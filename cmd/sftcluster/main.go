@@ -1,6 +1,8 @@
 // Command sftcluster launches an n-replica SFT-DiemBFT cluster over TCP
 // loopback inside one process — the quickest way to watch the protocol run
-// on real sockets without orchestrating separate sftnode processes.
+// on real sockets without orchestrating separate sftnode processes. The
+// whole cluster is composed through the public sft facade: ephemeral
+// listeners first, then the address book, then Run.
 //
 //	sftcluster -n 7 -run 30s
 package main
@@ -13,16 +15,11 @@ import (
 	"os"
 	"os/signal"
 	"sync"
-	"sync/atomic"
 	"syscall"
 	"time"
 
-	"repro/internal/crypto"
-	"repro/internal/diembft"
-	"repro/internal/runtime"
-	"repro/internal/tcpnet"
-	"repro/internal/types"
 	"repro/internal/workload"
+	"repro/sft"
 )
 
 func main() {
@@ -38,25 +35,40 @@ func main() {
 	if (*n-1)%3 != 0 {
 		log.Fatalf("n=%d is not 3f+1", *n)
 	}
+	const seed = 2024
 	f := (*n - 1) / 3
-	ring, err := crypto.NewKeyRing(*n, 2024, crypto.SchemeEd25519)
+	// One PKI derivation for the whole in-process cluster.
+	ring, err := sft.NewKeyRing(*n, seed, sft.SchemeEd25519)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Bind all listeners first so the address book is complete.
-	nets := make([]*tcpnet.Net, *n)
-	peers := make(map[types.ReplicaID]string, *n)
+	// Bind all listeners on ephemeral ports first, then install the
+	// complete address book everywhere.
+	nodes := make([]*sft.Node, *n)
+	peers := make(map[sft.ReplicaID]string, *n)
 	for i := 0; i < *n; i++ {
-		nt, err := tcpnet.Listen(tcpnet.Config{ID: types.ReplicaID(i), Listen: "127.0.0.1:0"})
+		id := sft.ReplicaID(i)
+		gen := workload.NewGenerator(int64(i), 16, 64)
+		node, err := sft.New(sft.Config{ID: id, N: *n, Seed: seed},
+			sft.WithEngine(sft.DiemBFT),
+			sft.WithScheme(sft.SchemeEd25519),
+			sft.WithKeyRing(ring),
+			sft.WithTransport(sft.TCP(sft.TCPConfig{Listen: "127.0.0.1:0"})),
+			sft.WithRoundTimeout(*timeout),
+			sft.WithPayload(workload.FullPayload(gen, *txns)),
+			sft.WithPruneKeep(512),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
-		nets[i] = nt
-		peers[types.ReplicaID(i)] = nt.Addr().String()
+		nodes[i] = node
+		peers[id] = node.Addr().String()
 	}
-	for i := 0; i < *n; i++ {
-		nets[i].SetPeers(peers)
+	for _, node := range nodes {
+		if err := node.SetPeers(peers); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -64,47 +76,23 @@ func main() {
 	ctx, tcancel := context.WithTimeout(ctx, *run)
 	defer tcancel()
 
-	var commits, maxStrength atomic.Int64
+	// Watch replica 0's commit-strength stream for periodic progress (its
+	// per-node metrics sink keeps the totals for the final report).
+	go func() {
+		blocks := 0
+		for ev := range nodes[0].Commits() {
+			if !ev.Regular {
+				continue
+			}
+			blocks++
+			if blocks%10 == 0 {
+				log.Printf("replica 0: %d blocks committed (height %d)", blocks, ev.Height)
+			}
+		}
+	}()
+
 	var wg sync.WaitGroup
-	for i := 0; i < *n; i++ {
-		id := types.ReplicaID(i)
-		gen := workload.NewGenerator(int64(i), 16, 64)
-		rep, err := diembft.New(diembft.Config{
-			ID:               id,
-			N:                *n,
-			F:                f,
-			Signer:           ring.Signer(id),
-			Verifier:         ring,
-			VerifySignatures: true,
-			SFT:              true,
-			RoundTimeout:     *timeout,
-			Payload:          workload.FullPayload(gen, *txns),
-			PruneKeep:        512,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		opts := runtime.Options{N: *n}
-		if id == 0 {
-			opts.OnCommit = func(b *types.Block) {
-				c := commits.Add(1)
-				if c%10 == 0 {
-					log.Printf("replica 0: %d blocks committed (height %d)", c, b.Height)
-				}
-			}
-			opts.OnStrength = func(b *types.Block, x int) {
-				for {
-					cur := maxStrength.Load()
-					if int64(x) <= cur || maxStrength.CompareAndSwap(cur, int64(x)) {
-						break
-					}
-				}
-			}
-		}
-		node, err := runtime.NewNode(rep, nets[i], opts)
-		if err != nil {
-			log.Fatal(err)
-		}
+	for _, node := range nodes {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -115,9 +103,8 @@ func main() {
 	log.Printf("cluster of %d replicas (f=%d) running for %v", *n, f, *run)
 	<-ctx.Done()
 	wg.Wait()
-	for _, nt := range nets {
-		_ = nt.Close()
-	}
+
+	snap := nodes[0].Metrics()
 	fmt.Printf("\ncommitted %d blocks; highest strong-commit level observed: %d (%.1ff, max possible 2f=%d)\n",
-		commits.Load(), maxStrength.Load(), float64(maxStrength.Load())/float64(f), 2*f)
+		snap.Commits, snap.MaxStrength, float64(snap.MaxStrength)/float64(f), 2*f)
 }

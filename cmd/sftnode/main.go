@@ -1,5 +1,6 @@
-// Command sftnode runs one SFT-DiemBFT replica over TCP. Start n = 3f+1 of
-// them (locally or across machines) to form a real cluster.
+// Command sftnode runs one SFT-DiemBFT replica over TCP, composed entirely
+// through the public sft facade. Start n = 3f+1 of them (locally or across
+// machines) to form a real cluster.
 //
 // Example 4-node local cluster:
 //
@@ -9,35 +10,25 @@
 //	sftnode -id 3 -n 4 -listen 127.0.0.1:7003 -peers ... &
 //
 // All nodes must share -n and -seed (the seed derives the cluster's PKI;
-// a real deployment would exchange public keys instead).
+// a real deployment would exchange public keys instead). SIGINT/SIGTERM
+// (or -run expiring) shuts down gracefully: the event loop drains and
+// Node.Close flushes and closes the write-ahead log before exit.
 package main
 
 import (
 	"context"
-	"encoding/gob"
 	"flag"
 	"fmt"
 	"log"
-	"net"
 	"os"
 	"os/signal"
 	"path/filepath"
-	rt "runtime"
 	"strings"
-	"sync"
-	"sync/atomic"
 	"syscall"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/crypto"
-	"repro/internal/diembft"
-	"repro/internal/mempool"
-	"repro/internal/runtime"
-	"repro/internal/tcpnet"
-	"repro/internal/types"
-	"repro/internal/wal"
 	"repro/internal/workload"
+	"repro/sft"
 )
 
 func main() {
@@ -54,10 +45,16 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "only print periodic summaries")
 		clients  = flag.String("client-listen", "", "optional address accepting client transaction streams (see cmd/sftclient)")
 		dataDir  = flag.String("data-dir", "", "directory for the write-ahead log; restarting with the same -data-dir recovers the pre-crash state and re-joins via state sync")
-		pipeline = flag.Bool("pipeline", true, "verify signatures off the event loop, on the per-peer tcpnet reader goroutines, with batched QC verification")
+		pipeline = flag.Bool("pipeline", true, "verify signatures off the event loop, on the per-peer transport reader goroutines, with batched QC verification")
 		workers  = flag.Int("pipeline-workers", 0, "batch-verification concurrency per cold QC (with -pipeline); 0 = GOMAXPROCS divided across the n-1 concurrent peer readers")
+		strength = flag.Int("min-strength", 0, "x-strong threshold for reported commits (the paper's client-side knob; 0 = report every level)")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Printf("sftnode %s\n", sft.Version)
+		return
+	}
 	log.SetFlags(log.Lmicroseconds)
 	log.SetPrefix(fmt.Sprintf("sftnode[%d] ", *id))
 
@@ -69,173 +66,65 @@ func main() {
 	if len(addrs) != *n {
 		log.Fatalf("need %d peer addresses, got %d", *n, len(addrs))
 	}
-	peers := make(map[types.ReplicaID]string, *n)
+	peers := make(map[sft.ReplicaID]string, *n)
 	for i, a := range addrs {
-		peers[types.ReplicaID(i)] = strings.TrimSpace(a)
-	}
-
-	ring, err := crypto.NewKeyRing(*n, *seed, crypto.SchemeEd25519)
-	if err != nil {
-		log.Fatal(err)
+		peers[sft.ReplicaID(i)] = strings.TrimSpace(a)
 	}
 
 	// Payload source: synthetic load, plus any transactions submitted by
 	// clients over the -client-listen socket.
 	gen := workload.NewGenerator(*seed+int64(*id), 16, 64)
-	var (
-		clientMu   sync.Mutex
-		clientPool = mempool.New(1 << 16)
-	)
-	payload := func(r types.Round) types.Payload {
-		clientMu.Lock()
-		fromClients := clientPool.Batch(*txns)
-		clientMu.Unlock()
-		p := types.Payload{Txns: fromClients}
-		if missing := *txns - len(fromClients); missing > 0 {
+	var txnSrv *sft.TxnServer
+	if *clients != "" {
+		srv, err := sft.ListenTransactions(*clients, 1<<16)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		txnSrv = srv
+		log.Printf("accepting client transactions on %s", srv.Addr())
+	}
+	payload := func(r sft.Round) sft.Payload {
+		var p sft.Payload
+		if txnSrv != nil {
+			p.Txns = txnSrv.Batch(*txns)
+		}
+		if missing := *txns - len(p.Txns); missing > 0 {
 			p.Txns = append(p.Txns, gen.Batch(missing)...)
 		}
 		return p
 	}
-	if *clients != "" {
-		ln, err := net.Listen("tcp", *clients)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer ln.Close()
-		log.Printf("accepting client transactions on %s", ln.Addr())
-		go func() {
-			for {
-				conn, err := ln.Accept()
-				if err != nil {
-					return
-				}
-				go func() {
-					defer conn.Close()
-					dec := gob.NewDecoder(conn)
-					for {
-						var txn types.Transaction
-						if err := dec.Decode(&txn); err != nil {
-							return
-						}
-						clientMu.Lock()
-						clientPool.Add(txn)
-						clientMu.Unlock()
-					}
-				}()
-			}
-		}()
-	}
 
-	// Durability: with -data-dir the replica write-ahead-logs every vote,
-	// block and certificate its safety depends on (fsynced before the vote
-	// leaves the process) and recovers that state on restart.
-	var journal *core.Journal
-	var recovery *core.Recovery
+	opts := []sft.Option{
+		sft.WithEngine(sft.DiemBFT),
+		sft.WithScheme(sft.SchemeEd25519),
+		sft.WithTransport(sft.TCP(sft.TCPConfig{Listen: *listen, Peers: peers})),
+		sft.WithCommitRule(sft.CommitRule{MinStrength: *strength}),
+		sft.WithRoundTimeout(*timeout),
+		sft.WithExtraWait(*wait),
+		sft.WithPayload(payload),
+		sft.WithCommitLog(16),
+		sft.WithPruneKeep(512),
+	}
 	if *dataDir != "" {
-		walPath := filepath.Join(*dataDir, fmt.Sprintf("replica-%d", *id))
-		l, err := wal.Open(walPath, wal.Options{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		journal = core.NewJournal(l)
-		recovery, err = core.Recover(l)
-		if err != nil {
-			log.Fatalf("wal replay failed — durable state is unusable: %v", err)
-		}
-		if !recovery.Empty() {
-			highRound := types.Round(0)
-			if recovery.HighQC != nil {
-				highRound = recovery.HighQC.Round
-			}
-			log.Printf("recovered from %s: %d blocks, %d own votes, voted r%d, committed height %d, high QC r%d",
-				walPath, len(recovery.Blocks), len(recovery.Votes),
-				recovery.VotedRound(), recovery.CommittedHeight, highRound)
-		}
-	}
-
-	batchWorkers := 1
-	if *pipeline {
-		batchWorkers = *workers
-		if batchWorkers <= 0 {
-			// The n-1 per-peer reader goroutines already verify concurrently;
-			// sizing the per-QC fan-out as GOMAXPROCS/(n-1) keeps a burst of
-			// cold certificates from every peer at ~GOMAXPROCS runnable
-			// goroutines instead of (n-1)*GOMAXPROCS.
-			batchWorkers = max(1, rt.GOMAXPROCS(0)/max(1, *n-1))
-		}
-	}
-	rep, err := diembft.New(diembft.Config{
-		ID:               types.ReplicaID(*id),
-		N:                *n,
-		F:                f,
-		Signer:           ring.Signer(types.ReplicaID(*id)),
-		Verifier:         ring,
-		VerifySignatures: true,
-		BatchWorkers:     batchWorkers,
-		SFT:              true,
-		RoundTimeout:     *timeout,
-		ExtraWait:        *wait,
-		Payload:          payload,
-		MaxCommitLog:     16,
-		PruneKeep:        512,
-		Journal:          journal,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	if recovery != nil {
-		if err := rep.Restore(recovery); err != nil {
-			log.Fatal(err)
-		}
-	}
-
-	netCfg := tcpnet.Config{
-		ID:     types.ReplicaID(*id),
-		Listen: *listen,
-		Peers:  peers,
+		// Durability: the replica write-ahead-logs every vote, block and
+		// certificate its safety depends on (fsynced before the vote leaves
+		// the process) and recovers that state on restart.
+		opts = append(opts, sft.WithWAL(filepath.Join(*dataDir, fmt.Sprintf("replica-%d", *id))))
 	}
 	if *pipeline {
-		// Stateless verification runs on the per-peer reader goroutines; the
-		// engine loop receives pre-verified frames and does no crypto.
-		netCfg.Prevalidate = rep.Prevalidate
+		opts = append(opts, sft.WithVerifyPipeline(*workers))
 	}
-	nt, err := tcpnet.Listen(netCfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer nt.Close()
-	log.Printf("listening on %s, cluster n=%d f=%d (pipeline=%v batch-workers=%d)", nt.Addr(), *n, f, *pipeline, batchWorkers)
 
-	var commits, strong, height atomic.Int64
-	nodeOpts := runtime.Options{
-		N: *n,
-		OnCommit: func(b *types.Block) {
-			commits.Add(1)
-			height.Store(int64(b.Height))
-			if !*quiet {
-				log.Printf("commit %v (height %d, %d txns)", b.ID(), b.Height, len(b.Payload.Txns))
-			}
-		},
-		OnStrength: func(b *types.Block, x int) {
-			strong.Add(1)
-			if !*quiet && x > f {
-				log.Printf("strength %v -> %d-strong (%.1ff)", b.ID(), x, float64(x)/float64(f))
-			}
-		},
-	}
-	if journal != nil {
-		// Run flushes and closes the WAL on the way out, so a graceful stop
-		// never leaves buffered appends behind.
-		nodeOpts.Journal = journal
-	}
-	// No PrevalidateWorkers here: the tcpnet hook already verifies every
-	// frame on its per-peer reader goroutine, so the node-level worker pool
-	// would only add queue hops. The pool is for transports without a
-	// prevalidation hook (e.g. runtime.LocalNetwork).
-	node, err := runtime.NewNode(rep, nt, nodeOpts)
+	node, err := sft.New(sft.Config{ID: sft.ReplicaID(*id), N: *n, Seed: *seed}, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if rec, ok := node.Restored(); ok {
+		log.Printf("recovered from WAL: %d blocks, %d own votes, voted r%d, committed height %d, high QC r%d",
+			rec.Blocks, rec.Votes, rec.VotedRound, rec.CommittedHeight, rec.HighQCRound)
+	}
+	log.Printf("listening on %s, cluster n=%d f=%d (pipeline=%v)", node.Addr(), *n, f, *pipeline)
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
@@ -245,6 +134,21 @@ func main() {
 		defer tcancel()
 	}
 
+	// Consume the commit-strength stream: every commit arrives once at
+	// f-strong and again at each level it climbs to (filtered by
+	// -min-strength via the commit rule).
+	go func() {
+		for ev := range node.Commits() {
+			if *quiet {
+				continue
+			}
+			if ev.Regular {
+				log.Printf("commit %v (height %d, %d txns)", ev.Block.ID(), ev.Height, len(ev.Block.Payload.Txns))
+			} else if ev.Strength > f {
+				log.Printf("strength %v -> %d-strong (%.1ff)", ev.Block.ID(), ev.Strength, float64(ev.Strength)/float64(f))
+			}
+		}
+	}()
 	go func() {
 		tick := time.NewTicker(5 * time.Second)
 		defer tick.Stop()
@@ -253,16 +157,15 @@ func main() {
 			case <-ctx.Done():
 				return
 			case <-tick.C:
-				fs := nt.FrameStats()
-				log.Printf("summary: %d commits, %d strength updates, committed height %d, dropped frames: %d spoofed / %d malformed / %d failed-verify",
-					commits.Load(), strong.Load(), height.Load(),
-					fs.Spoofed, fs.Malformed, fs.Prevalidated+node.PrevalidateDrops())
+				log.Printf("summary: %s", node.Metrics())
 			}
 		}
 	}()
 
-	if err := node.Run(ctx); err != nil && ctx.Err() == nil {
+	// Run drains the event loop on cancellation and closes the node —
+	// flushing the WAL — before returning.
+	if err := node.Run(ctx); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("shutting down after %d commits", commits.Load())
+	log.Printf("shutting down after %d commits", node.Metrics().Commits)
 }

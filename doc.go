@@ -15,6 +15,58 @@
 // benchmarks in bench_test.go regenerate each figure at reduced scale;
 // cmd/sftbench runs them at paper scale (n = 100, five virtual minutes).
 //
+// # Public API: the sft facade
+//
+// PR 4 added the top-level sft package, the stable public surface every
+// consumer builds on: sft.New(cfg, opts...) composes an engine, commit
+// rule, signature scheme, transport, write-ahead log, verification
+// pipeline and metrics sink into one Node, and all four commands plus all
+// seven examples are wired through it (zero direct imports of
+// internal/runtime, internal/diembft or internal/streamlet outside the
+// facade). Engine construction itself lives in internal/compose — one
+// composition path shared by the facade and the experiment harness, so
+// harness measurements and facade deployments run identical engines, and
+// fixed-seed facade runs are pinned bit-identical to hand-wired runs
+// (sft/determinism_test.go).
+//
+// The option matrix:
+//
+//   - WithEngine(DiemBFT | Streamlet) — the consensus protocol.
+//   - WithCommitRule(CommitRule{Mode, Votes, IntervalWindow, Horizon,
+//     MinStrength}) — the paper's strengthened commit rule as a value:
+//     round-keyed (DiemBFT, §3.2) or height-keyed (Streamlet, Appendix D)
+//     markers, marker vs interval strong-votes (§3.4), the endorsement
+//     horizon, and the x-strong threshold subscribers act on. Mode is
+//     validated against the engine: asking DiemBFT for the height rule is
+//     an error, not a fallback.
+//   - WithScheme(SchemeEd25519 | SchemeSim), WithSignatureVerification,
+//     WithKeyRing — the PKI layer (ed25519 always verifies; sim is the
+//     fast deterministic scheme the large simulations use).
+//   - WithTransport(TCP(...)) / NewLocalNet(n).Transport(id) /
+//     NewSimnet(cfg).Transport(id) — real sockets, in-process channels, or
+//     the deterministic discrete-event fabric (which adds CrashAt/RestartAt
+//     kill-and-recover scheduling and simulation-wide VerifyPipeline).
+//   - WithWAL(dir) — durability: the node write-ahead-logs everything its
+//     safety depends on, recovers it on restart (Node.Restored), and
+//     flushes/closes the log in Node.Close and on Run's way out.
+//   - WithVerifyPipeline(workers) — signature checking off the event loop
+//     (per-peer reader goroutines under TCP, a bounded worker pool under
+//     LocalNet), with batched cold-QC verification.
+//   - WithMetrics, WithObserver, WithPayload, WithRoundTimeout,
+//     WithExtraWait(For), WithDelta, WithoutEcho, WithCommitLog,
+//     WithPruneKeep — observation and per-engine knobs.
+//
+// Commit-strength subscriptions are how clients consume the paper's
+// contribution. Node.Commits() returns an independent channel of
+// CommitEvents: each block appears once with Regular=true at the classical
+// f-strong commit (in height order), then once per strength level x it
+// climbs to (Regular=false), up to 2f. CommitRule.MinStrength filters the
+// stream — a client that only acts on x-strong commits simply never sees
+// weaker events — and Node.WaitStrength(ctx, id, x) blocks until one block
+// tolerates x Byzantine faults. Delivery is unbounded-buffered so slow
+// consumers never back-pressure consensus, and channels close when the
+// node closes.
+//
 // # Performance
 //
 // The simulation hot path is engineered so that fixed-seed experiment

@@ -5,7 +5,11 @@
 //
 // The program replays Figure 9's fork script against two endorsement
 // trackers, the UNSAFE naive one and the marker-based SFT one, and prints
-// the resulting strength claims side by side.
+// the resulting strength claims side by side. Unlike the other examples it
+// deliberately drives the internal tracker beneath the public sft facade:
+// the "naive" counting mode it contrasts against is exactly what the
+// facade's CommitRule refuses to offer, because this script shows it
+// unsafe.
 //
 //	go run ./examples/byzantine
 package main

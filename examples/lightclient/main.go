@@ -3,6 +3,12 @@
 // QC pairs) — never the protocol messages — can verify strong-commit levels
 // with nothing but the public keys.
 //
+// The cluster runs through the sft facade with WithCommitLog attaching the
+// §5 Log. Every block embeds the certificate for its parent (the justify
+// QC), so a relay that follows one replica's commit stream can hand the
+// light client exactly the data a wallet app would download: (parent block,
+// QC certifying it) pairs.
+//
 //	go run ./examples/lightclient
 package main
 
@@ -11,20 +17,17 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/crypto"
-	"repro/internal/diembft"
-	"repro/internal/engine"
 	"repro/internal/lightclient"
-	"repro/internal/simnet"
-	"repro/internal/types"
+	"repro/sft"
 )
 
 func main() {
 	const (
-		n = 4
-		f = 1
+		n    = 4
+		f    = 1
+		seed = 21
 	)
-	ring, err := crypto.NewKeyRing(n, 21, crypto.SchemeEd25519)
+	ring, err := sft.NewKeyRing(n, seed, sft.SchemeEd25519)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -32,39 +35,51 @@ func main() {
 	// The light client: verifies QCs against the PKI, trusts nothing else.
 	client := lightclient.New(ring, f)
 
-	sim := simnet.New(simnet.Config{
+	world, err := sft.NewSimnet(sft.SimnetConfig{
 		N:       n,
-		Latency: &simnet.UniformModel{Base: 5 * time.Millisecond, Jitter: time.Millisecond},
+		Latency: &sft.UniformLatency{Base: 5 * time.Millisecond, Jitter: time.Millisecond},
 		Seed:    1,
 	})
-
-	var replicas [n]*diembft.Replica
-	for i := 0; i < n; i++ {
-		id := types.ReplicaID(i)
-		rep, err := diembft.New(diembft.Config{
-			ID:               id,
-			N:                n,
-			F:                f,
-			Signer:           ring.Signer(id),
-			Verifier:         ring,
-			VerifySignatures: true,
-			SFT:              true,
-			MaxCommitLog:     16, // attach the §5 Log to proposals
-			RoundTimeout:     500 * time.Millisecond,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		replicas[i] = rep
-		sim.SetEngine(id, rep)
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	// A relay watches replica 0's chain and forwards certified blocks
-	// (block + the QC embedded in its child) to the light client — the only
-	// data a wallet app would download.
-	sim.SetEngine(0, &certifiedRelay{Replica: replicas[0], client: client})
+	// The relay watches replica 0's commit stream and forwards certified
+	// blocks: a committed block's justify QC certifies its parent, which an
+	// earlier commit event already delivered.
+	committed := make(map[sft.BlockID]*sft.Block)
+	relay := func(ev sft.CommitEvent) {
+		if !ev.Regular {
+			return
+		}
+		b := ev.Block
+		committed[b.ID()] = b
+		if parent, ok := committed[b.Parent]; ok && b.Justify != nil {
+			if err := client.ProcessCertified(parent, b.Justify); err != nil {
+				log.Fatalf("light client rejected a genuine certificate: %v", err)
+			}
+		}
+	}
 
-	sim.Run(3 * time.Second)
+	for i := 0; i < n; i++ {
+		id := sft.ReplicaID(i)
+		opts := []sft.Option{
+			sft.WithEngine(sft.DiemBFT),
+			sft.WithScheme(sft.SchemeEd25519),
+			sft.WithKeyRing(ring),
+			sft.WithTransport(world.Transport(id)),
+			sft.WithRoundTimeout(500 * time.Millisecond),
+			sft.WithCommitLog(16), // attach the §5 Log to proposals
+		}
+		if id == 0 {
+			opts = append(opts, sft.WithObserver(relay))
+		}
+		if _, err := sft.New(sft.Config{ID: id, N: n, Seed: seed}, opts...); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	world.Run(3 * time.Second)
 
 	fmt.Printf("light client verified strong-commit proofs for %d blocks\n", client.Proven())
 	blk, x := client.Strongest()
@@ -73,25 +88,4 @@ func main() {
 		log.Fatal("expected a 2f-strong proof in a fault-free run")
 	}
 	fmt.Println("the client needed only public keys and certified blocks — no protocol state")
-}
-
-// certifiedRelay wraps a replica engine and feeds every newly certified
-// block (with its certificate) to the light client.
-type certifiedRelay struct {
-	*diembft.Replica
-	client *lightclient.Client
-}
-
-func (r *certifiedRelay) OnMessage(now time.Duration, from types.ReplicaID, msg types.Message) []engine.Output {
-	outs := r.Replica.OnMessage(now, from, msg)
-	// After any message, newly arrived proposals may certify their parent:
-	// proposals embed the parent's QC, exactly what the client needs.
-	if p, ok := msg.(*types.Proposal); ok && p.Block != nil && p.Block.Justify != nil {
-		if parent := r.Store().Block(p.Block.Justify.Block); parent != nil {
-			if err := r.client.ProcessCertified(parent, p.Block.Justify); err != nil {
-				log.Fatalf("light client rejected a genuine certificate: %v", err)
-			}
-		}
-	}
-	return outs
 }

@@ -7,6 +7,10 @@
 // shows up in the monitor's straggler report while down, and after being
 // restored from its write-ahead log catches back up and disappears from it.
 //
+// Everything is composed through the sft facade: the victim runs with
+// WithWAL, the kill is Simnet.CrashAt, and Simnet.RestartAt rebuilds it
+// from the log through the same composition path that built it.
+//
 //	go run ./examples/operations
 package main
 
@@ -16,27 +20,22 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/crypto"
-	"repro/internal/diembft"
-	"repro/internal/engine"
 	"repro/internal/health"
 	"repro/internal/mempool"
-	"repro/internal/simnet"
-	"repro/internal/types"
-	"repro/internal/wal"
+	"repro/sft"
 )
 
 func main() {
 	const (
 		n         = 7
 		f         = 2
-		straggler = types.ReplicaID(4)
-		victim    = types.ReplicaID(5)
+		seed      = 13
+		straggler = sft.ReplicaID(4)
+		victim    = sft.ReplicaID(5)
 		crashAt   = 6 * time.Second
 		restartAt = 12 * time.Second
 	)
-	ring, err := crypto.NewKeyRing(n, 13, crypto.SchemeEd25519)
+	ring, err := sft.NewKeyRing(n, seed, sft.SchemeEd25519)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,111 +46,96 @@ func main() {
 
 	// Submit a high-valued transaction that demands a 2f-strong commit,
 	// plus follow-ups from the same sender that must wait for it.
-	gate.Submit(types.Transaction{Sender: 7, Seq: 1, Data: []byte("pay=1_000_000")}, 2*f)
-	gate.Submit(types.Transaction{Sender: 7, Seq: 2, Data: []byte("pay=5")}, 0)
-	gate.Submit(types.Transaction{Sender: 8, Seq: 1, Data: []byte("pay=1")}, 0)
+	gate.Submit(sft.Transaction{Sender: 7, Seq: 1, Data: []byte("pay=1_000_000")}, 2*f)
+	gate.Submit(sft.Transaction{Sender: 7, Seq: 2, Data: []byte("pay=5")}, 0)
+	gate.Submit(sft.Transaction{Sender: 8, Seq: 1, Data: []byte("pay=1")}, 0)
 	fmt.Printf("submitted: 1 gated high-value txn, %d held follow-up(s), 1 free txn\n\n", gate.Held())
 
-	var releasedAt time.Duration
-	sim := simnet.New(simnet.Config{
+	world, err := sft.NewSimnet(sft.SimnetConfig{
 		N: n,
-		Latency: &simnet.RegionModel{
+		Latency: &sft.RegionLatency{
 			RegionOf: make([]int, n),
 			Intra:    4 * time.Millisecond,
 			Inter:    [][]time.Duration{{4 * time.Millisecond}},
 			Jitter:   2 * time.Millisecond,
-			Penalty:  map[types.ReplicaID]time.Duration{straggler: 50 * time.Millisecond},
+			Penalty:  map[sft.ReplicaID]time.Duration{straggler: 50 * time.Millisecond},
 		},
 		Seed: 2,
-		OnCommit: func(rep types.ReplicaID, now time.Duration, b *types.Block) {
-			if rep != 0 {
-				return
-			}
-			if b.Justify != nil {
-				monitor.ObserveQC(b.Justify)
-			}
-			gate.OnIncluded(b.ID(), b.Payload.Txns)
-		},
-		OnStrength: func(rep types.ReplicaID, now time.Duration, b *types.Block, x int) {
-			if rep != 0 {
-				return
-			}
-			held := gate.Held()
-			gate.OnStrengthened(b.ID(), x)
-			if held > 0 && gate.Held() == 0 && releasedAt == 0 {
-				releasedAt = now
-			}
-		},
 	})
-
-	// Replica 0's proposals drain the gated pool; other replicas use
-	// synthetic filler.
-	buildReplica := func(id types.ReplicaID, journal *core.Journal) *diembft.Replica {
-		cfg := diembft.Config{
-			ID: id, N: n, F: f,
-			Signer: ring.Signer(id), Verifier: ring, VerifySignatures: true,
-			SFT: true, RoundTimeout: 600 * time.Millisecond,
-			Journal: journal,
-		}
-		if id == 0 {
-			cfg.Payload = func(r types.Round) types.Payload {
-				return types.Payload{Txns: pool.Batch(16)}
-			}
-		}
-		rep, err := diembft.New(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		return rep
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	// The victim runs journal-backed so the kill at 6s is survivable: at 12s
-	// it is rebuilt from its WAL and re-joins via state sync.
+	// Replica 0 drives the operational tooling from its commit-strength
+	// stream: QCs feed the health monitor, inclusions and strength updates
+	// drive the conflict gate.
+	var releasedAt time.Duration
+	observe := func(ev sft.CommitEvent) {
+		if ev.Regular {
+			if ev.Block.Justify != nil {
+				monitor.ObserveQC(ev.Block.Justify)
+			}
+			gate.OnIncluded(ev.Block.ID(), ev.Block.Payload.Txns)
+			return
+		}
+		held := gate.Held()
+		gate.OnStrengthened(ev.Block.ID(), ev.Strength)
+		if held > 0 && gate.Held() == 0 && releasedAt == 0 {
+			releasedAt = ev.Time
+		}
+	}
+
+	// The victim runs journal-backed so the kill at 6s is survivable: at
+	// 12s it is rebuilt from its WAL and re-joins via state sync.
 	walDir, err := os.MkdirTemp("", "sft-operations-wal-")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(walDir)
-	openJournal := func() *core.Journal {
-		l, err := wal.Open(walDir, wal.Options{NoSync: true})
-		if err != nil {
-			log.Fatal(err)
-		}
-		return core.NewJournal(l)
-	}
 
 	for i := 0; i < n; i++ {
-		id := types.ReplicaID(i)
-		var journal *core.Journal
+		id := sft.ReplicaID(i)
+		opts := []sft.Option{
+			sft.WithEngine(sft.DiemBFT),
+			sft.WithScheme(sft.SchemeEd25519),
+			sft.WithKeyRing(ring),
+			sft.WithTransport(world.Transport(id)),
+			sft.WithRoundTimeout(600 * time.Millisecond),
+		}
+		if id == 0 {
+			// Replica 0's proposals drain the gated pool; other replicas
+			// propose empty blocks.
+			opts = append(opts,
+				sft.WithPayload(func(r sft.Round) sft.Payload {
+					return sft.Payload{Txns: pool.Batch(16)}
+				}),
+				sft.WithObserver(observe),
+			)
+		}
 		if id == victim {
-			journal = openJournal()
+			opts = append(opts, sft.WithWAL(walDir))
 		}
-		sim.SetEngine(id, buildReplica(id, journal))
+		if _, err := sft.New(sft.Config{ID: id, N: n, Seed: seed}, opts...); err != nil {
+			log.Fatal(err)
+		}
 	}
-	sim.CrashAt(victim, crashAt)
-	sim.RestartAt(victim, restartAt, func() engine.Engine {
-		journal := openJournal()
-		rec, err := core.Recover(journal.Log())
-		if err != nil {
-			log.Fatal(err)
-		}
-		rep := buildReplica(victim, journal)
-		if err := rep.Restore(rec); err != nil {
-			log.Fatal(err)
-		}
+	world.CrashAt(victim, crashAt)
+	err = world.RestartAt(victim, restartAt, func(rec sft.RecoveryInfo) {
 		fmt.Printf("t=%v  replica %d restored from WAL: %d blocks, %d own votes, committed height %d\n",
-			restartAt, victim, len(rec.Blocks), len(rec.Votes), rec.CommittedHeight)
-		return rep
+			restartAt, victim, rec.Blocks, rec.Votes, rec.CommittedHeight)
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	stragglerReport := func(when time.Duration) {
 		st := monitor.Snapshot().Stragglers
 		fmt.Printf("t=%v  stragglers per strong-QC diversity: %v\n", when, st)
 	}
 	// Sample the monitor while the victim is down, then run to completion.
-	sim.Run(11 * time.Second)
+	world.Run(11 * time.Second)
 	stragglerReport(11 * time.Second)
-	sim.Run(20 * time.Second)
+	world.Run(20 * time.Second)
 	stragglerReport(20 * time.Second)
 
 	fmt.Println()
@@ -162,10 +146,10 @@ func main() {
 	counts := monitor.AppearanceCounts()
 	for id, c := range counts {
 		marker := ""
-		if types.ReplicaID(id) == straggler {
+		if sft.ReplicaID(id) == straggler {
 			marker = "   <- straggler (enters QCs only when leading)"
 		}
-		if types.ReplicaID(id) == victim {
+		if sft.ReplicaID(id) == victim {
 			marker = "   <- killed at 6s, WAL-restored + state-synced at 12s"
 		}
 		fmt.Printf("  replica %d appeared in %3d recent QCs%s\n", id, c, marker)

@@ -1,7 +1,10 @@
-// Quickstart: run a 4-replica SFT-DiemBFT cluster in-process and watch
-// blocks commit and then *gain* resilience, Nakamoto-style, as the chain
-// extends them — from f-strong (tolerating 1 Byzantine replica at n=4) up
-// to 2f-strong (tolerating 2).
+// Quickstart: run a 4-replica SFT-DiemBFT cluster in-process through the
+// public sft facade and watch blocks commit and then *gain* resilience,
+// Nakamoto-style, as the chain extends them — from f-strong (tolerating 1
+// Byzantine replica at n=4) up to 2f-strong (tolerating 2). The example
+// consumes the facade's two subscription primitives: the Commits event
+// stream and WaitStrength, the paper's "act when the commit is strong
+// enough for you" knob.
 //
 //	go run ./examples/quickstart
 package main
@@ -13,72 +16,51 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/crypto"
-	"repro/internal/diembft"
-	"repro/internal/runtime"
-	"repro/internal/types"
 	"repro/internal/workload"
+	"repro/sft"
 )
 
 func main() {
 	const (
-		n = 4
-		f = 1
+		n    = 4
+		f    = 1
+		seed = 7
 	)
-	// A key ring plays the paper's PKI: everyone knows everyone's keys.
-	ring, err := crypto.NewKeyRing(n, 7, crypto.SchemeEd25519)
+	// One PKI derivation for the in-process cluster (the paper's model:
+	// everyone knows everyone's keys).
+	ring, err := sft.NewKeyRing(n, seed, sft.SchemeEd25519)
 	if err != nil {
 		log.Fatal(err)
 	}
-	net := runtime.NewLocalNetwork(n)
-	defer net.Close()
-
-	var mu sync.Mutex
-	levels := make(map[types.BlockID]int) // strongest level seen per block
+	lan := sft.NewLocalNet(n)
+	defer lan.Close()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 
-	var wg sync.WaitGroup
+	nodes := make([]*sft.Node, n)
 	for i := 0; i < n; i++ {
-		id := types.ReplicaID(i)
+		id := sft.ReplicaID(i)
 		gen := workload.NewGenerator(int64(i), 8, 32)
-		replica, err := diembft.New(diembft.Config{
-			ID:               id,
-			N:                n,
-			F:                f,
-			Signer:           ring.Signer(id),
-			Verifier:         ring,
-			VerifySignatures: true,
-			SFT:              true, // strong-votes, endorsements, strong commits
-			RoundTimeout:     500 * time.Millisecond,
-			Payload:          workload.FullPayload(gen, 10),
-		})
+		node, err := sft.New(sft.Config{ID: id, N: n, Seed: seed},
+			sft.WithEngine(sft.DiemBFT),
+			sft.WithScheme(sft.SchemeEd25519),
+			sft.WithKeyRing(ring),
+			sft.WithTransport(lan.Transport(id)),
+			sft.WithRoundTimeout(500*time.Millisecond),
+			sft.WithPayload(workload.FullPayload(gen, 10)),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
-		opts := runtime.Options{N: n}
-		if id == 0 { // observe one replica's view
-			opts.OnCommit = func(b *types.Block) {
-				if b.Height <= 5 {
-					fmt.Printf("commit    %v at height %d (f-strong: safe vs %d fault)\n", b.ID(), b.Height, f)
-				}
-			}
-			opts.OnStrength = func(b *types.Block, x int) {
-				mu.Lock()
-				prev := levels[b.ID()]
-				levels[b.ID()] = x
-				mu.Unlock()
-				if b.Height <= 5 && x > prev && x > f {
-					fmt.Printf("STRENGTHEN %v at height %d -> %d-strong (now safe vs %d Byzantine faults)\n",
-						b.ID(), b.Height, x, x)
-				}
-			}
-		}
-		node, err := runtime.NewNode(replica, net.Endpoint(id), opts)
-		if err != nil {
-			log.Fatal(err)
-		}
+		nodes[i] = node
+	}
+
+	// Observe replica 0's commit-strength stream.
+	events := nodes[0].Commits()
+
+	var wg sync.WaitGroup
+	for _, node := range nodes {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -86,18 +68,40 @@ func main() {
 		}()
 	}
 
-	<-ctx.Done()
-	wg.Wait()
-
-	mu.Lock()
-	defer mu.Unlock()
-	total, max2f := 0, 0
-	for _, x := range levels {
-		total++
-		if x == 2*f {
-			max2f++
+	// WaitStrength demo: block until the first committed block tolerates
+	// 2f Byzantine replicas, then report how long that took.
+	var first sft.BlockID
+	levels := make(map[sft.BlockID]int)
+	max2f := 0
+	for ev := range events {
+		id := ev.Block.ID()
+		switch {
+		case ev.Regular:
+			if ev.Height <= 5 {
+				fmt.Printf("commit    %v at height %d (f-strong: safe vs %d fault)\n", id, ev.Height, f)
+			}
+			if first == (sft.BlockID{}) {
+				first = id
+				go func() {
+					if err := nodes[0].WaitStrength(ctx, first, 2*f); err == nil {
+						fmt.Printf("WaitStrength: first block %v is now %d-strong\n", first, 2*f)
+					}
+				}()
+			}
+		case ev.Strength > levels[id]:
+			prev := levels[id]
+			levels[id] = ev.Strength
+			if ev.Strength == 2*f {
+				max2f++
+			}
+			if ev.Height <= 5 && ev.Strength > prev && ev.Strength > f {
+				fmt.Printf("STRENGTHEN %v at height %d -> %d-strong (now safe vs %d Byzantine faults)\n",
+					id, ev.Height, ev.Strength, ev.Strength)
+			}
 		}
 	}
+	wg.Wait()
+
 	fmt.Printf("\n%d blocks gained strength; %d reached the 2f maximum (tolerating %d of %d replicas Byzantine)\n",
-		total, max2f, 2*f, n)
+		len(levels), max2f, 2*f, n)
 }

@@ -1,8 +1,10 @@
 // SFT-Streamlet demo (Appendix D): the strengthened-fault-tolerance idea
 // carries over to the lock-step Streamlet protocol with height-keyed
 // markers and k-endorsements. This example runs a 7-replica SFT-Streamlet
-// cluster with its O(n^3) echo mechanism enabled and reports strong-commit
-// levels.
+// cluster on the facade's deterministic Simnet fabric, with the O(n^3)
+// echo mechanism enabled, and reports strong-commit levels. Note the
+// commit rule: Streamlet's markers are height-keyed (sft.ModeHeight), the
+// second instantiation of the paper's rule.
 //
 //	go run ./examples/streamlet
 package main
@@ -12,61 +14,57 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/crypto"
-	"repro/internal/simnet"
-	"repro/internal/streamlet"
-	"repro/internal/types"
 	"repro/internal/workload"
+	"repro/sft"
 )
 
 func main() {
 	const (
-		n = 7
-		f = 2
+		n    = 7
+		f    = 2
+		seed = 3
 	)
-	ring, err := crypto.NewKeyRing(n, 3, crypto.SchemeEd25519)
+	ring, err := sft.NewKeyRing(n, seed, sft.SchemeEd25519)
+	if err != nil {
+		log.Fatal(err)
+	}
+	world, err := sft.NewSimnet(sft.SimnetConfig{
+		N:       n,
+		Latency: &sft.UniformLatency{Base: 8 * time.Millisecond, Jitter: 4 * time.Millisecond},
+		Seed:    1,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	levels := make(map[types.BlockID]int)
+	levels := make(map[sft.BlockID]int)
 	commits := 0
-	sim := simnet.New(simnet.Config{
-		N:       n,
-		Latency: &simnet.UniformModel{Base: 8 * time.Millisecond, Jitter: 4 * time.Millisecond},
-		Seed:    1,
-		OnCommit: func(rep types.ReplicaID, now time.Duration, b *types.Block) {
-			if rep == 0 {
-				commits++
-			}
-		},
-		OnStrength: func(rep types.ReplicaID, now time.Duration, b *types.Block, x int) {
-			if rep == 0 && x > levels[b.ID()] {
-				levels[b.ID()] = x
-			}
-		},
-	})
-
 	payload := workload.PaperPayload(1, 100, 8*1024)
 	for i := 0; i < n; i++ {
-		id := types.ReplicaID(i)
-		rep, err := streamlet.New(streamlet.Config{
-			ID:               id,
-			N:                n,
-			F:                f,
-			Signer:           ring.Signer(id),
-			Verifier:         ring,
-			VerifySignatures: true,
-			Delta:            25 * time.Millisecond, // lock-step rounds of 2∆ = 50ms
-			SFT:              true,
-			Payload:          payload,
-		})
-		if err != nil {
+		id := sft.ReplicaID(i)
+		opts := []sft.Option{
+			sft.WithEngine(sft.Streamlet),
+			sft.WithCommitRule(sft.CommitRule{Mode: sft.ModeHeight}),
+			sft.WithScheme(sft.SchemeEd25519),
+			sft.WithKeyRing(ring),
+			sft.WithTransport(world.Transport(id)),
+			sft.WithDelta(25 * time.Millisecond), // lock-step rounds of 2∆ = 50ms
+			sft.WithPayload(payload),
+		}
+		if id == 0 {
+			opts = append(opts, sft.WithObserver(func(ev sft.CommitEvent) {
+				if ev.Regular {
+					commits++
+				} else if ev.Strength > levels[ev.Block.ID()] {
+					levels[ev.Block.ID()] = ev.Strength
+				}
+			}))
+		}
+		if _, err := sft.New(sft.Config{ID: id, N: n, Seed: seed}, opts...); err != nil {
 			log.Fatal(err)
 		}
-		sim.SetEngine(id, rep)
 	}
-	sim.Run(10 * time.Second)
+	world.Run(10 * time.Second)
 
 	hist := make(map[int]int)
 	for _, x := range levels {

@@ -2,7 +2,9 @@
 // longer after reaching quorum fold straggler votes into larger strong-QCs,
 // trading regular-commit latency for much faster strong commits — including
 // the dynamic per-block strategy where only rounds near a high-value block
-// wait.
+// wait. The same knobs are exposed on the public facade as
+// sft.WithExtraWait / sft.WithExtraWaitFor; the harness runs them through
+// the shared composition path at experiment scale.
 //
 //	go run ./examples/tradeoff
 package main

@@ -1,0 +1,182 @@
+// Package compose is the single composition path for building a replica:
+// every consumer — the public sft facade, the experiment harness, and
+// (through the facade) the cmds and examples — constructs engines, attaches
+// write-ahead logs, and restores crashed replicas through the functions
+// here instead of hand-wiring internal/diembft, internal/streamlet and
+// internal/wal themselves. One path means one place where defaults,
+// durability attachment and recovery semantics live.
+package compose
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/diembft"
+	"repro/internal/engine"
+	"repro/internal/streamlet"
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+// Protocol selects the consensus engine.
+type Protocol int
+
+// Supported protocols.
+const (
+	DiemBFT Protocol = iota + 1
+	Streamlet
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case DiemBFT:
+		return "diembft"
+	case Streamlet:
+		return "streamlet"
+	default:
+		return fmt.Sprintf("protocol(%d)", int(p))
+	}
+}
+
+// Spec is the normalized, engine-agnostic description of one replica. It is
+// the union of both engines' knobs; fields that do not apply to the selected
+// protocol must be zero (Engine rejects contradictions rather than silently
+// ignoring them where the mistake would change protocol semantics).
+type Spec struct {
+	Protocol Protocol // default DiemBFT
+
+	ID   types.ReplicaID
+	N, F int
+
+	// PKI. Signer/Verifier are required; VerifySignatures enables full
+	// signature checking.
+	Signer           crypto.Signer
+	Verifier         crypto.Verifier
+	VerifySignatures bool
+
+	// Strengthened fault tolerance (both engines).
+	SFT     bool
+	Horizon int
+
+	// DiemBFT-only knobs.
+	FBFT           bool
+	VoteMode       diembft.VoteMode
+	IntervalWindow types.Round
+	RoundTimeout   time.Duration
+	ExtraWait      time.Duration
+	ExtraWaitFor   func(r types.Round) time.Duration
+	MaxCommitLog   int
+	PruneKeep      types.Height
+	DisableQCCache bool
+	QCCacheSize    int
+	BatchWorkers   int
+	Behavior       *diembft.Misbehavior
+
+	// Streamlet-only knobs.
+	Delta         time.Duration
+	DisableEcho   bool
+	WithholdVotes bool
+
+	// Shared.
+	Payload func(r types.Round) types.Payload
+	Journal *core.Journal
+}
+
+// Engine builds the replica engine the spec describes. It is the one place
+// engine construction happens; defaults beyond the engines' own (e.g.
+// RoundTimeout, Delta) are the caller's responsibility so that identical
+// specs always produce identical engines — the facade's determinism tests
+// pin facade-built runs against hand-wired ones through this property.
+func Engine(s Spec) (engine.Engine, error) {
+	switch s.Protocol {
+	case Streamlet:
+		if s.FBFT || s.Behavior != nil || s.VoteMode != 0 {
+			return nil, fmt.Errorf("compose: FBFT/Behavior/VoteMode are DiemBFT-only knobs")
+		}
+		return streamlet.New(streamlet.Config{
+			ID:               s.ID,
+			N:                s.N,
+			F:                s.F,
+			Signer:           s.Signer,
+			Verifier:         s.Verifier,
+			VerifySignatures: s.VerifySignatures,
+			Delta:            s.Delta,
+			SFT:              s.SFT,
+			Horizon:          s.Horizon,
+			DisableEcho:      s.DisableEcho,
+			Payload:          s.Payload,
+			WithholdVotes:    s.WithholdVotes,
+			Journal:          s.Journal,
+		})
+	case DiemBFT, 0:
+		if s.WithholdVotes {
+			return nil, fmt.Errorf("compose: WithholdVotes is a Streamlet knob; use Behavior.WithholdVotes for DiemBFT")
+		}
+		return diembft.New(diembft.Config{
+			ID:               s.ID,
+			N:                s.N,
+			F:                s.F,
+			Signer:           s.Signer,
+			Verifier:         s.Verifier,
+			VerifySignatures: s.VerifySignatures,
+			QCCacheSize:      s.QCCacheSize,
+			DisableQCCache:   s.DisableQCCache,
+			BatchWorkers:     s.BatchWorkers,
+			SFT:              s.SFT,
+			FBFT:             s.FBFT,
+			VoteMode:         s.VoteMode,
+			IntervalWindow:   s.IntervalWindow,
+			Horizon:          s.Horizon,
+			RoundTimeout:     s.RoundTimeout,
+			ExtraWait:        s.ExtraWait,
+			ExtraWaitFor:     s.ExtraWaitFor,
+			Payload:          s.Payload,
+			MaxCommitLog:     s.MaxCommitLog,
+			PruneKeep:        s.PruneKeep,
+			Behavior:         s.Behavior,
+			Journal:          s.Journal,
+		})
+	default:
+		return nil, fmt.Errorf("compose: unknown protocol %v", s.Protocol)
+	}
+}
+
+// Restorer is the journal-replay hook both engines implement.
+type Restorer interface {
+	Restore(*core.Recovery) error
+}
+
+// Restore replays a recovery into a freshly built engine. A nil recovery is
+// a no-op; an engine without a Restore hook is an error (the caller asked
+// for durability the engine cannot provide).
+func Restore(e engine.Engine, rec *core.Recovery) error {
+	if rec == nil || rec.Empty() {
+		return nil
+	}
+	r, ok := e.(Restorer)
+	if !ok {
+		return fmt.Errorf("compose: engine %T does not support journal restore", e)
+	}
+	return r.Restore(rec)
+}
+
+// OpenWAL opens (or creates) the write-ahead log in dir, replays whatever a
+// previous incarnation left there, and returns the journal to hand to Spec
+// plus the recovered state to Restore into the rebuilt engine. With fsync
+// false the log runs in NoSync mode — the setting for simulated crashes,
+// where the process survives and page-cache durability models the kill
+// faithfully; real deployments pass fsync true.
+func OpenWAL(dir string, fsync bool) (*core.Journal, *core.Recovery, error) {
+	l, err := wal.Open(dir, wal.Options{NoSync: !fsync})
+	if err != nil {
+		return nil, nil, err
+	}
+	rec, err := core.Recover(l)
+	if err != nil {
+		_ = l.Close()
+		return nil, nil, fmt.Errorf("compose: wal replay failed — durable state is unusable: %w", err)
+	}
+	return core.NewJournal(l), rec, nil
+}

@@ -1,0 +1,92 @@
+package compose
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/crypto"
+	"repro/internal/diembft"
+	"repro/internal/types"
+)
+
+func testSpec(t *testing.T, proto Protocol) Spec {
+	t.Helper()
+	ring, err := crypto.NewKeyRing(4, 1, crypto.SchemeSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Spec{
+		Protocol:     proto,
+		ID:           0,
+		N:            4,
+		F:            1,
+		Signer:       ring.Signer(0),
+		Verifier:     ring,
+		SFT:          true,
+		RoundTimeout: time.Second,
+		Delta:        50 * time.Millisecond,
+	}
+}
+
+func TestEngineBuildsBothProtocols(t *testing.T) {
+	for _, proto := range []Protocol{DiemBFT, Streamlet} {
+		eng, err := Engine(testSpec(t, proto))
+		if err != nil {
+			t.Fatalf("%v: %v", proto, err)
+		}
+		if eng.ID() != 0 {
+			t.Fatalf("%v: engine ID %v", proto, eng.ID())
+		}
+		if _, ok := eng.(Restorer); !ok {
+			t.Fatalf("%v: engine lacks the Restore hook", proto)
+		}
+	}
+}
+
+func TestEngineRejectsCrossProtocolKnobs(t *testing.T) {
+	s := testSpec(t, Streamlet)
+	s.VoteMode = diembft.VoteIntervals
+	if _, err := Engine(s); err == nil {
+		t.Fatal("streamlet spec with a DiemBFT vote mode built")
+	}
+	s = testSpec(t, DiemBFT)
+	s.WithholdVotes = true
+	if _, err := Engine(s); err == nil {
+		t.Fatal("diembft spec with the streamlet WithholdVotes knob built")
+	}
+	s = testSpec(t, Protocol(9))
+	if _, err := Engine(s); err == nil {
+		t.Fatal("unknown protocol built")
+	}
+}
+
+// TestOpenWALRoundTrip pins the facade-visible durability contract at the
+// compose layer: an empty directory opens with an empty recovery, and a
+// journaled vote survives reopen.
+func TestOpenWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, rec, err := OpenWAL(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Empty() {
+		t.Fatalf("fresh WAL recovered state: %+v", rec)
+	}
+	v := &types.Vote{Round: 3, Height: 2, Voter: 1}
+	if err := j.AppendVote(v); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err = OpenWAL(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Votes) != 1 || rec.VotedRound() != 3 {
+		t.Fatalf("reopen recovered %d votes, voted round %v", len(rec.Votes), rec.VotedRound())
+	}
+}

@@ -12,15 +12,14 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/compose"
 	"repro/internal/core"
 	"repro/internal/crypto"
 	"repro/internal/diembft"
 	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/simnet"
-	"repro/internal/streamlet"
 	"repro/internal/types"
-	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -385,28 +384,24 @@ func Run(sc *Scenario) (*Result, error) {
 	walDir := func(id types.ReplicaID) string {
 		return filepath.Join(dataDir, fmt.Sprintf("replica-%d", id))
 	}
-	openJournal := func(id types.ReplicaID) (*core.Journal, error) {
-		// NoSync: simulated crashes stop event dispatch, not the host
-		// process, so page-cache durability models the kill faithfully and
-		// scenario runs stay fast. Real deployments (cmd/sftnode) fsync.
-		l, err := wal.Open(walDir(id), wal.Options{NoSync: true})
-		if err != nil {
-			return nil, err
-		}
-		return core.NewJournal(l), nil
+	// NoSync (fsync=false): simulated crashes stop event dispatch, not the
+	// host process, so page-cache durability models the kill faithfully and
+	// scenario runs stay fast. Real deployments (cmd/sftnode) fsync.
+	openJournal := func(id types.ReplicaID) (*core.Journal, *core.Recovery, error) {
+		return compose.OpenWAL(walDir(id), false)
 	}
 
 	for i := 0; i < s.N; i++ {
 		id := types.ReplicaID(i)
 		var journal *core.Journal
 		if durable[id] {
-			j, err := openJournal(id)
+			j, _, err := openJournal(id)
 			if err != nil {
 				return nil, err
 			}
 			journal = j
 		}
-		eng, err := buildEngine(s, id, ring, payload, journal)
+		eng, err := compose.Engine(engineSpec(s, id, ring, payload, journal))
 		if err != nil {
 			return nil, err
 		}
@@ -424,19 +419,15 @@ func Run(sc *Scenario) (*Result, error) {
 		sim.RestartAt(id, plan.Restart, func() engine.Engine {
 			// Runs at virtual time plan.Restart: recover the WAL as of the
 			// crash and build a fresh engine around it.
-			journal, err := openJournal(id)
+			journal, rec, err := openJournal(id)
 			if err != nil {
 				panic(fmt.Sprintf("harness: restart %v: %v", id, err))
 			}
-			rec, err := core.Recover(journal.Log())
-			if err != nil {
-				panic(fmt.Sprintf("harness: recover %v: %v", id, err))
-			}
-			eng, err := buildEngine(s, id, ring, payload, journal)
+			eng, err := compose.Engine(engineSpec(s, id, ring, payload, journal))
 			if err != nil {
 				panic(fmt.Sprintf("harness: rebuild %v: %v", id, err))
 			}
-			if err := eng.(restorer).Restore(rec); err != nil {
+			if err := compose.Restore(eng, rec); err != nil {
 				panic(fmt.Sprintf("harness: restore %v: %v", id, err))
 			}
 			return eng
@@ -467,15 +458,14 @@ func Run(sc *Scenario) (*Result, error) {
 	return res, nil
 }
 
-// restorer is the Restore hook both engines implement.
-type restorer interface {
-	Restore(*core.Recovery) error
-}
-
-func buildEngine(s *Scenario, id types.ReplicaID, ring *crypto.KeyRing, payload func(types.Round) types.Payload, journal *core.Journal) (engine.Engine, error) {
+// engineSpec maps a scenario onto the shared composition path
+// (internal/compose) — the same path the public sft facade builds nodes
+// through, so facade runs and harness runs construct identical engines.
+func engineSpec(s *Scenario, id types.ReplicaID, ring *crypto.KeyRing, payload func(types.Round) types.Payload, journal *core.Journal) compose.Spec {
 	switch s.Protocol {
 	case ProtoStreamlet:
-		cfg := streamlet.Config{
+		spec := compose.Spec{
+			Protocol:         compose.Streamlet,
 			ID:               id,
 			N:                s.N,
 			F:                s.F,
@@ -490,11 +480,12 @@ func buildEngine(s *Scenario, id types.ReplicaID, ring *crypto.KeyRing, payload 
 			Journal:          journal,
 		}
 		if b, ok := s.Byzantine[id]; ok {
-			cfg.WithholdVotes = b.WithholdVotes
+			spec.WithholdVotes = b.WithholdVotes
 		}
-		return streamlet.New(cfg)
+		return spec
 	default:
-		cfg := diembft.Config{
+		spec := compose.Spec{
+			Protocol:         compose.DiemBFT,
 			ID:               id,
 			N:                s.N,
 			F:                s.F,
@@ -516,8 +507,8 @@ func buildEngine(s *Scenario, id types.ReplicaID, ring *crypto.KeyRing, payload 
 		}
 		if b, ok := s.Byzantine[id]; ok {
 			bb := b
-			cfg.Behavior = &bb
+			spec.Behavior = &bb
 		}
-		return diembft.New(cfg)
+		return spec
 	}
 }

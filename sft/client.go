@@ -1,0 +1,102 @@
+package sft
+
+import (
+	"encoding/gob"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/mempool"
+)
+
+// The transaction streaming protocol between sftclient and sftnode: a plain
+// TCP connection carrying gob-encoded Transactions. Both ends live here so
+// the wire format has exactly one definition.
+
+// TxnStream is the client side of a transaction stream (cmd/sftclient).
+type TxnStream struct {
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+// DialTransactions connects to a node's transaction listener (the address
+// its WithTransactionServer / -client-listen is bound to).
+func DialTransactions(addr string, timeout time.Duration) (*TxnStream, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &TxnStream{conn: conn, enc: gob.NewEncoder(conn)}, nil
+}
+
+// Submit sends one transaction to the node's pool.
+func (s *TxnStream) Submit(txn Transaction) error { return s.enc.Encode(txn) }
+
+// Close closes the stream.
+func (s *TxnStream) Close() error { return s.conn.Close() }
+
+// TxnServer accepts transaction streams from clients and pools the
+// submitted transactions until the node's payload function drains them
+// (cmd/sftnode's -client-listen).
+type TxnServer struct {
+	ln net.Listener
+
+	mu   sync.Mutex
+	pool *mempool.Pool
+}
+
+// ListenTransactions starts accepting client transaction streams on addr.
+// capacity bounds the pool (0 = unbounded); transactions over it are
+// dropped, as a saturated mempool would.
+func ListenTransactions(addr string, capacity int) (*TxnServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &TxnServer{ln: ln, pool: mempool.New(capacity)}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *TxnServer) Addr() net.Addr { return s.ln.Addr() }
+
+// Batch removes and returns up to max pooled transactions, oldest first —
+// call it from a WithPayload function to build blocks from client load.
+func (s *TxnServer) Batch(max int) []Transaction {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pool.Batch(max)
+}
+
+// Pending returns the number of pooled transactions.
+func (s *TxnServer) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pool.Len()
+}
+
+// Close stops accepting clients.
+func (s *TxnServer) Close() error { return s.ln.Close() }
+
+func (s *TxnServer) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			defer conn.Close()
+			dec := gob.NewDecoder(conn)
+			for {
+				var txn Transaction
+				if err := dec.Decode(&txn); err != nil {
+					return
+				}
+				s.mu.Lock()
+				s.pool.Add(txn)
+				s.mu.Unlock()
+			}
+		}()
+	}
+}

@@ -1,0 +1,72 @@
+package sft
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Metrics is an atomic counter sink nodes report into. One sink may be
+// shared by several nodes (WithMetrics) to aggregate a whole in-process
+// cluster; reads go through Node.Metrics or Snapshot.
+type Metrics struct {
+	commits         atomic.Int64
+	strengthUpdates atomic.Int64
+	committedHeight atomic.Int64
+	maxStrength     atomic.Int64
+}
+
+// MetricsSnapshot is a point-in-time read of a node's counters.
+type MetricsSnapshot struct {
+	// Commits counts regular (f-strong) commits observed.
+	Commits int64
+	// StrengthUpdates counts strength-level increases observed.
+	StrengthUpdates int64
+	// CommittedHeight is the highest committed height observed.
+	CommittedHeight Height
+	// MaxStrength is the highest strength level x observed on any block.
+	MaxStrength int
+	// Dropped-frame accounting (TCP transport; zero elsewhere): frames that
+	// spoofed their sender, broke the wire format, or failed signature /
+	// certificate verification before reaching the engine.
+	SpoofedFrames, MalformedFrames, VerifyDroppedFrames int64
+}
+
+// String renders a snapshot compactly for periodic status logs.
+func (m MetricsSnapshot) String() string {
+	return fmt.Sprintf("%d commits, %d strength updates, height %d, max strength %d, dropped %d spoofed / %d malformed / %d failed-verify",
+		m.Commits, m.StrengthUpdates, m.CommittedHeight, m.MaxStrength,
+		m.SpoofedFrames, m.MalformedFrames, m.VerifyDroppedFrames)
+}
+
+func (m *Metrics) onCommit(h Height) {
+	m.commits.Add(1)
+	for {
+		cur := m.committedHeight.Load()
+		if int64(h) <= cur || m.committedHeight.CompareAndSwap(cur, int64(h)) {
+			return
+		}
+	}
+}
+
+func (m *Metrics) onStrength(x int) {
+	m.strengthUpdates.Add(1)
+	for {
+		cur := m.maxStrength.Load()
+		if int64(x) <= cur || m.maxStrength.CompareAndSwap(cur, int64(x)) {
+			return
+		}
+	}
+}
+
+// Snapshot reads the sink's counters (transport frame counters are
+// per-node; use Node.Metrics for those).
+func (m *Metrics) Snapshot() MetricsSnapshot { return m.snapshot() }
+
+func (m *Metrics) snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Commits:         m.commits.Load(),
+		StrengthUpdates: m.strengthUpdates.Load(),
+		CommittedHeight: Height(m.committedHeight.Load()),
+		MaxStrength:     int(m.maxStrength.Load()),
+	}
+}

@@ -1,0 +1,453 @@
+package sft
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/compose"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/runtime"
+	"repro/internal/tcpnet"
+)
+
+// CommitEvent is one observation of a block's commit strength. Every block
+// produces a sequence of events: first the regular commit (Strength = f,
+// the classical guarantee), then one event per strength increase as the
+// chain extends the block, up to 2f. Subscribers see the sequence filtered
+// by their node's CommitRule.MinStrength.
+type CommitEvent struct {
+	// Block is the committed block.
+	Block *Block
+	// Height and Round locate it on the chain.
+	Height Height
+	Round  Round
+	// Strength is the number of Byzantine faults the commit now tolerates
+	// (Definition 1): F at the regular commit, rising toward 2F.
+	Strength int
+	// Regular marks the classical (f-strong) commit — exactly one per
+	// block, in height order. Strength-rise events (including the tracker's
+	// first report at x = F, which may accompany the regular commit) carry
+	// Regular false.
+	Regular bool
+	// Time is the node's clock when the event was observed — wall-clock
+	// elapsed since Run for real transports, virtual time under Simnet.
+	Time time.Duration
+}
+
+// RecoveryInfo summarizes what a node restored from its write-ahead log.
+type RecoveryInfo struct {
+	// Blocks and Votes count the replayed records.
+	Blocks, Votes int
+	// VotedRound is the highest round the pre-crash incarnation voted in —
+	// the safety-critical value: the restored node never votes at or below
+	// it in contradiction to its pre-crash markers.
+	VotedRound Round
+	// CommittedHeight is the pre-crash committed height.
+	CommittedHeight Height
+	// HighQCRound is the round of the highest recovered certificate.
+	HighQCRound Round
+}
+
+func recoveryInfo(rec *core.Recovery) RecoveryInfo {
+	info := RecoveryInfo{
+		Blocks:          len(rec.Blocks),
+		Votes:           len(rec.Votes),
+		VotedRound:      rec.VotedRound(),
+		CommittedHeight: rec.CommittedHeight,
+	}
+	if rec.HighQC != nil {
+		info.HighQCRound = rec.HighQC.Round
+	}
+	return info
+}
+
+// journalHandle closes a journal exactly once no matter how many exit paths
+// reach it (runtime.Node.Run's deferred close, Node.Close, New's error
+// paths).
+type journalHandle struct {
+	once sync.Once
+	j    *core.Journal
+	err  error
+}
+
+func (h *journalHandle) Close() error {
+	h.once.Do(func() { h.err = h.j.Close() })
+	return h.err
+}
+
+// Node is one composed replica: engine, commit rule, transport, durability
+// and subscriptions behind a single handle. Create with New; run with Run
+// (TCP/LocalNet) or by driving the attached Simnet; stop with Close.
+type Node struct {
+	cfg  Config
+	rule CommitRule
+	spec compose.Spec
+	eng  engine.Engine
+
+	// Exactly one of rt/world is set, per the transport.
+	rt    *runtime.Node
+	tcp   *tcpnet.Net
+	world *Simnet
+
+	journal  *journalHandle
+	walDir   string
+	restored *RecoveryInfo
+
+	pipeline        bool
+	pipelineWorkers int
+
+	metrics  *Metrics
+	observer func(CommitEvent)
+
+	start   time.Time
+	started bool
+
+	mu       sync.Mutex
+	strength map[BlockID]int
+	height   Height
+	waiters  []*strengthWaiter
+	subs     []*subscription
+	closed   bool
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+type strengthWaiter struct {
+	id    BlockID
+	x     int
+	ready chan struct{}
+}
+
+// ID returns the replica this node embodies.
+func (n *Node) ID() ReplicaID { return n.cfg.ID }
+
+// Rule returns the node's resolved commit rule.
+func (n *Node) Rule() CommitRule { return n.rule }
+
+// Restored reports the state recovered from the write-ahead log, if the
+// node was built over a WAL left by a previous incarnation.
+func (n *Node) Restored() (RecoveryInfo, bool) {
+	if n.restored == nil {
+		return RecoveryInfo{}, false
+	}
+	return *n.restored, true
+}
+
+// Addr returns the TCP listen address (nil for other transports) — useful
+// with an ephemeral ":0" listen address.
+func (n *Node) Addr() net.Addr {
+	if n.tcp == nil {
+		return nil
+	}
+	return n.tcp.Addr()
+}
+
+// SetPeers installs the cluster address book on a TCP node. Use it for the
+// bind-first-then-exchange pattern: listen on ephemeral ports, collect
+// every node's Addr, then SetPeers everywhere before Run.
+func (n *Node) SetPeers(peers map[ReplicaID]string) error {
+	if n.tcp == nil {
+		return fmt.Errorf("sft: SetPeers requires the TCP transport")
+	}
+	n.tcp.SetPeers(peers)
+	return nil
+}
+
+// Run executes the node's event loop until ctx is cancelled, then flushes
+// and closes the node's resources (WAL included) — a SIGTERM-cancelled
+// context is a graceful shutdown. Run applies only to real transports;
+// Simnet-attached nodes are driven by Simnet.Run instead. Returns nil on
+// plain context cancellation.
+func (n *Node) Run(ctx context.Context) error {
+	if n.rt == nil {
+		return fmt.Errorf("sft: node %d is attached to a Simnet; drive it with Simnet.Run", n.cfg.ID)
+	}
+	n.start = time.Now()
+	n.started = true
+	err := n.rt.Run(ctx)
+	cerr := n.Close()
+	if err != nil && err != ctx.Err() {
+		return err
+	}
+	return cerr
+}
+
+// Close releases the node's resources: the transport stops, the write-ahead
+// log is flushed and closed, and every Commits subscription channel closes —
+// buffered events keep flowing to consumers that keep receiving, but a
+// consumer that stopped no longer pins the subscription. Safe to call more
+// than once and after Run returned. Simnet-attached nodes may also be
+// closed via Simnet.Close.
+func (n *Node) Close() error {
+	n.closeOnce.Do(func() {
+		if n.tcp != nil {
+			n.closeErr = n.tcp.Close()
+		}
+		n.mu.Lock()
+		journal := n.journal
+		n.mu.Unlock()
+		if journal != nil {
+			if err := journal.Close(); err != nil && n.closeErr == nil {
+				n.closeErr = err
+			}
+		}
+		n.mu.Lock()
+		n.closed = true
+		subs := n.subs
+		waiters := n.waiters
+		n.subs, n.waiters = nil, nil
+		n.mu.Unlock()
+		for _, sub := range subs {
+			sub.close()
+		}
+		for _, w := range waiters {
+			close(w.ready) // unblock; WaitStrength re-checks and reports closure
+		}
+	})
+	return n.closeErr
+}
+
+// Commits returns a fresh subscription to the node's commit-strength
+// stream. Each call returns an independent channel carrying every
+// CommitEvent at or above CommitRule.MinStrength, in order, without
+// back-pressure on the consensus path (events are buffered unboundedly
+// until consumed). The channel closes when the node closes.
+func (n *Node) Commits() <-chan CommitEvent {
+	sub := newSubscription()
+	n.mu.Lock()
+	closed := n.closed
+	if !closed {
+		n.subs = append(n.subs, sub)
+	}
+	n.mu.Unlock()
+	if closed {
+		sub.close()
+	}
+	return sub.ch
+}
+
+// Strength returns the strongest commit level the node has observed for the
+// block: -1 before the regular commit, then F..2F.
+func (n *Node) Strength(id BlockID) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if x, ok := n.strength[id]; ok {
+		return x
+	}
+	return -1
+}
+
+// CommittedHeight returns the highest committed height observed.
+func (n *Node) CommittedHeight() Height {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.height
+}
+
+// WaitStrength blocks until the node observes block id at strength >= x, the
+// context is done, or the node closes. It is the programmatic form of the
+// paper's per-transaction resilience choice: commit the transaction when its
+// block tolerates the number of faults the caller cares about. Do not call
+// it from the goroutine that drives a Simnet — virtual time only advances
+// there.
+func (n *Node) WaitStrength(ctx context.Context, id BlockID, x int) error {
+	for {
+		n.mu.Lock()
+		if cur, ok := n.strength[id]; ok && cur >= x {
+			n.mu.Unlock()
+			return nil
+		}
+		if n.closed {
+			n.mu.Unlock()
+			return fmt.Errorf("sft: node closed before block reached strength %d", x)
+		}
+		w := &strengthWaiter{id: id, x: x, ready: make(chan struct{})}
+		n.waiters = append(n.waiters, w)
+		n.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			n.dropWaiter(w)
+			return ctx.Err()
+		case <-w.ready:
+			// Either the strength was reached or the node closed; loop to
+			// re-check under the lock.
+		}
+	}
+}
+
+func (n *Node) dropWaiter(w *strengthWaiter) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i, other := range n.waiters {
+		if other == w {
+			n.waiters = append(n.waiters[:i], n.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Metrics returns a snapshot of the node's counters, including the TCP
+// transport's dropped-frame accounting when applicable.
+func (n *Node) Metrics() MetricsSnapshot {
+	snap := n.metrics.snapshot()
+	if n.tcp != nil {
+		fs := n.tcp.FrameStats()
+		snap.SpoofedFrames = fs.Spoofed
+		snap.MalformedFrames = fs.Malformed
+		snap.VerifyDroppedFrames = fs.Prevalidated
+	}
+	if n.rt != nil {
+		snap.VerifyDroppedFrames += n.rt.PrevalidateDrops()
+	}
+	return snap
+}
+
+// swapIncarnation points the handle at a restarted engine and its reopened
+// journal (Simnet restarts). The crashed incarnation's journal handle is
+// closed; its buffered appends were already flushed per event.
+func (n *Node) swapIncarnation(eng engine.Engine, journal *journalHandle) {
+	n.mu.Lock()
+	old := n.journal
+	n.eng = eng
+	n.journal = journal
+	n.mu.Unlock()
+	if old != nil {
+		_ = old.Close()
+	}
+}
+
+// now returns the node's event clock for real transports.
+func (n *Node) now() time.Duration {
+	if !n.started {
+		return 0
+	}
+	return time.Since(n.start)
+}
+
+// onCommit and onStrength are the node's internal observers, wired into the
+// runtime callbacks or the Simnet dispatcher by the transport attach.
+func (n *Node) onCommit(now time.Duration, b *Block) {
+	n.metrics.onCommit(b.Height)
+	n.publish(CommitEvent{Block: b, Height: b.Height, Round: b.Round, Strength: n.cfg.F(), Regular: true, Time: now})
+}
+
+func (n *Node) onStrength(now time.Duration, b *Block, x int) {
+	n.metrics.onStrength(x)
+	n.publish(CommitEvent{Block: b, Height: b.Height, Round: b.Round, Strength: x, Time: now})
+}
+
+// publish records the event and fans it out: strength bookkeeping and
+// waiters always see it; subscriptions and the observer only at or above
+// the commit rule's threshold.
+func (n *Node) publish(ev CommitEvent) {
+	id := ev.Block.ID()
+	n.mu.Lock()
+	if cur, ok := n.strength[id]; !ok || ev.Strength > cur {
+		n.strength[id] = ev.Strength
+	}
+	if ev.Height > n.height {
+		n.height = ev.Height
+	}
+	// Wake satisfied waiters.
+	kept := n.waiters[:0]
+	for _, w := range n.waiters {
+		if w.id == id && ev.Strength >= w.x {
+			close(w.ready)
+			continue
+		}
+		kept = append(kept, w)
+	}
+	n.waiters = kept
+	deliver := ev.Strength >= n.rule.MinStrength
+	var subs []*subscription
+	if deliver {
+		subs = n.subs
+	}
+	n.mu.Unlock()
+	for _, sub := range subs {
+		sub.push(ev)
+	}
+	if deliver && n.observer != nil {
+		n.observer(ev)
+	}
+}
+
+// subscription is one unbounded commit-event queue with a pump goroutine
+// feeding its channel, so publishing never blocks the consensus path. The
+// queue grows until the consumer drains it; a consumer that abandons the
+// channel on a still-running node therefore retains its backlog until the
+// node closes — at which point the pump exits even mid-send (done unblocks
+// it), so closed nodes never leak pump goroutines.
+type subscription struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []CommitEvent
+	closed bool
+	done   chan struct{}
+	ch     chan CommitEvent
+}
+
+func newSubscription() *subscription {
+	sub := &subscription{ch: make(chan CommitEvent, 16), done: make(chan struct{})}
+	sub.cond = sync.NewCond(&sub.mu)
+	go sub.pump()
+	return sub
+}
+
+func (s *subscription) push(ev CommitEvent) {
+	s.mu.Lock()
+	if !s.closed {
+		s.queue = append(s.queue, ev)
+		s.cond.Signal()
+	}
+	s.mu.Unlock()
+}
+
+func (s *subscription) close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.done)
+		s.cond.Signal()
+	}
+	s.mu.Unlock()
+}
+
+func (s *subscription) pump() {
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		batch := s.queue
+		s.queue = nil
+		closed := s.closed
+		s.mu.Unlock()
+		for _, ev := range batch {
+			// Fast path keeps delivery order cheap; after close, a consumer
+			// that keeps receiving still drains the backlog (non-blocking
+			// send first), but one that walked away no longer pins the
+			// goroutine.
+			select {
+			case s.ch <- ev:
+				continue
+			default:
+			}
+			select {
+			case s.ch <- ev:
+			case <-s.done:
+				close(s.ch)
+				return
+			}
+		}
+		if closed {
+			close(s.ch)
+			return
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package sft
+
+import (
+	"fmt"
+	rt "runtime"
+	"time"
+)
+
+// Option configures New. Options span every layer; see the package comment
+// (and doc.go at the repository root) for the full matrix.
+type Option func(*settings)
+
+// settings is the resolved option set. Defaults mirror what the repository's
+// commands ran with before the facade existed, so facade-built nodes behave
+// identically to the old hand-wired ones.
+type settings struct {
+	err error
+
+	engine    Engine
+	rule      CommitRule
+	scheme    Scheme
+	verify    bool // force signature verification even under SchemeSim
+	ring      *KeyRing
+	transport Transport
+
+	walDir string
+
+	pipeline        bool
+	pipelineWorkers int
+
+	metrics  *Metrics
+	observer func(CommitEvent)
+
+	payload      func(Round) Payload
+	roundTimeout time.Duration
+	extraWait    time.Duration
+	extraWaitFor func(Round) time.Duration
+	delta        time.Duration
+	disableEcho  bool
+	maxCommitLog int
+	pruneKeep    Height
+}
+
+func defaultSettings() settings {
+	return settings{
+		engine:       DiemBFT,
+		scheme:       SchemeEd25519,
+		roundTimeout: time.Second,
+		delta:        100 * time.Millisecond,
+	}
+}
+
+func (s *settings) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// batchWorkers resolves the per-QC signature-verification concurrency the
+// engine is built with. The pipeline's TCP mode verifies on n-1 concurrent
+// per-peer reader goroutines, so the auto heuristic divides GOMAXPROCS
+// across them — the same sizing cmd/sftnode used before the facade.
+func (s *settings) batchWorkers(n int) int {
+	if !s.pipeline {
+		return 0
+	}
+	if s.pipelineWorkers > 0 {
+		return s.pipelineWorkers
+	}
+	return max(1, rt.GOMAXPROCS(0)/max(1, n-1))
+}
+
+// WithEngine selects the consensus protocol: DiemBFT (default) or
+// Streamlet.
+func WithEngine(e Engine) Option {
+	return func(s *settings) {
+		if e != DiemBFT && e != Streamlet {
+			s.fail(fmt.Errorf("sft: unknown engine %v (want sft.DiemBFT or sft.Streamlet)", e))
+			return
+		}
+		s.engine = e
+	}
+}
+
+// WithCommitRule sets the strengthened commit rule: marker mode
+// (round/height), strong-vote flavor, endorsement horizon, and the
+// x-strong threshold subscriptions act on. The zero rule — the default —
+// is the engine's natural mode with marker votes, delivering every
+// strength level.
+func WithCommitRule(r CommitRule) Option {
+	return func(s *settings) { s.rule = r }
+}
+
+// WithScheme selects the signature scheme: SchemeEd25519 (default, real
+// crypto, verification always on) or SchemeSim (fast deterministic toy
+// scheme, verification off — the setting large simulations use).
+func WithScheme(sc Scheme) Option {
+	return func(s *settings) {
+		if sc != SchemeEd25519 && sc != SchemeSim {
+			s.fail(fmt.Errorf("sft: unknown scheme %q (want sft.SchemeEd25519 or sft.SchemeSim)", sc))
+			return
+		}
+		s.scheme = sc
+	}
+}
+
+// WithSignatureVerification forces full signature checking even under
+// SchemeSim (ed25519 always verifies). The determinism tests use it to pin
+// verified and unverified runs against each other.
+func WithSignatureVerification() Option {
+	return func(s *settings) { s.verify = true }
+}
+
+// WithKeyRing shares a pre-derived PKI across in-process nodes so the
+// ed25519 key generation for n replicas happens once per cluster instead of
+// once per node. The ring must match Config.N and the cluster's seed/scheme.
+func WithKeyRing(ring *KeyRing) Option {
+	return func(s *settings) { s.ring = ring }
+}
+
+// WithTransport selects how the node reaches its peers: sft.TCP for real
+// sockets, NewLocalNet(...).Transport(id) for in-process channels, or
+// NewSimnet(...).Transport(id) for the deterministic simulator. Required.
+func WithTransport(t Transport) Option {
+	return func(s *settings) { s.transport = t }
+}
+
+// WithWAL makes the node durable: every block, own vote, certificate, lock
+// and commit its safety depends on is write-ahead-logged to dir (fsynced
+// under real transports, page-cache under Simnet) and flushed before the
+// event's outputs leave the replica. Creating a node over an existing WAL
+// recovers the pre-crash state, re-joins via state sync, and never votes in
+// contradiction to its pre-crash markers; Node.Restored reports what was
+// recovered. Node.Close (and Run, on the way out) flushes and closes the
+// log.
+func WithWAL(dir string) Option {
+	return func(s *settings) {
+		if dir == "" {
+			s.fail(fmt.Errorf("sft: WithWAL requires a directory"))
+			return
+		}
+		s.walDir = dir
+	}
+}
+
+// WithVerifyPipeline takes signature verification — the dominant cost under
+// real crypto — off the engine's single-threaded event loop. Under TCP,
+// frames are verified on their per-peer reader goroutines and a cold
+// certificate's 2f+1 signatures are batch-checked by up to `workers`
+// goroutines (0 = GOMAXPROCS divided across the n-1 readers). Under a
+// LocalNet, a bounded worker pool of `workers` goroutines (0 = GOMAXPROCS)
+// prevalidates between the transport and the loop. Under Simnet the split
+// runs synchronously and is enabled per-simulation via
+// SimnetConfig.VerifyPipeline, not per node — New rejects the combination
+// to keep determinism decisions in one place.
+func WithVerifyPipeline(workers int) Option {
+	return func(s *settings) {
+		if workers < 0 {
+			s.fail(fmt.Errorf("sft: negative pipeline workers"))
+			return
+		}
+		s.pipeline = true
+		s.pipelineWorkers = workers
+	}
+}
+
+// WithMetrics attaches a shared metrics sink: the node counts its commits,
+// strength updates, committed height and peak strength into m. Several
+// nodes may share one sink. Without this option the node allocates its own;
+// either way Node.Metrics returns a snapshot.
+func WithMetrics(m *Metrics) Option {
+	return func(s *settings) {
+		if m == nil {
+			s.fail(fmt.Errorf("sft: nil metrics sink"))
+			return
+		}
+		s.metrics = m
+	}
+}
+
+// WithObserver registers a synchronous commit/strength observer. It runs on
+// the node's event path — keep it fast, and use Commits() for heavy
+// consumers. Events below CommitRule.MinStrength are filtered here too.
+func WithObserver(fn func(CommitEvent)) Option {
+	return func(s *settings) { s.observer = fn }
+}
+
+// WithPayload supplies block transactions: fn is called once per led round.
+// nil (the default) proposes empty blocks.
+func WithPayload(fn func(r Round) Payload) Option {
+	return func(s *settings) { s.payload = fn }
+}
+
+// WithRoundTimeout sets the pacemaker's base round timeout (DiemBFT;
+// default 1s).
+func WithRoundTimeout(d time.Duration) Option {
+	return func(s *settings) {
+		if d <= 0 {
+			s.fail(fmt.Errorf("sft: round timeout must be positive"))
+			return
+		}
+		s.roundTimeout = d
+	}
+}
+
+// WithExtraWait makes leaders sit on a formed quorum for d to fold
+// straggler votes into a larger, more diverse strong-QC — the Figure 8
+// trade-off knob (regular-commit latency for faster strong commits).
+func WithExtraWait(d time.Duration) Option {
+	return func(s *settings) { s.extraWait = d }
+}
+
+// WithExtraWaitFor is the dynamic per-round variant of WithExtraWait
+// (Section 4.2): only rounds the function cares about pay the wait.
+func WithExtraWaitFor(fn func(r Round) time.Duration) Option {
+	return func(s *settings) { s.extraWaitFor = fn }
+}
+
+// WithDelta sets Streamlet's assumed maximum network delay ∆; rounds last
+// 2∆ (default 100ms).
+func WithDelta(d time.Duration) Option {
+	return func(s *settings) {
+		if d <= 0 {
+			s.fail(fmt.Errorf("sft: delta must be positive"))
+			return
+		}
+		s.delta = d
+	}
+}
+
+// WithoutEcho disables Streamlet's O(n^3) echo relay (fine on reliable
+// links, much cheaper at scale).
+func WithoutEcho() Option {
+	return func(s *settings) { s.disableEcho = true }
+}
+
+// WithCommitLog attaches up to k strong-commit Log entries to each
+// proposal, the Section 5 mechanism light clients verify strength from.
+func WithCommitLog(k int) Option {
+	return func(s *settings) { s.maxCommitLog = k }
+}
+
+// WithPruneKeep prunes protocol state more than keep heights below the
+// committed height, bounding memory on long runs.
+func WithPruneKeep(keep Height) Option {
+	return func(s *settings) { s.pruneKeep = keep }
+}

@@ -1,0 +1,175 @@
+package sft
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/compose"
+	"repro/internal/engine"
+	"repro/internal/simnet"
+	"repro/internal/types"
+)
+
+// SimnetConfig parameterizes a deterministic simulation fabric.
+type SimnetConfig struct {
+	// N is the number of replica slots.
+	N int
+	// Latency is the network model; required.
+	Latency LatencyModel
+	// Seed drives all simulated randomness: same seed, same run,
+	// bit-identical results.
+	Seed int64
+	// VerifyPipeline routes every delivery through the engines'
+	// prevalidate/apply split, synchronously — the simulator stays
+	// single-threaded, so results are bit-identical to the pipeline being
+	// off for honest traffic. This is the simulation-wide form of
+	// WithVerifyPipeline (which New rejects on Simnet-attached nodes).
+	VerifyPipeline bool
+}
+
+// Simnet is the deterministic discrete-event fabric the paper's experiments
+// run on, exposed through the facade: create it, attach nodes built with
+// WithTransport(world.Transport(id)), then drive virtual time with Run.
+// Unattached slots model replicas that are down from the start.
+type Simnet struct {
+	cfg   SimnetConfig
+	sim   *simnet.Sim
+	nodes []*Node
+}
+
+// NewSimnet creates a simulation fabric with cfg.N empty replica slots.
+func NewSimnet(cfg SimnetConfig) (*Simnet, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("sft: simnet needs N > 0")
+	}
+	if cfg.Latency == nil {
+		return nil, fmt.Errorf("sft: simnet needs a latency model (e.g. sft.UniformLatency or sft.SymmetricLatency)")
+	}
+	w := &Simnet{cfg: cfg, nodes: make([]*Node, cfg.N)}
+	w.sim = simnet.New(simnet.Config{
+		N:           cfg.N,
+		Latency:     cfg.Latency,
+		Seed:        cfg.Seed,
+		Prevalidate: cfg.VerifyPipeline,
+		OnCommit: func(rep types.ReplicaID, now time.Duration, b *types.Block) {
+			if n := w.nodes[rep]; n != nil {
+				n.onCommit(now, b)
+			}
+		},
+		OnStrength: func(rep types.ReplicaID, now time.Duration, b *types.Block, x int) {
+			if n := w.nodes[rep]; n != nil {
+				n.onStrength(now, b, x)
+			}
+		},
+	})
+	return w, nil
+}
+
+// Transport returns the fabric slot for replica id, for WithTransport.
+func (w *Simnet) Transport(id ReplicaID) Transport {
+	return &simTransport{world: w, id: id}
+}
+
+// Run advances virtual time until `until` (an absolute virtual timestamp),
+// dispatching every event in deterministic order. It may be called
+// repeatedly with increasing horizons to interleave observations with the
+// run, as the operations example does.
+func (w *Simnet) Run(until time.Duration) { w.sim.Run(until) }
+
+// Now returns the current virtual time.
+func (w *Simnet) Now() time.Duration { return w.sim.Now() }
+
+// Stats returns the message accounting so far.
+func (w *Simnet) Stats() MsgStats { return w.sim.Stats() }
+
+// Events returns the number of simulation events processed so far.
+func (w *Simnet) Events() int64 { return w.sim.Events() }
+
+// CrashAt schedules replica id to crash (stop processing events) at virtual
+// time at. If the node runs with WithWAL, everything it flushed — which is
+// everything, since engines flush per event — survives for RestartAt.
+func (w *Simnet) CrashAt(id ReplicaID, at time.Duration) { w.sim.CrashAt(id, at) }
+
+// RestartAt schedules a crashed replica to come back at virtual time at,
+// rebuilt from its write-ahead log through the same composition path that
+// built it: the WAL is replayed, a fresh engine is restored from it (its
+// next vote cannot contradict its pre-crash markers), and Init re-joins the
+// cluster via state sync. The node must have been built with WithWAL.
+// onRestore, if non-nil, observes the recovered state at restart time.
+func (w *Simnet) RestartAt(id ReplicaID, at time.Duration, onRestore func(RecoveryInfo)) error {
+	if int(id) >= len(w.nodes) || w.nodes[id] == nil {
+		return fmt.Errorf("sft: no node attached at slot %d", id)
+	}
+	n := w.nodes[id]
+	if n.walDir == "" {
+		return fmt.Errorf("sft: RestartAt(%d) requires the node to run with WithWAL", id)
+	}
+	w.sim.RestartAt(id, at, func() engine.Engine {
+		// Dispatch time: the crashed incarnation's WAL holds its final
+		// state. Recover it, rebuild the engine from the node's own spec,
+		// and swap the node handle over to the new incarnation.
+		j, rec, err := compose.OpenWAL(n.walDir, false)
+		if err != nil {
+			panic(fmt.Sprintf("sft: restart %d: %v", id, err))
+		}
+		spec := n.spec
+		spec.Journal = j
+		eng, err := compose.Engine(spec)
+		if err != nil {
+			panic(fmt.Sprintf("sft: restart %d: %v", id, err))
+		}
+		if err := compose.Restore(eng, rec); err != nil {
+			panic(fmt.Sprintf("sft: restart %d: %v", id, err))
+		}
+		n.swapIncarnation(eng, &journalHandle{j: j})
+		if onRestore != nil {
+			onRestore(recoveryInfo(rec))
+		}
+		return eng
+	})
+	return nil
+}
+
+// Close closes every attached node (flushing WALs) — call it when the
+// simulation is done if nodes hold journals or subscriptions.
+func (w *Simnet) Close() error {
+	var first error
+	for _, n := range w.nodes {
+		if n == nil {
+			continue
+		}
+		if err := n.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+type simTransport struct {
+	world *Simnet
+	id    ReplicaID
+}
+
+func (t *simTransport) simulated() bool { return true }
+
+func (t *simTransport) attach(n *Node) error {
+	if n.cfg.ID != t.id {
+		return fmt.Errorf("sft: simnet slot %d attached to node %d", t.id, n.cfg.ID)
+	}
+	if int(t.id) >= t.world.cfg.N {
+		return fmt.Errorf("sft: slot %d outside simnet of %d", t.id, t.world.cfg.N)
+	}
+	if n.cfg.N != t.world.cfg.N {
+		return fmt.Errorf("sft: node cluster size %d != simnet size %d", n.cfg.N, t.world.cfg.N)
+	}
+	if t.world.nodes[t.id] != nil {
+		return fmt.Errorf("sft: simnet slot %d already attached", t.id)
+	}
+	if n.pipeline {
+		return fmt.Errorf("sft: under Simnet the verification pipeline is simulation-wide; set SimnetConfig.VerifyPipeline instead of WithVerifyPipeline")
+	}
+	t.world.nodes[t.id] = n
+	n.world = t.world
+	t.world.sim.SetEngine(t.id, n.eng)
+	return nil
+}
