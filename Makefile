@@ -1,6 +1,18 @@
 GO ?= go
 
-.PHONY: all build build-examples vet test test-race bench bench-smoke bench-micro bench-guard
+# Native fuzz targets: the pinned wire decoders and the TCP frame parser.
+# Each entry is <package>:<target>; fuzz-smoke runs every target briefly,
+# fuzz-long (the nightly job) runs them for FUZZTIME_LONG each.
+FUZZ_TARGETS = \
+	./internal/types:FuzzDecodeVote \
+	./internal/types:FuzzDecodeQC \
+	./internal/types:FuzzDecodeBlock \
+	./internal/tcpnet:FuzzServeFrames$$ \
+	./internal/tcpnet:FuzzServeFramesMultiPeer
+FUZZTIME_SMOKE ?= 20s
+FUZZTIME_LONG ?= 10m
+
+.PHONY: all build build-examples vet test test-race bench bench-smoke bench-micro bench-guard fuzz-smoke fuzz-long adversary-fuzz
 
 all: test
 
@@ -47,3 +59,22 @@ bench-micro:
 bench-guard:
 	$(GO) test -run 'Alloc' -count=1 ./internal/types/ ./internal/simnet/ ./internal/core/ ./internal/wal/ ./internal/crypto/
 	$(MAKE) bench-micro
+
+# Short native-fuzz pass over the wire decoders and the TCP frame parser;
+# CI runs this on every push. `go test -fuzz` takes one target per
+# invocation, so the loop fans the list out.
+fuzz-smoke:
+	@for t in $(FUZZ_TARGETS); do \
+		pkg=$${t%%:*}; target=$${t##*:}; \
+		echo "== fuzz $$pkg $$target ($(FUZZTIME_SMOKE))"; \
+		$(GO) test $$pkg -run '^$$' -fuzz "$$target" -fuzztime $(FUZZTIME_SMOKE) || exit 1; \
+	done
+
+# Long fuzz for the nightly / manual-dispatch workflow.
+fuzz-long:
+	$(MAKE) fuzz-smoke FUZZTIME_SMOKE=$(FUZZTIME_LONG)
+
+# The adversarial scenario fuzzer at its acceptance setting: >= 50 seeded
+# randomized scenarios plus the weakened-rule canary.
+adversary-fuzz:
+	$(GO) run ./cmd/sftbench -experiment adversary -seed 1 -n 7

@@ -9,14 +9,20 @@
 //	sftbench -experiment verifypipeline -scheme ed25519 -n 31 -duration 60s
 //
 // Experiments: fig7a, fig7b, fig8, throughput, msgcomplexity, theorem2,
-// theorem3, streamlet, crashrecovery, verifypipeline, all. crashrecovery
-// exercises the durability layer: a replica is killed mid-run, restored from
-// its write-ahead log, and re-joins via state sync; the report compares its
-// commits against the no-crash baseline. verifypipeline A/Bs the
-// verification pipeline (prevalidate/apply split + batched signature
-// checking) under real crypto and prints the determinism verdict; because it
-// defaults to ed25519 (expensive at paper scale), it runs only when named
-// explicitly, not under "all".
+// theorem3, streamlet, crashrecovery, adversary, verifypipeline, all.
+// crashrecovery exercises the durability layer: a replica is killed
+// mid-run, restored from its write-ahead log, and re-joins via state sync;
+// the report compares its commits against the no-crash baseline. adversary
+// runs the randomized Byzantine scenario fuzzer (-scenarios seeded
+// scenarios against the invariant checkers, plus the weakened-rule canary;
+// it uses its own per-scenario virtual duration, not -duration) — explicit
+// only, not under "all": at the default n=100 each scenario simulates a
+// full Byzantine cluster (hours), while the acceptance setting
+// `-experiment adversary -seed 1 -n 7` takes ~2s.
+// verifypipeline A/Bs the verification pipeline (prevalidate/apply split +
+// batched signature checking) under real crypto and prints the determinism
+// verdict; because it defaults to ed25519 (expensive at paper scale), it
+// runs only when named explicitly, not under "all".
 //
 // -scheme selects the signature implementation for every experiment: "sim"
 // (fast, deterministic, the default) or "ed25519" (real crypto; implies full
@@ -39,7 +45,8 @@ import (
 // sweep runs them (verifypipeline is explicit-only; "all" skips it).
 var experimentNames = []string{
 	"fig7a", "fig7b", "fig8", "throughput", "msgcomplexity",
-	"theorem2", "theorem3", "streamlet", "crashrecovery", "verifypipeline", "all",
+	"theorem2", "theorem3", "streamlet", "crashrecovery", "adversary",
+	"verifypipeline", "all",
 }
 
 var validExperiments = func() map[string]bool {
@@ -52,13 +59,14 @@ var validExperiments = func() map[string]bool {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run (fig7a|fig7b|fig8|throughput|msgcomplexity|theorem2|theorem3|streamlet|crashrecovery|verifypipeline|all)")
+		experiment = flag.String("experiment", "all", "which experiment to run (fig7a|fig7b|fig8|throughput|msgcomplexity|theorem2|theorem3|streamlet|crashrecovery|adversary|verifypipeline|all)")
 		n          = flag.Int("n", 100, "number of replicas (3f+1)")
 		duration   = flag.Duration("duration", 5*time.Minute, "virtual run duration")
 		delta      = flag.Duration("delta", 0, "inter-region delay; 0 sweeps the paper's {100ms,200ms}")
 		seed       = flag.Int64("seed", 1, "simulation seed")
 		scheme     = flag.String("scheme", crypto.SchemeSim, "signature scheme (sim|ed25519); ed25519 implies signature verification")
 		pipeline   = flag.Bool("pipeline", false, "route experiments through the verification pipeline (prevalidate/apply split)")
+		scenarios  = flag.Int("scenarios", 60, "randomized scenarios for -experiment adversary")
 	)
 	flag.Parse()
 
@@ -118,6 +126,13 @@ func main() {
 	run("theorem3", func() error { return theorem3(sc) })
 	run("streamlet", func() error { return streamletExp(sc) })
 	run("crashrecovery", func() error { return crashRecovery(sc, deltas[0]) })
+	// adversary is explicit-only (not part of "all"), like verifypipeline:
+	// at the default paper scale (n=100) each of its 60 scenarios simulates
+	// a full Byzantine cluster — hours of wall time — while its acceptance
+	// setting is -n 7 (~2s). Run it as `-experiment adversary -n 7`.
+	if *experiment == "adversary" {
+		run("adversary", func() error { return adversaryFuzz(sc, *scenarios) })
+	}
 	// verifypipeline is explicit-only (not part of "all"): it defaults to
 	// real ed25519 signatures, and two serially-verified macro runs at paper
 	// scale would dominate the whole sweep's wall time.
@@ -167,6 +182,91 @@ func verifyPipeline(sc harness.Scale, delta time.Duration) error {
 	if !res.Identical {
 		return fmt.Errorf("pipeline on/off runs diverged")
 	}
+	return nil
+}
+
+// adversaryFuzz runs the randomized adversarial scenario fuzzer: `count`
+// seeded scenarios sampling engines, Byzantine behavior compositions (up to
+// 2f colluders), crash/restart plans and network partitions, each checked
+// against the paper's invariants (Definition 1 safety, strength
+// monotonicity, chain consistency, benign liveness). It then runs the
+// weakened-rule canary: the Appendix C collusion against naive
+// (marker-free) endorsement counting must be caught by the same checker,
+// while the identical collusion under the real rule stays clean. Scenarios
+// use the fuzzer's own per-scenario virtual duration, not -duration.
+func adversaryFuzz(sc harness.Scale, count int) error {
+	report, err := harness.RunFuzz(harness.FuzzOptions{
+		Seed:      sc.Seed,
+		Scenarios: count,
+		N:         sc.N,
+	})
+	if err != nil {
+		return err
+	}
+	verdict := "SAFE — zero invariant violations"
+	if len(report.Failures) > 0 {
+		verdict = fmt.Sprintf("VIOLATED — %d scenario(s) failed", len(report.Failures))
+	}
+	perMin := float64(report.Scenarios) / report.Elapsed.Minutes()
+	printTable("Adversarial scenario fuzzer: randomized Byzantine compositions, crashes, partitions",
+		[]string{"metric", "value"},
+		[][]string{
+			{"scenarios", fmt.Sprintf("%d", report.Scenarios)},
+			{"with byzantine replicas", fmt.Sprintf("%d", report.ByzantineScenarios)},
+			{"with partitions", fmt.Sprintf("%d", report.PartitionScenarios)},
+			{"with crash/restart plans", fmt.Sprintf("%d", report.CrashScenarios)},
+			{"simulation events", fmt.Sprintf("%d", report.TotalEvents)},
+			{"blocks committed", fmt.Sprintf("%d", report.TotalBlocks)},
+			{"wall time", report.Elapsed.Round(time.Millisecond).String()},
+			{"scenarios/min", fmt.Sprintf("%.0f", perMin)},
+			{"verdict", verdict},
+		})
+	for _, fail := range report.Failures {
+		fmt.Printf("    REPLAY %s\n", fail.Spec)
+		for _, v := range fail.Violations {
+			fmt.Printf("      -> %s\n", v)
+		}
+	}
+	if len(report.Failures) > 0 {
+		return fmt.Errorf("adversary fuzzer found %d violating scenario(s)", len(report.Failures))
+	}
+
+	// Weakened-rule canary: the checker must have teeth.
+	var caughtSeed int64
+	caught := false
+	var spec harness.FuzzScenario
+	for seed := sc.Seed; seed < sc.Seed+8 && !caught; seed++ {
+		var violations []string
+		spec, violations, err = harness.WeakenedRuleCanary(seed, sc.N, true)
+		if err != nil {
+			return err
+		}
+		for _, v := range violations {
+			if strings.Contains(v, "Definition 1") {
+				caught, caughtSeed = true, seed
+				break
+			}
+		}
+	}
+	if !caught {
+		return fmt.Errorf("weakened (naive) commit rule was NOT caught — checker has no teeth")
+	}
+	_, markerViolations, err := harness.WeakenedRuleCanary(caughtSeed, sc.N, false)
+	if err != nil {
+		return err
+	}
+	if len(markerViolations) > 0 {
+		// ANY invariant breach under the real rule — Definition 1,
+		// monotonicity, bounds — is a regression, not just the headline one.
+		return fmt.Errorf("real marker rule violated an invariant under the canary collusion: %s", markerViolations[0])
+	}
+	printTable("Weakened-rule canary: Appendix C collusion vs the commit rule",
+		[]string{"commit rule", "Definition 1 verdict"},
+		[][]string{
+			{"naive counting (no markers)", fmt.Sprintf("VIOLATION CAUGHT (replay seed %d)", caughtSeed)},
+			{"strengthened rule (markers)", "safe"},
+		})
+	fmt.Printf("    canary spec: %s\n", spec)
 	return nil
 }
 

@@ -55,6 +55,13 @@
 //   - WithMetrics, WithObserver, WithPayload, WithRoundTimeout,
 //     WithExtraWait(For), WithDelta, WithoutEcho, WithCommitLog,
 //     WithPruneKeep — observation and per-engine knobs.
+//   - WithAdversary(specs...) — adversarial testing: the node becomes
+//     Byzantine, its honest engine wrapped with the composed behavior
+//     chain (Adversary* kinds: equivocation, vote withholding,
+//     double-signing, marker lying, fork revival, round starvation,
+//     signature corruption, garbage, replay, drop/delay/duplicate).
+//     WithAdversaryPeers names its coalition — the paper's adversary
+//     coordinates, and coalition-aware behaviors (fork revival) use it.
 //
 // Commit-strength subscriptions are how clients consume the paper's
 // contribution. Node.Commits() returns an independent channel of
@@ -127,4 +134,37 @@
 // cmd/sftnode persists across process restarts via -data-dir. README.md
 // documents the full contract; BENCH_PR2.json records the costs (vote-path
 // WAL append: 0 allocs/op; bench-smoke with the WAL disabled: unchanged).
+//
+// # Adversarial testing
+//
+// PR 5 made Byzantine behavior a composable subsystem (internal/adversary)
+// and put a randomized, invariant-checking scenario fuzzer on top
+// (internal/harness.RunFuzz, `sftbench -experiment adversary`). Behaviors
+// act on a replica's outbound messages through an engine wrapper, so the
+// same implementations corrupt DiemBFT and Streamlet under the simulator
+// and the real runtimes alike; the harness scenario type and the facade
+// (WithAdversary, Simnet.PartitionAt/HealAt) expose them end to end.
+//
+// The fuzzer samples cluster shape, engine, commit-rule mode, behavior
+// compositions up to 2f colluders, crash/restart plans and network
+// partitions from a seed, and checks every run against the paper's
+// invariants: Definition 1 (no two conflicting blocks both at strength
+// >= t, t = number of Byzantine replicas), strength monotonicity per
+// replica, chain consistency across honest replicas when t <= f, and
+// Theorem 2 liveness under benign faults. Scenarios replay exactly from
+// (seed, index); a violation prints the whole generated spec as one line.
+//
+// The checker's teeth are themselves pinned: harness.WeakenedRuleCanary
+// runs the Appendix C collusion — consecutive-slot colluders starving
+// uncontested rounds to freeze locks, double-signing both sides of every
+// fork, reviving abandoned branches from certificates assembled out of
+// gossiped votes, and lying about markers — against the deliberately
+// weakened naive endorsement counting, which the Definition 1 checker
+// catches with a replayable seed, while the identical collusion against
+// the real marker rule stays safe (the paper's central claim, demonstrated
+// live; examples/byzantine narrates it). Native go-fuzz targets cover the
+// pinned wire decoders and the TCP frame parser (make fuzz-smoke in CI, a
+// nightly long-fuzz workflow for depth). BENCH_PR5.json records fuzzer
+// throughput and the zero-cost guarantee for honest replicas (an empty
+// behavior chain never wraps the engine).
 package repro

@@ -1,15 +1,19 @@
-// Byzantine counter-example (Appendix C): demonstrates WHY strong-votes
-// need markers. Counting every indirect vote as an endorsement lets f+1
-// Byzantine replicas fabricate two conflicting (f+1)-strong commits — a
-// safety violation — while the marker rule blocks the second one.
+// Byzantine counter-example (Appendix C), live: demonstrates WHY
+// strong-votes need markers by actually running the attack against a
+// cluster instead of replaying a hand-written script.
 //
-// The program replays Figure 9's fork script against two endorsement
-// trackers, the UNSAFE naive one and the marker-based SFT one, and prints
-// the resulting strength claims side by side. Unlike the other examples it
-// deliberately drives the internal tracker beneath the public sft facade:
-// the "naive" counting mode it contrasts against is exactly what the
-// facade's CommitRule refuses to offer, because this script shows it
-// unsafe.
+// A coalition of 2f colluders — built from the composable adversary
+// subsystem (internal/adversary) — starves uncontested rounds to freeze
+// locks, double-signs competing proposals, revives abandoned branches from
+// certificates it assembles out of observed votes, and lies about its
+// conflict markers. Against the UNSAFE naive endorsement counting of
+// Appendix C (every indirect vote counts, markers ignored) this fabricates
+// two conflicting branches whose blocks both claim x-strong commits with
+// x >= t — a Definition 1 violation the scenario fuzzer's invariant checker
+// reports. The identical collusion against the real marker rule stays safe.
+//
+// The same checker guards every randomized scenario of
+// `sftbench -experiment adversary`; this example is its distilled story.
 //
 //	go run ./examples/byzantine
 package main
@@ -17,181 +21,61 @@ package main
 import (
 	"fmt"
 	"log"
+	"strings"
 
-	"repro/internal/blockstore"
-	"repro/internal/core"
-	"repro/internal/types"
+	"repro/internal/harness"
 )
 
-// ids for the scripted replicas: f=2 gives n=7; h1..h4 honest, b1..b3
-// Byzantine (f+1 = 3 corruptions, above the classical threshold).
 const (
-	f  = 2
-	nn = 3*f + 1
+	seed = 1
+	n    = 7
 )
 
 func main() {
-	naive := newWorld(true)
-	sft := newWorld(false)
-
-	naive.playFigure9()
-	sft.playFigure9()
-
-	fmt.Println("Appendix C fork script: f+1 Byzantine replicas certify two conflicting branches")
-	fmt.Println()
-	fmt.Printf("%-34s %-18s %-18s\n", "", "naive counting", "SFT markers")
-	br := naive.mainBlock
-	fmt.Printf("%-34s %-18s %-18s\n",
-		fmt.Sprintf("branch A block B_r (round %d)", br.Round),
-		strength(naive.tracker, br), strength(sft.tracker, br))
-	bc := naive.forkBlock
-	fmt.Printf("%-34s %-18s %-18s\n",
-		fmt.Sprintf("branch B block B'_r+4 (round %d)", bc.Round),
-		strength(naive.tracker, naive.forkBlock), strength(sft.tracker, sft.forkBlock))
+	fmt.Println("Appendix C, live: 2f colluders attack the commit rule (n=7, f=2)")
 	fmt.Println()
 
-	nA, nB := naive.tracker.Strength(naive.mainBlock.ID()), naive.tracker.Strength(naive.forkBlock.ID())
-	sA, sB := sft.tracker.Strength(sft.mainBlock.ID()), sft.tracker.Strength(sft.forkBlock.ID())
-	if nA >= f+1 && nB >= f+1 {
-		fmt.Printf("NAIVE:  both conflicting blocks claim >= (f+1)-strong commits -> Definition 1 VIOLATED\n")
+	naiveSpec, naiveViolations, err := harness.WeakenedRuleCanary(seed, n, true)
+	if err != nil {
+		log.Fatal(err)
 	}
-	if sA >= f+1 && sB >= f+1 {
-		log.Fatal("SFT markers also violated safety — this should be impossible")
+	fmt.Printf("collusion: %s\n\n", naiveSpec)
+
+	def1 := filterDef1(naiveViolations)
+	fmt.Printf("NAIVE counting (no markers): %d Definition 1 violations\n", len(def1))
+	for i, v := range def1 {
+		if i == 3 {
+			fmt.Printf("  ... and %d more\n", len(def1)-3)
+			break
+		}
+		fmt.Printf("  %s\n", v)
 	}
-	fmt.Printf("SFT:    at most one branch reaches (f+1)-strong (A=%d, B=%d) -> safety preserved\n", sA, sB)
-	_ = bc
+	if len(def1) == 0 {
+		log.Fatal("the naive rule survived the collusion — the counter-example no longer reproduces")
+	}
+	fmt.Println()
+
+	_, markerViolations, err := harness.WeakenedRuleCanary(seed, n, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(markerViolations) > 0 {
+		log.Fatalf("SFT markers also violated an invariant — this should be impossible: %v", markerViolations)
+	}
+	fmt.Println("SFT markers (the paper's rule): zero Definition 1 violations under the identical attack")
+	fmt.Println()
+	fmt.Println("Conclusion: counting endorsements without markers lets a coalition of 2f")
+	fmt.Println("colluders certify two conflicting branches at the same claimed strength;")
+	fmt.Println("the strengthened commit rule's markers expose every honest voter's")
+	fmt.Println("conflicting history and block the second branch's claim.")
 }
 
-func strength(t *core.Tracker, b *types.Block) string {
-	x := t.Strength(b.ID())
-	if x < 0 {
-		return "not committed"
-	}
-	return fmt.Sprintf("%d-strong (f=%d)", x, f)
-}
-
-// world is one scripted replay of the Figure 9 chain.
-type world struct {
-	store   *blockstore.Store
-	tracker *core.Tracker
-	// voteRound[voter] tracks each replica's highest voted round so the
-	// script can compute honest markers faithfully.
-	voted map[types.ReplicaID][]*types.Block
-
-	mainBlock *types.Block // B_r   on branch A ((f+1)-strong per naive counting)
-	forkBlock *types.Block // B'_r+4 on branch B
-}
-
-func newWorld(naive bool) *world {
-	w := &world{
-		store: blockstore.New(),
-		voted: make(map[types.ReplicaID][]*types.Block),
-	}
-	w.tracker = core.NewTracker(w.store, core.Config{N: nn, F: f, Mode: core.ModeRound, Naive: naive})
-	return w
-}
-
-// marker computes the voter's honest marker for target: the highest round
-// among its previous votes conflicting with target. Byzantine voters lie
-// and always send 0.
-func (w *world) marker(voter types.ReplicaID, target *types.Block, lie bool) types.Round {
-	if lie {
-		return 0
-	}
-	var m types.Round
-	for _, b := range w.voted[voter] {
-		if w.store.Conflicts(b.ID(), target.ID()) && b.Round > m {
-			m = b.Round
+func filterDef1(violations []string) []string {
+	var out []string
+	for _, v := range violations {
+		if strings.Contains(v, "Definition 1") {
+			out = append(out, v)
 		}
 	}
-	return m
-}
-
-// qc fabricates a QC for block b from the given voters (h* honest markers,
-// b* lying Byzantine markers).
-func (w *world) qc(b *types.Block, honest, byz []types.ReplicaID) *types.QC {
-	votes := make([]types.Vote, 0, len(honest)+len(byz))
-	add := func(voter types.ReplicaID, lie bool) {
-		votes = append(votes, types.Vote{
-			Block:  b.ID(),
-			Round:  b.Round,
-			Height: b.Height,
-			Voter:  voter,
-			Marker: w.marker(voter, b, lie),
-		})
-		w.voted[voter] = append(w.voted[voter], b)
-	}
-	for _, v := range honest {
-		add(v, false)
-	}
-	for _, v := range byz {
-		add(v, true)
-	}
-	return &types.QC{Block: b.ID(), Round: b.Round, Height: b.Height, Votes: votes}
-}
-
-// playFigure9 reproduces the appendix scenario exactly, with r = 5.
-// Replica naming follows the paper: honest h1..h2f are 0..3, Byzantine
-// b1..bf+1 are 4..6.
-//
-//	B_{r-1} <- B_r <- B_{r+1} <- B_{r+2}            (branch A)
-//	      \__ B'_{r+1} <- B'_{r+4} <- B'_{r+5} ...  (branch B)
-func (w *world) playFigure9() {
-	h := []types.ReplicaID{0, 1, 2, 3} // h1..h4 (2f honest)
-	b := []types.ReplicaID{4, 5, 6}    // b1..b3 (f+1 Byzantine)
-	g := w.store.Genesis()
-
-	mk := func(parent *types.Block, round types.Round, tag byte) *types.Block {
-		blk := types.NewBlock(parent.ID(), types.NewGenesisQC(parent.ID()), round,
-			parent.Height+1, 0, int64(round), types.Payload{Txns: []types.Transaction{{Sender: uint32(tag)}}}, nil)
-		if err := w.store.Insert(blk); err != nil {
-			log.Fatal(err)
-		}
-		return blk
-	}
-	feed := func(qc *types.QC) { w.tracker.OnQC(qc) }
-
-	// Round r-1 = 4: everyone agrees on B_{r-1}.
-	brm1 := mk(g, 4, 'z')
-	feed(w.qc(brm1, h, b[:1]))
-
-	// Round r = 5: f honest (h1, h2) and all f+1 Byzantine vote for B_r.
-	br := mk(brm1, 5, 'a')
-	feed(w.qc(br, h[:2], b))
-
-	// Round r+1 = 6: the Byzantine leader EQUIVOCATES. B_{r+1} extends B_r
-	// (same voters as B_r); B'_{r+1} extends B_{r-1}, voted by the other f
-	// honest replicas (h3, h4) plus the Byzantine ones. Both certified.
-	ba1 := mk(br, 6, 'a')
-	feed(w.qc(ba1, h[:2], b))
-	bp1 := mk(brm1, 6, 'b')
-	feed(w.qc(bp1, h[2:], b))
-
-	// Round r+2 = 7: B_{r+2} extends B_{r+1}; h3 switches over (its lock
-	// allows it) and all Byzantine replicas pile on, a 2f+2-vote QC. The
-	// naive count treats h3's indirect vote as endorsing B_r and B_{r+1},
-	// giving every block of the (B_r, B_{r+1}, B_{r+2}) 3-chain 2f+2
-	// endorsers => B_r "(f+1)-strong committed". The marker rule knows h3
-	// voted B'_{r+1} (round 6) on a conflicting fork, so h3 endorses
-	// neither B_r (round 5) nor B_{r+1} (round 6).
-	ba2 := mk(ba1, 7, 'a')
-	feed(w.qc(ba2, h[:3], b))
-
-	// Rounds r+4.. = 9..: the Byzantine leader revives branch B from
-	// B'_{r+1}; every honest replica may vote (locks are at most round
-	// r+1 = 6, the parent's round). With h2's, h3's and h4's votes plus the
-	// Byzantine ones, B'_{r+4} legitimately reaches (f+1)-strong — which is
-	// allowed alongside an f-strong B_r, but NOT alongside an
-	// (f+1)-strong B_r.
-	bb4 := mk(bp1, 9, 'b')
-	feed(w.qc(bb4, h[2:], b))
-	bb5 := mk(bb4, 10, 'b')
-	feed(w.qc(bb5, h[1:], b))
-	bb6 := mk(bb5, 11, 'b')
-	feed(w.qc(bb6, h[1:], b))
-	bb7 := mk(bb6, 12, 'b')
-	feed(w.qc(bb7, h[1:], b))
-
-	w.mainBlock = br
-	w.forkBlock = bb4
+	return out
 }

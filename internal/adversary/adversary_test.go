@@ -1,0 +1,292 @@
+package adversary_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/crypto"
+	"repro/internal/engine"
+	"repro/internal/types"
+)
+
+// stubEngine replays scripted outputs, one batch per event, so behaviors can
+// be unit-tested without a full consensus engine.
+type stubEngine struct {
+	id      types.ReplicaID
+	scripts [][]engine.Output
+	step    int
+}
+
+func (s *stubEngine) ID() types.ReplicaID { return s.id }
+
+func (s *stubEngine) next() []engine.Output {
+	if s.step >= len(s.scripts) {
+		return nil
+	}
+	outs := s.scripts[s.step]
+	s.step++
+	return outs
+}
+
+func (s *stubEngine) Init(now time.Duration) []engine.Output { return s.next() }
+func (s *stubEngine) OnMessage(now time.Duration, from types.ReplicaID, msg types.Message) []engine.Output {
+	return s.next()
+}
+func (s *stubEngine) OnTimer(now time.Duration, id int) []engine.Output { return s.next() }
+
+func testRing(t *testing.T, n int) *crypto.KeyRing {
+	t.Helper()
+	ring, err := crypto.NewKeyRing(n, 11, crypto.SchemeSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ring
+}
+
+func wrap(t *testing.T, inner engine.Engine, id types.ReplicaID, specs ...adversary.Spec) engine.Engine {
+	t.Helper()
+	ring := testRing(t, 4)
+	eng, err := adversary.Wrap(inner, adversary.Config{
+		ID: id, N: 4, F: 1, Signer: ring.Signer(id), Seed: 99,
+	}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func proposal(t *testing.T, ring *crypto.KeyRing, proposer types.ReplicaID, round types.Round) *types.Proposal {
+	t.Helper()
+	g := types.Genesis()
+	b := types.NewBlock(g.ID(), types.NewGenesisQC(g.ID()), round, 1, proposer, 0, types.Payload{}, nil)
+	p := &types.Proposal{Block: b, Round: round, Sender: proposer}
+	p.Signature = ring.Signer(proposer).Sign(p.SigningPayload())
+	return p
+}
+
+func vote(ring *crypto.KeyRing, voter types.ReplicaID, b *types.Block) types.Vote {
+	v := types.Vote{Block: b.ID(), Round: b.Round, Height: b.Height, Voter: voter, Marker: 3}
+	v.Signature = ring.Signer(voter).Sign(v.SigningPayload())
+	return v
+}
+
+// TestWrapEmptyChainReturnsInner: honest replicas never pay for the
+// subsystem — the empty spec list is the engine itself, not a wrapper.
+func TestWrapEmptyChainReturnsInner(t *testing.T) {
+	inner := &stubEngine{id: 1}
+	eng := wrap(t, inner, 1)
+	if eng != engine.Engine(inner) {
+		t.Fatal("empty behavior chain wrapped the engine")
+	}
+}
+
+// TestWithholdDropsOwnVotes: vote outputs vanish, everything else passes.
+func TestWithholdDropsOwnVotes(t *testing.T) {
+	ring := testRing(t, 4)
+	p := proposal(t, ring, 1, 1)
+	v := vote(ring, 1, p.Block)
+	inner := &stubEngine{id: 1, scripts: [][]engine.Output{{
+		engine.Send{To: 2, Msg: &types.VoteMsg{Vote: v}},
+		engine.Broadcast{Msg: p, SelfDeliver: true},
+		engine.SetTimer{ID: 7, Delay: time.Second},
+	}}}
+	outs := wrap(t, inner, 1, adversary.Spec{Kind: adversary.Withhold}).Init(0)
+	for _, out := range outs {
+		if s, ok := out.(engine.Send); ok {
+			if _, isVote := s.Msg.(*types.VoteMsg); isVote {
+				t.Fatal("withheld vote was sent")
+			}
+		}
+	}
+	if len(outs) != 2 {
+		t.Fatalf("expected proposal + timer to survive, got %d outputs", len(outs))
+	}
+}
+
+// TestEquivocateSplitsOwnProposal: the broadcast becomes per-replica sends,
+// both fork halves eventually see both blocks, and the fabricated sibling
+// carries a valid signature.
+func TestEquivocateSplitsOwnProposal(t *testing.T) {
+	ring := testRing(t, 4)
+	p := proposal(t, ring, 1, 5)
+	inner := &stubEngine{id: 1, scripts: [][]engine.Output{{
+		engine.Broadcast{Msg: p, SelfDeliver: true},
+	}}}
+	outs := wrap(t, inner, 1, adversary.Spec{Kind: adversary.Equivocate}).Init(0)
+
+	blocks := make(map[types.ReplicaID]map[types.BlockID]bool)
+	timers := 0
+	for _, out := range outs {
+		switch o := out.(type) {
+		case engine.Send:
+			prop, ok := o.Msg.(*types.Proposal)
+			if !ok {
+				t.Fatalf("unexpected message %T", o.Msg)
+			}
+			if !ring.Verify(1, prop.SigningPayload(), prop.Signature) {
+				t.Fatal("equivocated proposal not properly signed")
+			}
+			if blocks[o.To] == nil {
+				blocks[o.To] = make(map[types.BlockID]bool)
+			}
+			blocks[o.To][prop.Block.ID()] = true
+		case engine.SetTimer:
+			if o.ID >= 0 {
+				t.Fatalf("behavior timer collides with engine space: %d", o.ID)
+			}
+			timers++
+		case engine.Broadcast:
+			t.Fatal("equivocation left the original broadcast intact")
+		}
+	}
+	if timers == 0 {
+		t.Fatal("no delayed crossover copies were scheduled")
+	}
+	if len(blocks[1]) != 1 {
+		t.Fatalf("self-delivery must carry exactly the honest block, got %d", len(blocks[1]))
+	}
+}
+
+// TestCorruptSigsRewritesCopies: the signature flip must happen on a copy —
+// engines retain references to the messages they emitted.
+func TestCorruptSigsRewritesCopies(t *testing.T) {
+	ring := testRing(t, 4)
+	p := proposal(t, ring, 1, 2)
+	orig := append([]byte(nil), p.Signature...)
+	inner := &stubEngine{id: 1, scripts: [][]engine.Output{{
+		engine.Broadcast{Msg: p},
+	}}}
+	outs := wrap(t, inner, 1, adversary.Spec{Kind: adversary.CorruptSigs, Every: 1}).Init(0)
+	if len(outs) != 1 {
+		t.Fatalf("got %d outputs", len(outs))
+	}
+	sent := outs[0].(engine.Broadcast).Msg.(*types.Proposal)
+	if sent == p {
+		t.Fatal("corruption mutated the engine's own message")
+	}
+	if ring.Verify(1, sent.SigningPayload(), sent.Signature) {
+		t.Fatal("corrupted signature still verifies")
+	}
+	if !reflect.DeepEqual(p.Signature, orig) {
+		t.Fatal("original signature bytes were mutated")
+	}
+}
+
+// TestDoubleVoteSignsCompetitor: after observing a competing proposal for a
+// voted round, a conflicting vote is emitted with a valid signature.
+func TestDoubleVoteSignsCompetitor(t *testing.T) {
+	ring := testRing(t, 4)
+	mine := proposal(t, ring, 1, 3)
+	other := proposal(t, ring, 2, 3) // same round, different block
+	other.Block = types.NewBlock(mine.Block.Parent, mine.Block.Justify, 3, 1, 2, 1, types.Payload{}, nil)
+	v := vote(ring, 1, mine.Block)
+	inner := &stubEngine{id: 1, scripts: [][]engine.Output{
+		{engine.Send{To: 3, Msg: &types.VoteMsg{Vote: v}}}, // event 1: own vote
+		nil, // event 2: competitor arrives, engine silent
+	}}
+	eng := wrap(t, inner, 1, adversary.Spec{Kind: adversary.DoubleVote})
+	_ = eng.Init(0)
+	outs := eng.OnMessage(0, 2, other)
+
+	found := false
+	for _, out := range outs {
+		s, ok := out.(engine.Send)
+		if !ok {
+			continue
+		}
+		vm, ok := s.Msg.(*types.VoteMsg)
+		if !ok {
+			continue
+		}
+		if vm.Vote.Block != other.Block.ID() || vm.Vote.Voter != 1 {
+			t.Fatalf("unexpected double vote %+v", vm.Vote)
+		}
+		if !ring.Verify(1, vm.Vote.SigningPayload(), vm.Vote.Signature) {
+			t.Fatal("double vote not properly signed")
+		}
+		if s.To != 3 {
+			t.Fatalf("double vote routed to %d, want the original recipient 3", s.To)
+		}
+		found = true
+	}
+	if !found {
+		t.Fatal("no conflicting vote emitted after the competitor arrived")
+	}
+}
+
+// TestDelayedSendsFlushOnPrivateTimer: the delay behavior postpones
+// transmissions via wrapper-owned negative timer IDs and replays them when
+// the timer fires; engine timers pass through untouched.
+func TestDelayedSendsFlushOnPrivateTimer(t *testing.T) {
+	ring := testRing(t, 4)
+	v := vote(ring, 1, proposal(t, ring, 1, 1).Block)
+	inner := &stubEngine{id: 1, scripts: [][]engine.Output{{
+		engine.Send{To: 2, Msg: &types.VoteMsg{Vote: v}},
+	}}}
+	eng := wrap(t, inner, 1, adversary.Spec{Kind: adversary.Delay, Delay: 5 * time.Millisecond})
+	outs := eng.Init(0)
+	if len(outs) != 1 {
+		t.Fatalf("expected only the delay timer, got %v", outs)
+	}
+	timer, ok := outs[0].(engine.SetTimer)
+	if !ok || timer.ID >= 0 {
+		t.Fatalf("expected a private (negative) timer, got %v", outs[0])
+	}
+	if timer.Delay < 5*time.Millisecond {
+		t.Fatalf("timer delay %v below configured delay", timer.Delay)
+	}
+	flushed := eng.OnTimer(timer.Delay, timer.ID)
+	if len(flushed) != 1 {
+		t.Fatalf("flush produced %d outputs", len(flushed))
+	}
+	if s, ok := flushed[0].(engine.Send); !ok || s.To != 2 {
+		t.Fatalf("flushed output %v is not the delayed send", flushed[0])
+	}
+}
+
+// TestBehaviorDeterminism: identical configuration and event sequence must
+// produce identical outputs — the property scenario replay depends on.
+func TestBehaviorDeterminism(t *testing.T) {
+	ring := testRing(t, 4)
+	build := func() engine.Engine {
+		p := proposal(t, ring, 1, 4)
+		inner := &stubEngine{id: 1, scripts: [][]engine.Output{
+			{engine.Broadcast{Msg: p, SelfDeliver: true}},
+			{engine.Send{To: 2, Msg: &types.VoteMsg{Vote: vote(ring, 1, p.Block)}}},
+		}}
+		return wrap(t, inner, 1,
+			adversary.Spec{Kind: adversary.Drop, P: 0.5},
+			adversary.Spec{Kind: adversary.Duplicate, P: 0.5},
+			adversary.Spec{Kind: adversary.Garbage, Every: 1},
+		)
+	}
+	a, b := build(), build()
+	if !reflect.DeepEqual(a.Init(0), b.Init(0)) {
+		t.Fatal("first event diverged between identical wrappers")
+	}
+	if !reflect.DeepEqual(a.OnMessage(0, 2, proposal(t, ring, 2, 9)), b.OnMessage(0, 2, proposal(t, ring, 2, 9))) {
+		t.Fatal("second event diverged between identical wrappers")
+	}
+}
+
+// TestSpecStringsAreStable pins the replay-line rendering the fuzzer prints.
+func TestSpecStringsAreStable(t *testing.T) {
+	cases := map[string]adversary.Spec{
+		"equivocate":            {Kind: adversary.Equivocate},
+		"drop(p=0.25)":          {Kind: adversary.Drop, P: 0.25},
+		"corrupt-sigs(every=3)": {Kind: adversary.CorruptSigs, Every: 3},
+		"delay(d=2ms,j=1ms)":    {Kind: adversary.Delay, Delay: 2 * time.Millisecond, Jitter: time.Millisecond},
+	}
+	for want, spec := range cases {
+		if got := spec.String(); got != want {
+			t.Errorf("spec %v rendered %q, want %q", spec.Kind, got, want)
+		}
+	}
+	for _, kind := range adversary.Kinds {
+		if _, err := (adversary.Spec{Kind: kind, Every: 2, P: 0.5, Delay: time.Millisecond}).Build(); err != nil {
+			t.Errorf("catalog kind %q does not build: %v", kind, err)
+		}
+	}
+}

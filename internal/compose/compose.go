@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/crypto"
 	"repro/internal/diembft"
@@ -72,16 +73,31 @@ type Spec struct {
 	DisableQCCache bool
 	QCCacheSize    int
 	BatchWorkers   int
-	Behavior       *diembft.Misbehavior
 
 	// Streamlet-only knobs.
-	Delta         time.Duration
-	DisableEcho   bool
-	WithholdVotes bool
+	Delta       time.Duration
+	DisableEcho bool
 
 	// Shared.
 	Payload func(r types.Round) types.Payload
 	Journal *core.Journal
+
+	// Adversary, when non-empty, makes the replica Byzantine: the honest
+	// engine is wrapped with the behavior chain the specs describe (see
+	// internal/adversary), uniformly for both protocols. AdversarySeed
+	// drives the behaviors' randomness; runs with identical specs and seeds
+	// replay bit-identically. AdversaryPeers optionally lists the whole
+	// coalition (the paper's adversary coordinates). Honest replicas (the
+	// empty chain) are returned unwrapped, so the subsystem costs the
+	// honest hot path nothing.
+	Adversary      []adversary.Spec
+	AdversarySeed  int64
+	AdversaryPeers []types.ReplicaID
+
+	// NaiveEndorsements switches the SFT tracker to the UNSAFE marker-free
+	// counting of Appendix C — for the scenario fuzzer's weakened-rule
+	// canary only; the facade never sets it.
+	NaiveEndorsements bool
 }
 
 // Engine builds the replica engine the spec describes. It is the one place
@@ -90,57 +106,65 @@ type Spec struct {
 // specs always produce identical engines — the facade's determinism tests
 // pin facade-built runs against hand-wired ones through this property.
 func Engine(s Spec) (engine.Engine, error) {
+	var eng engine.Engine
+	var err error
 	switch s.Protocol {
 	case Streamlet:
-		if s.FBFT || s.Behavior != nil || s.VoteMode != 0 {
-			return nil, fmt.Errorf("compose: FBFT/Behavior/VoteMode are DiemBFT-only knobs")
+		if s.FBFT || s.VoteMode != 0 {
+			return nil, fmt.Errorf("compose: FBFT/VoteMode are DiemBFT-only knobs")
 		}
-		return streamlet.New(streamlet.Config{
-			ID:               s.ID,
-			N:                s.N,
-			F:                s.F,
-			Signer:           s.Signer,
-			Verifier:         s.Verifier,
-			VerifySignatures: s.VerifySignatures,
-			Delta:            s.Delta,
-			SFT:              s.SFT,
-			Horizon:          s.Horizon,
-			DisableEcho:      s.DisableEcho,
-			Payload:          s.Payload,
-			WithholdVotes:    s.WithholdVotes,
-			Journal:          s.Journal,
+		eng, err = streamlet.New(streamlet.Config{
+			ID:                s.ID,
+			N:                 s.N,
+			F:                 s.F,
+			Signer:            s.Signer,
+			Verifier:          s.Verifier,
+			VerifySignatures:  s.VerifySignatures,
+			Delta:             s.Delta,
+			SFT:               s.SFT,
+			Horizon:           s.Horizon,
+			DisableEcho:       s.DisableEcho,
+			Payload:           s.Payload,
+			NaiveEndorsements: s.NaiveEndorsements,
+			Journal:           s.Journal,
 		})
 	case DiemBFT, 0:
-		if s.WithholdVotes {
-			return nil, fmt.Errorf("compose: WithholdVotes is a Streamlet knob; use Behavior.WithholdVotes for DiemBFT")
-		}
-		return diembft.New(diembft.Config{
-			ID:               s.ID,
-			N:                s.N,
-			F:                s.F,
-			Signer:           s.Signer,
-			Verifier:         s.Verifier,
-			VerifySignatures: s.VerifySignatures,
-			QCCacheSize:      s.QCCacheSize,
-			DisableQCCache:   s.DisableQCCache,
-			BatchWorkers:     s.BatchWorkers,
-			SFT:              s.SFT,
-			FBFT:             s.FBFT,
-			VoteMode:         s.VoteMode,
-			IntervalWindow:   s.IntervalWindow,
-			Horizon:          s.Horizon,
-			RoundTimeout:     s.RoundTimeout,
-			ExtraWait:        s.ExtraWait,
-			ExtraWaitFor:     s.ExtraWaitFor,
-			Payload:          s.Payload,
-			MaxCommitLog:     s.MaxCommitLog,
-			PruneKeep:        s.PruneKeep,
-			Behavior:         s.Behavior,
-			Journal:          s.Journal,
+		eng, err = diembft.New(diembft.Config{
+			ID:                s.ID,
+			N:                 s.N,
+			F:                 s.F,
+			Signer:            s.Signer,
+			Verifier:          s.Verifier,
+			VerifySignatures:  s.VerifySignatures,
+			QCCacheSize:       s.QCCacheSize,
+			DisableQCCache:    s.DisableQCCache,
+			BatchWorkers:      s.BatchWorkers,
+			SFT:               s.SFT,
+			FBFT:              s.FBFT,
+			VoteMode:          s.VoteMode,
+			IntervalWindow:    s.IntervalWindow,
+			Horizon:           s.Horizon,
+			RoundTimeout:      s.RoundTimeout,
+			ExtraWait:         s.ExtraWait,
+			ExtraWaitFor:      s.ExtraWaitFor,
+			Payload:           s.Payload,
+			MaxCommitLog:      s.MaxCommitLog,
+			PruneKeep:         s.PruneKeep,
+			NaiveEndorsements: s.NaiveEndorsements,
+			Journal:           s.Journal,
 		})
 	default:
 		return nil, fmt.Errorf("compose: unknown protocol %v", s.Protocol)
 	}
+	if err != nil {
+		return nil, err
+	}
+	// Byzantine replicas: wrap the honest engine with the behavior chain.
+	// The empty chain returns eng unchanged.
+	return adversary.Wrap(eng, adversary.Config{
+		ID: s.ID, N: s.N, F: s.F, Signer: s.Signer,
+		Seed: s.AdversarySeed, Colluders: s.AdversaryPeers,
+	}, s.Adversary)
 }
 
 // Restorer is the journal-replay hook both engines implement.

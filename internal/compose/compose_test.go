@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/adversary"
 	"repro/internal/crypto"
 	"repro/internal/diembft"
 	"repro/internal/types"
@@ -49,14 +50,43 @@ func TestEngineRejectsCrossProtocolKnobs(t *testing.T) {
 	if _, err := Engine(s); err == nil {
 		t.Fatal("streamlet spec with a DiemBFT vote mode built")
 	}
-	s = testSpec(t, DiemBFT)
-	s.WithholdVotes = true
-	if _, err := Engine(s); err == nil {
-		t.Fatal("diembft spec with the streamlet WithholdVotes knob built")
-	}
 	s = testSpec(t, Protocol(9))
 	if _, err := Engine(s); err == nil {
 		t.Fatal("unknown protocol built")
+	}
+}
+
+// TestAdversaryWrapping pins the composition rules for Byzantine replicas:
+// an empty behavior chain returns the honest engine unwrapped (the honest
+// hot path never pays for the subsystem), a non-empty chain wraps it, and a
+// bogus behavior kind fails construction.
+func TestAdversaryWrapping(t *testing.T) {
+	for _, proto := range []Protocol{DiemBFT, Streamlet} {
+		s := testSpec(t, proto)
+		honest, err := Engine(s)
+		if err != nil {
+			t.Fatalf("%v: %v", proto, err)
+		}
+		if _, wrapped := honest.(*adversary.Replica); wrapped {
+			t.Fatalf("%v: honest spec built a wrapped engine", proto)
+		}
+		s.Adversary = []adversary.Spec{{Kind: adversary.Equivocate}, {Kind: adversary.Withhold}}
+		byz, err := Engine(s)
+		if err != nil {
+			t.Fatalf("%v byzantine: %v", proto, err)
+		}
+		if _, wrapped := byz.(*adversary.Replica); !wrapped {
+			t.Fatalf("%v: byzantine spec built an unwrapped engine", proto)
+		}
+		// A wrapped engine must still support journal recovery (a Byzantine
+		// replica under WithWAL, or a fuzz scenario's restart plan).
+		if _, ok := byz.(Restorer); !ok {
+			t.Fatalf("%v: wrapped engine lost the Restore hook", proto)
+		}
+		s.Adversary = []adversary.Spec{{Kind: adversary.Kind("no-such-behavior")}}
+		if _, err := Engine(s); err == nil {
+			t.Fatalf("%v: unknown behavior kind built", proto)
+		}
 	}
 }
 

@@ -4,10 +4,32 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/adversary"
+	"repro/internal/crypto"
 	"repro/internal/diembft"
+	"repro/internal/engine"
 	"repro/internal/simnet"
 	"repro/internal/types"
 )
+
+// corrupt swaps replica id's engine for one wrapped with the given
+// adversary behaviors (the subsystem that replaced the old engine-level
+// Misbehavior knobs). Call after buildCluster, before Run.
+func corrupt(t *testing.T, sim *simnet.Sim, rep *diembft.Replica, n, f int, specs ...adversary.Spec) {
+	t.Helper()
+	ring, err := crypto.NewKeyRing(n, 42, crypto.SchemeSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eng engine.Engine
+	eng, err = adversary.Wrap(rep, adversary.Config{
+		ID: rep.ID(), N: n, F: f, Signer: ring.Signer(rep.ID()), Seed: int64(rep.ID()) + 1,
+	}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetEngine(rep.ID(), eng)
+}
 
 // TestSafetyUnderEquivocatingLeader: one Byzantine equivocator (t = f) must
 // never cause honest replicas to commit divergent prefixes.
@@ -19,11 +41,8 @@ func TestSafetyUnderEquivocatingLeader(t *testing.T) {
 			commits[rep] = append(commits[rep], b.ID())
 		},
 	}
-	sim, _ := buildCluster(t, 4, 1, func(id types.ReplicaID, c *diembft.Config) {
-		if id == 2 {
-			c.Behavior = &diembft.Misbehavior{EquivocateAsLeader: true}
-		}
-	}, simCfg)
+	sim, reps := buildCluster(t, 4, 1, nil, simCfg)
+	corrupt(t, sim, reps[2], 4, 1, adversary.Spec{Kind: adversary.Equivocate})
 	sim.Run(5 * time.Second)
 
 	honest := []types.ReplicaID{0, 1, 3}
@@ -85,11 +104,8 @@ func TestWithholdingVotesCapsStrength(t *testing.T) {
 			}
 		},
 	}
-	sim, _ := buildCluster(t, 4, 1, func(id types.ReplicaID, c *diembft.Config) {
-		if id == 3 {
-			c.Behavior = &diembft.Misbehavior{WithholdVotes: true}
-		}
-	}, simCfg)
+	sim, reps := buildCluster(t, 4, 1, nil, simCfg)
+	corrupt(t, sim, reps[3], 4, 1, adversary.Spec{Kind: adversary.Withhold})
 	sim.Run(5 * time.Second)
 
 	if len(best) == 0 {

@@ -1,8 +1,10 @@
 package harness
 
 import (
+	"fmt"
 	"time"
 
+	"repro/internal/adversary"
 	"repro/internal/diembft"
 	"repro/internal/simnet"
 	"repro/internal/types"
@@ -243,62 +245,92 @@ func Theorem2(sc Scale, c int) (*Result, int, error) {
 	sc = sc.withDefaults()
 	crash := make(map[types.ReplicaID]time.Duration, c)
 	for i := 0; i < c; i++ {
-		// Crash replicas spread across the ID space, 1ns after start.
-		crash[types.ReplicaID((i*sc.N+sc.N/2)/max(1, c)%sc.N)] = time.Nanosecond
+		// Crash a consecutive block of replicas 1ns after start. Spreading
+		// the crashes over the ID space would leave no run of 4 consecutive
+		// alive leaders at c = f, and the 3-chain commit rule would never
+		// fire — Theorem 2 bounds strength accumulation on committed
+		// blocks, not leader-rotation liveness.
+		crash[types.ReplicaID((sc.N/2+i)%sc.N)] = time.Nanosecond
 	}
 	target := 2*sc.F - c
 	model := simnet.NewSymmetricModel(sc.N, 3, intraDelay, 20*time.Millisecond, 5*time.Millisecond)
 	res, err := Run(&Scenario{
-		Name:           "theorem2",
-		N:              sc.N,
-		F:              sc.F,
-		Latency:        model,
-		Seed:           sc.Seed,
-		Duration:       sc.Duration,
-		RoundTimeout:   250 * time.Millisecond,
-		SFT:            true,
-		Scheme:         sc.Scheme,
-		VerifyPipeline: sc.Pipeline,
-		Levels:         []int{sc.F, target},
+		Name:            "theorem2",
+		N:               sc.N,
+		F:               sc.F,
+		Latency:         model,
+		Seed:            sc.Seed,
+		Duration:        sc.Duration,
+		RoundTimeout:    250 * time.Millisecond,
+		SFT:             true,
+		Scheme:          sc.Scheme,
+		VerifyPipeline:  sc.Pipeline,
+		Levels:          []int{sc.F, target},
+		Crash:           crash,
+		RecordStrengths: true,
 	})
-	return res, target, err
+	if err != nil {
+		return nil, 0, err
+	}
+	// Benign scenario: the fuzzer's checkers must hold with zero Byzantine
+	// replicas (crash faults never excuse a safety breach).
+	if vs := CheckInvariants(res, 0); len(vs) > 0 {
+		return nil, 0, fmt.Errorf("theorem2: invariant violated: %s", vs[0])
+	}
+	return res, target, nil
 }
 
 // Theorem3 runs the Byzantine-fault liveness experiment: t equivocating
-// Byzantine replicas, comparing marker strong-votes (Section 3.2, liveness
-// only under benign faults) against interval strong-votes (Section 3.4,
-// Theorem 3: (2f-t)-strong within n+2 rounds despite Byzantine faults).
+// Byzantine replicas (built through the adversary subsystem's Equivocate
+// behavior), comparing marker strong-votes (Section 3.2, liveness only under
+// benign faults) against interval strong-votes (Section 3.4, Theorem 3:
+// (2f-t)-strong within n+2 rounds despite Byzantine faults). Both runs pass
+// through the scenario fuzzer's invariant checkers; a Definition 1 or
+// monotonicity breach fails the experiment outright.
 func Theorem3(sc Scale, t int) (marker, interval *Result, target int, err error) {
 	sc = sc.withDefaults()
-	byz := make(map[types.ReplicaID]diembft.Misbehavior, t)
+	byz := make(map[types.ReplicaID][]adversary.Spec, t)
 	for i := 0; i < t; i++ {
-		byz[types.ReplicaID((i*sc.N+sc.N/2)/max(1, t)%sc.N)] = diembft.Misbehavior{EquivocateAsLeader: true}
+		byz[types.ReplicaID((i*sc.N+sc.N/2)/max(1, t)%sc.N)] = []adversary.Spec{{Kind: adversary.Equivocate}}
 	}
 	target = 2*sc.F - t
 	mk := func(mode diembft.VoteMode) *Scenario {
 		model := simnet.NewSymmetricModel(sc.N, 3, intraDelay, 20*time.Millisecond, 5*time.Millisecond)
 		return &Scenario{
-			Name:           "theorem3",
-			N:              sc.N,
-			F:              sc.F,
-			Latency:        model,
-			Seed:           sc.Seed,
-			Duration:       sc.Duration,
-			RoundTimeout:   250 * time.Millisecond,
-			SFT:            true,
-			VoteMode:       mode,
-			Byzantine:      byz,
-			Scheme:         sc.Scheme,
-			VerifyPipeline: sc.Pipeline,
-			Levels:         []int{sc.F, target},
+			Name:            "theorem3",
+			N:               sc.N,
+			F:               sc.F,
+			Latency:         model,
+			Seed:            sc.Seed,
+			Duration:        sc.Duration,
+			RoundTimeout:    250 * time.Millisecond,
+			SFT:             true,
+			VoteMode:        mode,
+			Adversaries:     byz,
+			Scheme:          sc.Scheme,
+			VerifyPipeline:  sc.Pipeline,
+			Levels:          []int{sc.F, target},
+			RecordStrengths: true,
 		}
+	}
+	check := func(res *Result) error {
+		if vs := CheckInvariants(res, len(byz)); len(vs) > 0 {
+			return fmt.Errorf("theorem3: invariant violated: %s", vs[0])
+		}
+		return nil
 	}
 	marker, err = Run(mk(diembft.VoteMarker))
 	if err != nil {
 		return nil, nil, 0, err
 	}
+	if err = check(marker); err != nil {
+		return nil, nil, 0, err
+	}
 	interval, err = Run(mk(diembft.VoteIntervals))
 	if err != nil {
+		return nil, nil, 0, err
+	}
+	if err = check(interval); err != nil {
 		return nil, nil, 0, err
 	}
 	return marker, interval, target, nil

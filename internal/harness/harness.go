@@ -10,8 +10,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"time"
 
+	"repro/internal/adversary"
 	"repro/internal/compose"
 	"repro/internal/core"
 	"repro/internal/crypto"
@@ -88,9 +90,23 @@ type Scenario struct {
 	GST         time.Duration
 	PreGSTExtra time.Duration
 
-	// Faults: crash times and Byzantine behaviors per replica.
-	Crash     map[types.ReplicaID]time.Duration
-	Byzantine map[types.ReplicaID]diembft.Misbehavior
+	// Faults: crash times and Byzantine behavior chains per replica. Each
+	// listed replica's engine is wrapped with the composed adversary
+	// behaviors (internal/adversary), uniformly for both protocols.
+	Crash       map[types.ReplicaID]time.Duration
+	Adversaries map[types.ReplicaID][]adversary.Spec
+
+	// Partitions schedules network splits on the simulator (see
+	// simnet.PartitionAt): each plan installs its groups at At and — when
+	// Heal > 0 — restores full connectivity at Heal. Later plans replace
+	// earlier ones.
+	Partitions []PartitionPlan
+
+	// NaiveEndorsements runs every replica's SFT tracker with the UNSAFE
+	// marker-free counting of Appendix C. Only the scenario fuzzer's
+	// weakened-rule canary sets it — to prove its Definition 1 checker
+	// catches the violation.
+	NaiveEndorsements bool
 
 	// Crashes are kill/restart schedules: each plan's replica runs with a
 	// write-ahead log, is killed at Crash, and (when Restart > 0) comes
@@ -104,6 +120,11 @@ type Scenario struct {
 	// RecordChains makes Result.Chains hold every replica's committed block
 	// per height — the crash-recovery consistency checks read it.
 	RecordChains bool
+	// RecordStrengths makes Result.Strengths hold every replica's maximum
+	// observed strength per block (regular commits folded in at x = F) and
+	// Result.Blocks the blocks those observations refer to — the invariant
+	// checkers of the scenario fuzzer read them.
+	RecordStrengths bool
 
 	// Levels are the strength values x (in replicas tolerated) whose
 	// first-reach latency is recorded. Defaults to the 1.0f..2.0f sweep.
@@ -119,6 +140,14 @@ type Scenario struct {
 	// to the paper's ~1000 txns / ~450KB).
 	PayloadTxns  int
 	PayloadBytes int
+}
+
+// PartitionPlan schedules one network split: Groups install at At (replicas
+// not listed form one implicit final group) and the split heals at Heal
+// (0 = never).
+type PartitionPlan struct {
+	At, Heal time.Duration
+	Groups   [][]types.ReplicaID
 }
 
 // CrashPlan schedules one replica's kill and (optional) restart. The
@@ -162,6 +191,18 @@ type Result struct {
 	// Chains maps replica -> height -> committed block when
 	// Scenario.RecordChains is set.
 	Chains map[types.ReplicaID]map[types.Height]types.BlockID
+
+	// Strengths maps replica -> block -> maximum observed strength (regular
+	// commits folded in at x = F) when Scenario.RecordStrengths is set;
+	// Blocks indexes every block those observations mention. The scenario
+	// fuzzer's Definition 1 and monotonicity checkers read them.
+	Strengths map[types.ReplicaID]map[types.BlockID]int
+	Blocks    map[types.BlockID]*types.Block
+	// StrengthViolations lists monotonicity/bounds breaches observed live
+	// (strength must rise, stay within (0, 2F], per replica per block).
+	StrengthViolations []string
+	// PartitionDrops counts deliveries discarded by scheduled partitions.
+	PartitionDrops int64
 }
 
 // DefaultLevels returns the paper's x sweep {1.0f, 1.1f, ..., 2.0f} as
@@ -235,6 +276,15 @@ type collector struct {
 	commits  map[types.ReplicaID]int
 	chains   map[types.ReplicaID]map[types.Height]types.BlockID
 	observer types.ReplicaID
+
+	// Invariant-checker inputs (Scenario.RecordStrengths). strengths holds
+	// the per-replica maximum (commits folded in at F); lastEvent tracks
+	// only tracker-reported strength events, the stream the monotonicity
+	// invariant constrains.
+	strengths  map[types.ReplicaID]map[types.BlockID]int
+	lastEvent  map[types.ReplicaID]map[types.BlockID]int
+	blocks     map[types.BlockID]*types.Block
+	violations []string
 }
 
 func newCollector(sc *Scenario, observer types.ReplicaID) *collector {
@@ -252,7 +302,61 @@ func newCollector(sc *Scenario, observer types.ReplicaID) *collector {
 	if sc.RecordChains {
 		c.chains = make(map[types.ReplicaID]map[types.Height]types.BlockID)
 	}
+	if sc.RecordStrengths {
+		c.strengths = make(map[types.ReplicaID]map[types.BlockID]int)
+		c.lastEvent = make(map[types.ReplicaID]map[types.BlockID]int)
+		c.blocks = make(map[types.BlockID]*types.Block)
+	}
 	return c
+}
+
+// noteRestart resets the monotonicity baseline for a replica: a restarted
+// incarnation may legitimately re-announce a level the pre-crash one already
+// reported (its tracker restores from the journal, then re-observes via
+// state sync). Monotonicity is a per-incarnation invariant.
+func (c *collector) noteRestart(id types.ReplicaID) {
+	if c.lastEvent != nil {
+		delete(c.lastEvent, id)
+	}
+}
+
+// recordStrength folds one strength observation (x = F for regular commits)
+// into the checker inputs, flagging monotonicity and bounds breaches.
+func (c *collector) recordStrength(rep types.ReplicaID, b *types.Block, x int, fromCommit bool) {
+	if c.strengths == nil {
+		return
+	}
+	id := b.ID()
+	if _, ok := c.blocks[id]; !ok {
+		c.blocks[id] = b
+	}
+	m, ok := c.strengths[rep]
+	if !ok {
+		m = make(map[types.BlockID]int)
+		c.strengths[rep] = m
+	}
+	if !fromCommit {
+		// Live monotonicity/bounds checks: strength reports must strictly
+		// rise per replica per block and stay within (0, 2F].
+		le, ok := c.lastEvent[rep]
+		if !ok {
+			le = make(map[types.BlockID]int)
+			c.lastEvent[rep] = le
+		}
+		if x <= 0 || x > 2*c.sc.F {
+			c.violations = append(c.violations,
+				fmt.Sprintf("replica %d reported out-of-range strength %d for %s (f=%d)", rep, x, id, c.sc.F))
+		} else if prev, seen := le[id]; seen && x <= prev {
+			c.violations = append(c.violations,
+				fmt.Sprintf("replica %d strength for %s did not rise: %d after %d", rep, id, x, prev))
+		}
+		if x > le[id] {
+			le[id] = x
+		}
+	}
+	if prev, seen := m[id]; !seen || x > prev {
+		m[id] = x
+	}
 }
 
 // inWindow reports whether a block's creation time falls inside the
@@ -272,12 +376,14 @@ func (c *collector) onCommit(rep types.ReplicaID, now time.Duration, b *types.Bl
 		}
 		m[b.Height] = b.ID()
 	}
+	c.recordStrength(rep, b, c.sc.F, true)
 	if c.inWindow(b) {
 		c.regular.AddDuration(now - time.Duration(b.Timestamp))
 	}
 }
 
 func (c *collector) onStrength(rep types.ReplicaID, now time.Duration, b *types.Block, x int) {
+	c.recordStrength(rep, b, x, false)
 	if c.sc.LevelObservers != nil && !c.sc.LevelObservers[rep] {
 		return
 	}
@@ -328,7 +434,7 @@ func Run(sc *Scenario) (*Result, error) {
 		if _, crashed := s.Crash[id]; crashed {
 			continue
 		}
-		if _, byz := s.Byzantine[id]; byz {
+		if _, byz := s.Adversaries[id]; byz {
 			continue
 		}
 		if planned[id] {
@@ -410,6 +516,12 @@ func Run(sc *Scenario) (*Result, error) {
 	for id, at := range s.Crash {
 		sim.CrashAt(id, at)
 	}
+	for _, plan := range s.Partitions {
+		sim.PartitionAt(plan.At, plan.Groups...)
+		if plan.Heal > 0 {
+			sim.HealAt(plan.Heal)
+		}
+	}
 	for _, plan := range s.Crashes {
 		sim.CrashAt(plan.Replica, plan.Crash)
 		if plan.Restart <= 0 {
@@ -419,6 +531,7 @@ func Run(sc *Scenario) (*Result, error) {
 		sim.RestartAt(id, plan.Restart, func() engine.Engine {
 			// Runs at virtual time plan.Restart: recover the WAL as of the
 			// crash and build a fresh engine around it.
+			col.noteRestart(id)
 			journal, rec, err := openJournal(id)
 			if err != nil {
 				panic(fmt.Sprintf("harness: restart %v: %v", id, err))
@@ -455,6 +568,10 @@ func Run(sc *Scenario) (*Result, error) {
 		res.BytesPerBlock = float64(res.Msgs.Bytes) / float64(res.CommittedBlocks)
 	}
 	res.Chains = col.chains
+	res.Strengths = col.strengths
+	res.Blocks = col.blocks
+	res.StrengthViolations = col.violations
+	res.PartitionDrops = sim.PartitionDrops()
 	return res, nil
 }
 
@@ -465,50 +582,65 @@ func engineSpec(s *Scenario, id types.ReplicaID, ring *crypto.KeyRing, payload f
 	switch s.Protocol {
 	case ProtoStreamlet:
 		spec := compose.Spec{
-			Protocol:         compose.Streamlet,
-			ID:               id,
-			N:                s.N,
-			F:                s.F,
-			Signer:           ring.Signer(id),
-			Verifier:         ring,
-			VerifySignatures: s.VerifySignatures,
-			Delta:            s.Delta,
-			SFT:              s.SFT,
-			Horizon:          s.Horizon,
-			DisableEcho:      s.DisableEcho,
-			Payload:          payload,
-			Journal:          journal,
+			Protocol:          compose.Streamlet,
+			ID:                id,
+			N:                 s.N,
+			F:                 s.F,
+			Signer:            ring.Signer(id),
+			Verifier:          ring,
+			VerifySignatures:  s.VerifySignatures,
+			Delta:             s.Delta,
+			SFT:               s.SFT,
+			Horizon:           s.Horizon,
+			DisableEcho:       s.DisableEcho,
+			Payload:           payload,
+			NaiveEndorsements: s.NaiveEndorsements,
+			Journal:           journal,
 		}
-		if b, ok := s.Byzantine[id]; ok {
-			spec.WithholdVotes = b.WithholdVotes
-		}
+		applyAdversary(&spec, s, id)
 		return spec
 	default:
 		spec := compose.Spec{
-			Protocol:         compose.DiemBFT,
-			ID:               id,
-			N:                s.N,
-			F:                s.F,
-			Signer:           ring.Signer(id),
-			Verifier:         ring,
-			VerifySignatures: s.VerifySignatures,
-			DisableQCCache:   s.DisableQCCache,
-			SFT:              s.SFT,
-			FBFT:             s.FBFT,
-			VoteMode:         s.VoteMode,
-			IntervalWindow:   s.IntervalWindow,
-			Horizon:          s.Horizon,
-			RoundTimeout:     s.RoundTimeout,
-			ExtraWait:        s.ExtraWait,
-			ExtraWaitFor:     s.ExtraWaitFor,
-			Payload:          payload,
-			PruneKeep:        s.PruneKeep,
-			Journal:          journal,
+			Protocol:          compose.DiemBFT,
+			ID:                id,
+			N:                 s.N,
+			F:                 s.F,
+			Signer:            ring.Signer(id),
+			Verifier:          ring,
+			VerifySignatures:  s.VerifySignatures,
+			DisableQCCache:    s.DisableQCCache,
+			SFT:               s.SFT,
+			FBFT:              s.FBFT,
+			VoteMode:          s.VoteMode,
+			IntervalWindow:    s.IntervalWindow,
+			Horizon:           s.Horizon,
+			RoundTimeout:      s.RoundTimeout,
+			ExtraWait:         s.ExtraWait,
+			ExtraWaitFor:      s.ExtraWaitFor,
+			Payload:           payload,
+			PruneKeep:         s.PruneKeep,
+			NaiveEndorsements: s.NaiveEndorsements,
+			Journal:           journal,
 		}
-		if b, ok := s.Byzantine[id]; ok {
-			bb := b
-			spec.Behavior = &bb
-		}
+		applyAdversary(&spec, s, id)
 		return spec
 	}
+}
+
+// applyAdversary attaches the replica's Byzantine behavior chain, seeding
+// its randomness from the scenario seed and the replica identity so every
+// corrupted replica misbehaves differently but reproducibly.
+func applyAdversary(spec *compose.Spec, s *Scenario, id types.ReplicaID) {
+	specs, ok := s.Adversaries[id]
+	if !ok || len(specs) == 0 {
+		return
+	}
+	spec.Adversary = specs
+	spec.AdversarySeed = s.Seed*1000003 + int64(id)
+	peers := make([]types.ReplicaID, 0, len(s.Adversaries))
+	for rep := range s.Adversaries {
+		peers = append(peers, rep)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	spec.AdversaryPeers = peers
 }

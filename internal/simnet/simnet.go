@@ -19,6 +19,8 @@ const (
 	evTimer
 	evCrash
 	evStart
+	evPartition
+	evHeal
 )
 
 type event struct {
@@ -35,6 +37,10 @@ type event struct {
 	// dispatch time — by then the crashed replica's WAL holds everything up
 	// to the crash, so the factory recovers exactly the pre-crash state.
 	build func() engine.Engine
+
+	// groups, set on partition events, lists the replica groups that can
+	// still reach each other once the partition installs.
+	groups [][]types.ReplicaID
 }
 
 // eventQueue is a pooled, value-based binary min-heap. Events live in a slab
@@ -116,6 +122,7 @@ func (q *eventQueue) pop() event {
 	// sits on the free list.
 	q.slab[idx].msg = nil
 	q.slab[idx].build = nil
+	q.slab[idx].groups = nil
 	q.free = append(q.free, idx)
 	return ev
 }
@@ -174,6 +181,14 @@ type Sim struct {
 	stats      MsgStats
 	events     int64
 	prevalDrop int64
+
+	// partition, when non-nil, maps each replica to its group; deliveries
+	// crossing groups are discarded at send time (messages already in
+	// flight when a partition installs still arrive, like real routes
+	// converging). nil means fully connected — the honest-path check is one
+	// nil comparison, so partition support costs connected runs nothing.
+	partition []int32
+	partDrop  int64
 }
 
 // New creates a simulation with n empty engine slots.
@@ -228,6 +243,24 @@ func (s *Sim) CrashAt(id types.ReplicaID, at time.Duration) {
 	s.push(event{at: at, kind: evCrash, to: id})
 }
 
+// PartitionAt schedules a network partition at virtual time at: replicas in
+// the same group keep talking, deliveries crossing groups are dropped (at
+// send time; in-flight messages still land). Replicas not listed in any
+// group form one implicit final group together, so PartitionAt(t, g) splits
+// g from the rest. A new partition replaces the previous one; HealAt
+// restores full connectivity.
+func (s *Sim) PartitionAt(at time.Duration, groups ...[]types.ReplicaID) {
+	s.push(event{at: at, kind: evPartition, groups: groups})
+}
+
+// HealAt schedules the partition (if any) to heal at virtual time at.
+func (s *Sim) HealAt(at time.Duration) {
+	s.push(event{at: at, kind: evHeal})
+}
+
+// PartitionDrops returns how many deliveries were discarded by partitions.
+func (s *Sim) PartitionDrops() int64 { return s.partDrop }
+
 // RestartAt schedules replica id to come back at time at with the engine the
 // factory builds — typically one recovered from the replica's write-ahead
 // log. The factory runs at dispatch time (virtual time at), after every
@@ -265,8 +298,15 @@ func (s *Sim) Run(until time.Duration) {
 
 func (s *Sim) dispatch(ev event) {
 	id := ev.to
-	if ev.kind == evCrash {
+	switch ev.kind {
+	case evCrash:
 		s.crashed[id] = true
+		return
+	case evPartition:
+		s.installPartition(ev.groups)
+		return
+	case evHeal:
+		s.partition = nil
 		return
 	}
 	if ev.kind == evStart && ev.build != nil {
@@ -334,7 +374,29 @@ func (s *Sim) apply(id types.ReplicaID, outs []engine.Output) {
 	}
 }
 
+// installPartition assigns each listed replica its group index; unlisted
+// replicas share the implicit final group.
+func (s *Sim) installPartition(groups [][]types.ReplicaID) {
+	part := make([]int32, s.cfg.N)
+	implicit := int32(len(groups))
+	for i := range part {
+		part[i] = implicit
+	}
+	for g, members := range groups {
+		for _, id := range members {
+			if int(id) < len(part) {
+				part[id] = int32(g)
+			}
+		}
+	}
+	s.partition = part
+}
+
 func (s *Sim) deliver(from, to types.ReplicaID, msg types.Message) {
+	if s.partition != nil && s.partition[from] != s.partition[to] {
+		s.partDrop++
+		return
+	}
 	if s.cfg.Drop != nil && s.cfg.Drop(from, to, msg, s.now) {
 		return
 	}

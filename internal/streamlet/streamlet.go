@@ -47,8 +47,10 @@ type Config struct {
 	// Payload supplies block transactions; nil means empty blocks.
 	Payload func(r types.Round) types.Payload
 
-	// WithholdVotes makes the replica silently Byzantine.
-	WithholdVotes bool
+	// NaiveEndorsements switches the SFT tracker to the UNSAFE marker-free
+	// counting of Appendix C — only for the scenario fuzzer's checker
+	// demonstrations, never exposed by the public facade.
+	NaiveEndorsements bool
 
 	// Journal, if non-nil, write-ahead-logs accepted blocks, own votes,
 	// formed certificates and commits, flushed before each event's outputs
@@ -139,6 +141,7 @@ func New(cfg Config) (*Replica, error) {
 			N:       cfg.N,
 			F:       cfg.F,
 			Mode:    core.ModeHeight,
+			Naive:   cfg.NaiveEndorsements,
 			Horizon: cfg.Horizon,
 			OnStrength: func(b *types.Block, x int) {
 				if r.restoring {
@@ -542,9 +545,6 @@ func (r *Replica) acceptProposal(now time.Duration, p *types.Proposal) {
 // maybeVote applies the Streamlet voting rule: first proposal of the
 // current round by its leader, extending a longest certified chain.
 func (r *Replica) maybeVote(b *types.Block) {
-	if r.cfg.WithholdVotes {
-		return
-	}
 	if b.Round != r.round || r.votedRound[r.round] {
 		return
 	}

@@ -282,7 +282,14 @@ func (n *Net) readLoop(conn net.Conn) {
 		delete(n.accepted, conn)
 		n.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
+	n.serveFrames(gob.NewDecoder(conn))
+}
+
+// serveFrames drains one peer connection's frame stream: the identifying
+// handshake first, then envelopes, with spoofed/malformed/prevalidation
+// filtering. Factored off readLoop so the frame parser can be fuzzed
+// against raw attacker-controlled bytes without a socket.
+func (n *Net) serveFrames(dec *gob.Decoder) {
 	var h hello
 	if err := dec.Decode(&h); err != nil {
 		return

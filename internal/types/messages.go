@@ -40,8 +40,15 @@ type Proposal struct {
 // Type implements Message.
 func (p *Proposal) Type() MsgType { return MsgProposal }
 
-// Size implements Message.
-func (p *Proposal) Size() int { return 1 + 8 + 4 + len(p.Signature) + p.Block.Size() }
+// Size implements Message. A nil block (possible on a decoded frame from a
+// malicious peer; receivers reject it) counts only the envelope.
+func (p *Proposal) Size() int {
+	n := 1 + 8 + 4 + len(p.Signature)
+	if p.Block != nil {
+		n += p.Block.Size()
+	}
+	return n
+}
 
 // SigningPayload returns the bytes the proposer signs.
 func (p *Proposal) SigningPayload() []byte {
@@ -117,8 +124,15 @@ type Echo struct {
 // Type implements Message.
 func (e *Echo) Type() MsgType { return MsgEcho }
 
-// Size implements Message.
-func (e *Echo) Size() int { return 1 + 4 + e.Inner.Size() }
+// Size implements Message. A nil inner message (malicious relay) counts
+// only the wrapper.
+func (e *Echo) Size() int {
+	n := 1 + 4
+	if e.Inner != nil {
+		n += e.Inner.Size()
+	}
+	return n
+}
 
 // String renders the echo for logs.
 func (e *Echo) String() string { return fmt.Sprintf("echo{%v by %s}", e.Inner, e.Relayer) }
@@ -161,7 +175,9 @@ func (s *SyncResponse) Type() MsgType { return MsgSyncResponse }
 func (s *SyncResponse) Size() int {
 	n := 1 + 4
 	for _, b := range s.Blocks {
-		n += b.Size()
+		if b != nil {
+			n += b.Size()
+		}
 	}
 	return n
 }
@@ -211,7 +227,9 @@ func (s *StateSyncResponse) Type() MsgType { return MsgStateSyncResponse }
 func (s *StateSyncResponse) Size() int {
 	n := 1 + 4
 	for _, b := range s.Blocks {
-		n += b.Size()
+		if b != nil {
+			n += b.Size()
+		}
 	}
 	if s.HighQC != nil {
 		n += s.HighQC.Size()

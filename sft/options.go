@@ -31,6 +31,9 @@ type settings struct {
 	metrics  *Metrics
 	observer func(CommitEvent)
 
+	adversary      []AdversarySpec
+	adversaryPeers []ReplicaID
+
 	payload      func(Round) Payload
 	roundTimeout time.Duration
 	extraWait    time.Duration
@@ -162,6 +165,39 @@ func WithVerifyPipeline(workers int) Option {
 		s.pipeline = true
 		s.pipelineWorkers = workers
 	}
+}
+
+// WithAdversary makes THIS node Byzantine: its honest engine is wrapped
+// with the composed behavior chain (equivocation, vote withholding,
+// double-signing, marker lying, fork revival, signature corruption, garbage
+// injection, replay, drop/delay/duplicate — see the Adversary* kinds).
+// Behaviors act at the message level, so they work identically for both
+// engines and under every transport. This is an adversarial-TESTING surface:
+// use it to subject honest nodes to Byzantine peers in integration tests
+// and simulations; see also the harness scenario fuzzer
+// (internal/harness.RunFuzz) and `sftbench -experiment adversary`.
+func WithAdversary(specs ...AdversarySpec) Option {
+	return func(s *settings) {
+		if len(specs) == 0 {
+			s.fail(fmt.Errorf("sft: WithAdversary requires at least one behavior"))
+			return
+		}
+		for _, spec := range specs {
+			if _, err := spec.Build(); err != nil {
+				s.fail(fmt.Errorf("sft: %w", err))
+				return
+			}
+		}
+		s.adversary = specs
+	}
+}
+
+// WithAdversaryPeers tells a Byzantine node who its co-conspirators are
+// (coalition-aware behaviors like fork revival coordinate through it). The
+// paper's adversary is a coordinating coalition, so this knowledge is part
+// of the model. Optional; meaningful only together with WithAdversary.
+func WithAdversaryPeers(peers ...ReplicaID) Option {
+	return func(s *settings) { s.adversaryPeers = peers }
 }
 
 // WithMetrics attaches a shared metrics sink: the node counts its commits,

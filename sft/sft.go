@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/adversary"
 	"repro/internal/compose"
 	"repro/internal/core"
 	"repro/internal/crypto"
@@ -78,7 +79,44 @@ type (
 	RegionLatency = simnet.RegionModel
 	// MsgStats aggregates message counts and bytes for a Simnet run.
 	MsgStats = simnet.MsgStats
+	// AdversarySpec describes one composable Byzantine behavior for
+	// WithAdversary (see internal/adversary for the catalog).
+	AdversarySpec = adversary.Spec
+	// AdversaryKind names a built-in behavior.
+	AdversaryKind = adversary.Kind
 )
+
+// Built-in adversary behavior kinds, re-exported for WithAdversary. Compose
+// them freely; AdversaryKinds lists all of them.
+const (
+	// AdversaryEquivocate proposes two conflicting blocks per led round.
+	AdversaryEquivocate = adversary.Equivocate
+	// AdversaryWithhold suppresses the replica's own votes.
+	AdversaryWithhold = adversary.Withhold
+	// AdversaryDoubleVote signs conflicting votes for competing proposals.
+	AdversaryDoubleVote = adversary.DoubleVote
+	// AdversaryLieMarkers claims an empty conflict history in strong-votes.
+	AdversaryLieMarkers = adversary.LieMarkers
+	// AdversaryForkRevive revives off-chain branches from observed votes.
+	AdversaryForkRevive = adversary.ForkRevive
+	// AdversaryWithholdUncontested starves rounds with a single proposal.
+	AdversaryWithholdUncontested = adversary.WithholdUncontested
+	// AdversaryCorruptSigs flips signature bytes on outbound messages.
+	AdversaryCorruptSigs = adversary.CorruptSigs
+	// AdversaryGarbage injects structurally broken messages.
+	AdversaryGarbage = adversary.Garbage
+	// AdversaryReplayStale rebroadcasts previously seen messages.
+	AdversaryReplayStale = adversary.ReplayStale
+	// AdversaryDrop discards outbound transmissions with probability P.
+	AdversaryDrop = adversary.Drop
+	// AdversaryDelay postpones outbound transmissions.
+	AdversaryDelay = adversary.Delay
+	// AdversaryDuplicate re-sends outbound transmissions with probability P.
+	AdversaryDuplicate = adversary.Duplicate
+)
+
+// AdversaryKinds lists every built-in behavior kind.
+var AdversaryKinds = adversary.Kinds
 
 // SymmetricLatency builds the paper's symmetric geo-distributed model: n
 // replicas spread over `regions` equal regions, intra-region delay intra,
@@ -290,6 +328,11 @@ func New(cfg Config, opts ...Option) (*Node, error) {
 	}
 	if s.engine == DiemBFT && rule.Votes == VoteIntervals {
 		spec.VoteMode = diembft.VoteIntervals
+	}
+	if len(s.adversary) > 0 {
+		spec.Adversary = s.adversary
+		spec.AdversarySeed = cfg.Seed*1000003 + int64(cfg.ID)
+		spec.AdversaryPeers = s.adversaryPeers
 	}
 	if journal != nil {
 		spec.Journal = journal.j

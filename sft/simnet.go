@@ -90,6 +90,24 @@ func (w *Simnet) Events() int64 { return w.sim.Events() }
 // everything, since engines flush per event — survives for RestartAt.
 func (w *Simnet) CrashAt(id ReplicaID, at time.Duration) { w.sim.CrashAt(id, at) }
 
+// PartitionAt schedules a network partition at virtual time at: replicas
+// within one group keep talking, deliveries crossing groups are dropped at
+// send time (in-flight messages still land). Replicas not listed in any
+// group form one implicit final group together, so PartitionAt(t, g) splits
+// g from the rest. A later partition replaces the current one; HealAt
+// restores full connectivity.
+func (w *Simnet) PartitionAt(at time.Duration, groups ...[]ReplicaID) {
+	w.sim.PartitionAt(at, groups...)
+}
+
+// HealAt schedules the current partition (if any) to heal at virtual time
+// at.
+func (w *Simnet) HealAt(at time.Duration) { w.sim.HealAt(at) }
+
+// PartitionDrops reports how many deliveries scheduled partitions have
+// discarded so far.
+func (w *Simnet) PartitionDrops() int64 { return w.sim.PartitionDrops() }
+
 // RestartAt schedules a crashed replica to come back at virtual time at,
 // rebuilt from its write-ahead log through the same composition path that
 // built it: the WAL is replayed, a fresh engine is restored from it (its
