@@ -6,13 +6,14 @@ GO ?= go
 FUZZ_TARGETS = \
 	./internal/types:FuzzDecodeVote \
 	./internal/types:FuzzDecodeQC \
+	./internal/types:FuzzDecodeCompactQC \
 	./internal/types:FuzzDecodeBlock \
 	./internal/tcpnet:FuzzServeFrames$$ \
 	./internal/tcpnet:FuzzServeFramesMultiPeer
 FUZZTIME_SMOKE ?= 20s
 FUZZTIME_LONG ?= 10m
 
-.PHONY: all build build-examples vet test test-race bench bench-smoke bench-micro bench-guard fuzz-smoke fuzz-long adversary-fuzz
+.PHONY: all build build-examples vet test test-race bench bench-smoke bench-micro bench-guard fuzz-smoke fuzz-long adversary-fuzz adversary-fuzz-agg compactcert
 
 all: test
 
@@ -53,11 +54,15 @@ bench-micro:
 	$(GO) test -run '^$$' -bench BenchmarkSigningPayload -benchmem ./internal/types/
 	$(GO) test -run '^$$' -bench 'BenchmarkAppendFlush|BenchmarkReplay' -benchmem ./internal/wal/
 
-# Bench guard: every AllocsPerRun regression guard, run as tests so any
-# regression is a hard failure, then the micro-benchmarks for the numbers.
-# CI runs this; record results in BENCH_PR<n>.json when they move.
+# Bench guard: every AllocsPerRun regression guard plus the compact-QC
+# wire-size guard (a steady-state certificate must stay O(1) bytes: 100 at
+# n=31, 108 at n=103 — one extra bitmap word is the only growth allowed),
+# run as tests so any regression is a hard failure, then the
+# micro-benchmarks for the numbers. CI runs this; record results in
+# BENCH_PR<n>.json when they move.
 bench-guard:
 	$(GO) test -run 'Alloc' -count=1 ./internal/types/ ./internal/simnet/ ./internal/core/ ./internal/wal/ ./internal/crypto/
+	$(GO) test -run 'TestCompactQCSizeFlat' -count=1 ./internal/types/
 	$(MAKE) bench-micro
 
 # Short native-fuzz pass over the wire decoders and the TCP frame parser;
@@ -78,3 +83,13 @@ fuzz-long:
 # randomized scenarios plus the weakened-rule canary.
 adversary-fuzz:
 	$(GO) run ./cmd/sftbench -experiment adversary -seed 1 -n 7
+
+# The same sweep with compact certificates on the wire: every QC formed in
+# every scenario is an aggregated bitmap certificate under real ed25519.
+adversary-fuzz-agg:
+	$(GO) run ./cmd/sftbench -experiment adversary -seed 1 -n 7 -scheme ed25519-agg
+
+# The compact-certificate experiment (fig 7a analogue): n=31 vs n=103 wire
+# bytes and verify CPU, vector vs aggregated form, under real ed25519.
+compactcert:
+	$(GO) run ./cmd/sftbench -experiment compactcert -seed 1

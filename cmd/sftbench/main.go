@@ -9,7 +9,8 @@
 //	sftbench -experiment verifypipeline -scheme ed25519 -n 31 -duration 60s
 //
 // Experiments: fig7a, fig7b, fig8, throughput, msgcomplexity, theorem2,
-// theorem3, streamlet, crashrecovery, adversary, verifypipeline, all.
+// theorem3, streamlet, crashrecovery, adversary, verifypipeline,
+// compactcert, all.
 // crashrecovery exercises the durability layer: a replica is killed
 // mid-run, restored from its write-ahead log, and re-joins via state sync;
 // the report compares its commits against the no-crash baseline. adversary
@@ -24,10 +25,18 @@
 // verdict; because it defaults to ed25519 (expensive at paper scale), it
 // runs only when named explicitly, not under "all".
 //
+// compactcert measures the compact O(1) certificates at committee sizes
+// n=31 vs n=103: quorum-certificate wire bytes and cold verify CPU in
+// per-signer vector form vs aggregated bitmap form, plus a fig7a-style
+// simulation per size under the ed25519-agg scheme. Explicit-only (real
+// crypto at n=103); it ignores -n.
+//
 // -scheme selects the signature implementation for every experiment: "sim"
-// (fast, deterministic, the default) or "ed25519" (real crypto; implies full
-// signature verification). -pipeline additionally routes every experiment
-// through the verification pipeline.
+// (fast, deterministic, the default), "ed25519" (real crypto; implies full
+// signature verification), or their aggregating variants "sim-agg" /
+// "ed25519-agg", which additionally compact every formed certificate into
+// the constant-size aggregated form. -pipeline additionally routes every
+// experiment through the verification pipeline.
 package main
 
 import (
@@ -46,7 +55,7 @@ import (
 var experimentNames = []string{
 	"fig7a", "fig7b", "fig8", "throughput", "msgcomplexity",
 	"theorem2", "theorem3", "streamlet", "crashrecovery", "adversary",
-	"verifypipeline", "all",
+	"verifypipeline", "compactcert", "all",
 }
 
 var validExperiments = func() map[string]bool {
@@ -59,14 +68,15 @@ var validExperiments = func() map[string]bool {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run (fig7a|fig7b|fig8|throughput|msgcomplexity|theorem2|theorem3|streamlet|crashrecovery|adversary|verifypipeline|all)")
+		experiment = flag.String("experiment", "all", "which experiment to run (fig7a|fig7b|fig8|throughput|msgcomplexity|theorem2|theorem3|streamlet|crashrecovery|adversary|verifypipeline|compactcert|all)")
 		n          = flag.Int("n", 100, "number of replicas (3f+1)")
 		duration   = flag.Duration("duration", 5*time.Minute, "virtual run duration")
 		delta      = flag.Duration("delta", 0, "inter-region delay; 0 sweeps the paper's {100ms,200ms}")
 		seed       = flag.Int64("seed", 1, "simulation seed")
-		scheme     = flag.String("scheme", crypto.SchemeSim, "signature scheme (sim|ed25519); ed25519 implies signature verification")
+		scheme     = flag.String("scheme", crypto.SchemeSim, "signature scheme (sim|ed25519|sim-agg|ed25519-agg); the ed25519 schemes imply signature verification, the -agg schemes compact certificates")
 		pipeline   = flag.Bool("pipeline", false, "route experiments through the verification pipeline (prevalidate/apply split)")
 		scenarios  = flag.Int("scenarios", 60, "randomized scenarios for -experiment adversary")
+		workers    = flag.Int("workers", 0, "concurrent scenarios for -experiment adversary (0 = GOMAXPROCS; results are identical at any worker count)")
 	)
 	flag.Parse()
 
@@ -82,9 +92,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *scheme != crypto.SchemeSim && *scheme != crypto.SchemeEd25519 {
-		fmt.Fprintf(os.Stderr, "sftbench: unknown scheme %q\nvalid choices: %s, %s\n",
-			*scheme, crypto.SchemeSim, crypto.SchemeEd25519)
+	switch *scheme {
+	case crypto.SchemeSim, crypto.SchemeEd25519, crypto.SchemeSimAgg, crypto.SchemeEd25519Agg:
+	default:
+		fmt.Fprintf(os.Stderr, "sftbench: unknown scheme %q\nvalid choices: %s, %s, %s, %s\n",
+			*scheme, crypto.SchemeSim, crypto.SchemeEd25519, crypto.SchemeSimAgg, crypto.SchemeEd25519Agg)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -131,13 +143,18 @@ func main() {
 	// a full Byzantine cluster — hours of wall time — while its acceptance
 	// setting is -n 7 (~2s). Run it as `-experiment adversary -n 7`.
 	if *experiment == "adversary" {
-		run("adversary", func() error { return adversaryFuzz(sc, *scenarios) })
+		run("adversary", func() error { return adversaryFuzz(sc, *scenarios, *workers) })
 	}
 	// verifypipeline is explicit-only (not part of "all"): it defaults to
 	// real ed25519 signatures, and two serially-verified macro runs at paper
 	// scale would dominate the whole sweep's wall time.
 	if *experiment == "verifypipeline" {
 		run("verifypipeline", func() error { return verifyPipeline(sc, deltas[0]) })
+	}
+	// compactcert is explicit-only for the same reason: it sweeps committee
+	// sizes {31, 103} under real ed25519 vote signatures regardless of -n.
+	if *experiment == "compactcert" {
+		run("compactcert", func() error { return compactCert(sc, deltas[0]) })
 	}
 }
 
@@ -194,11 +211,13 @@ func verifyPipeline(sc harness.Scale, delta time.Duration) error {
 // (marker-free) endorsement counting must be caught by the same checker,
 // while the identical collusion under the real rule stays clean. Scenarios
 // use the fuzzer's own per-scenario virtual duration, not -duration.
-func adversaryFuzz(sc harness.Scale, count int) error {
+func adversaryFuzz(sc harness.Scale, count, workers int) error {
 	report, err := harness.RunFuzz(harness.FuzzOptions{
 		Seed:      sc.Seed,
 		Scenarios: count,
 		N:         sc.N,
+		Scheme:    sc.Scheme,
+		Workers:   workers,
 	})
 	if err != nil {
 		return err
@@ -267,6 +286,60 @@ func adversaryFuzz(sc harness.Scale, count int) error {
 			{"strengthened rule (markers)", "safe"},
 		})
 	fmt.Printf("    canary spec: %s\n", spec)
+	return nil
+}
+
+// compactCert sweeps committee sizes n=31 and n=103: for each it encodes
+// and cold-verifies one genuine quorum certificate in both wire forms, then
+// runs the fig7a-style simulation under ed25519-agg. The wire-size check is
+// a hard failure — compact certificates must stay O(1) in n (the bitmap
+// adds one u64 word per 64 replicas; anything more means a per-signer field
+// leaked back into the encoding).
+func compactCert(sc harness.Scale, delta time.Duration) error {
+	ns := []int{31, 103}
+	points, err := harness.CompactCertificates(sc, ns, delta)
+	if err != nil {
+		return err
+	}
+	rows := [][]string{}
+	for _, p := range points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.N),
+			fmt.Sprintf("%d", p.Quorum),
+			fmt.Sprintf("%d", p.VectorQCBytes),
+			fmt.Sprintf("%d", p.CompactQCBytes),
+			fmt.Sprintf("%.0f", p.VectorVerifyNs/1e3),
+			fmt.Sprintf("%.0f", p.CompactVerifyNs/1e3),
+		})
+	}
+	printTable("Compact O(1) certificates: per-signer vote vector vs aggregated bitmap QC",
+		[]string{"n", "quorum", "vector bytes", "compact bytes", "vector µs/QC", "compact µs/QC"}, rows)
+
+	simRows := [][]string{}
+	for _, p := range points {
+		lat := p.Sim.RegularLatency
+		simRows = append(simRows, []string{
+			fmt.Sprintf("%d", p.N),
+			fmt.Sprintf("%d", p.Sim.CommittedBlocks),
+			fmt.Sprintf("%.3f", lat.P50),
+			fmt.Sprintf("%.3f", lat.P99),
+			fmt.Sprintf("%.0f", p.Sim.BytesPerBlock),
+		})
+	}
+	printTable("fig7a-style run under scheme=ed25519-agg (real vote signatures, compact QCs)",
+		[]string{"n", "blocks committed", "regular p50 (s)", "regular p99 (s)", "bytes/block"}, simRows)
+
+	small, large := points[0], points[len(points)-1]
+	growth := large.CompactQCBytes - small.CompactQCBytes
+	cpuRatio := large.CompactVerifyNs / small.CompactVerifyNs
+	fmt.Printf("    compact QC bytes n=%d -> n=%d: +%d (vector: +%d); compact verify CPU ratio %.2fx\n",
+		small.N, large.N, growth, large.VectorQCBytes-small.VectorQCBytes, cpuRatio)
+	// One extra bitmap word per 64 replicas is the only growth a compact
+	// certificate is allowed.
+	if allowed := 8 * ((large.N+63)/64 - (small.N+63)/64); growth > allowed {
+		return fmt.Errorf("compact QC grew %d bytes from n=%d to n=%d (allowed %d) — not O(1)",
+			growth, small.N, large.N, allowed)
+	}
 	return nil
 }
 

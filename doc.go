@@ -135,6 +135,33 @@
 // documents the full contract; BENCH_PR2.json records the costs (vote-path
 // WAL append: 0 allocs/op; bench-smoke with the WAL disabled: unchanged).
 //
+// # Compact certificates
+//
+// PR 6 made the steady-state certificate O(1) in committee size. The
+// aggregating schemes (crypto.SchemeSimAgg, crypto.SchemeEd25519Agg;
+// sft.SimAggregate / sft.Ed25519Aggregate on the facade) fold a quorum of
+// votes into one 32-byte aggregate, and types.QC gained a compact wire
+// form — signer bitmap + sparse marker-override table + aggregate
+// signature — versioned into the existing encoding by a sentinel vote
+// count, so vector certificates decode unchanged and gob/TCP transports
+// ship whichever form the QC carries. A steady-state compact QC is 100
+// bytes at n=31 and 108 bytes at n=103 (one extra bitmap word), against
+// 2.9 KB and 9.6 KB for the vector form, and verifies in near-constant
+// time because votes sharing a marker state share one aggregation payload.
+// The scheme is ring-internal like the sim scheme (crypto.Aggregates is
+// the swap point for real BLS); vote transit signatures stay genuine
+// base-scheme signatures. core.VoteSet (bitmap + dense slice) replaced the
+// engines' map-of-maps vote collection, keeping leader-side tracking
+// subquadratic and emitting the canonical ascending voter order the
+// compact form requires. `sftbench -experiment compactcert` measures the
+// n=31 vs n=103 sweep and hard-fails if certificate growth exceeds the
+// bitmap-word allowance; TestCompactQCSizeFlat pins the exact byte counts
+// in make bench-guard; FuzzDecodeCompactQC fuzzes the decoder; and the
+// adversarial fuzzer (now parallel across a worker pool with a
+// deterministic index-ordered merge, and scheme-parameterized) runs the
+// full Byzantine mix with compact certificates on the wire. BENCH_PR6.json
+// records the measurements.
+//
 // # Adversarial testing
 //
 // PR 5 made Byzantine behavior a composable subsystem (internal/adversary)

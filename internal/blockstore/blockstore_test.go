@@ -238,8 +238,8 @@ func TestPruningBoundaryQueries(t *testing.T) {
 		cur = cb.mk(cur, r)
 		spine = append(spine, cur)
 	}
-	forkA := cb.mk(spine[3], 9)  // height 5, conflicts with spine[4..]
-	forkB := cb.mk(forkA, 10)    // height 6
+	forkA := cb.mk(spine[3], 9) // height 5, conflicts with spine[4..]
+	forkB := cb.mk(forkA, 10)   // height 6
 	tip := cur
 
 	cut := types.Height(4)

@@ -14,7 +14,7 @@ import (
 type DirectTracker struct {
 	store *blockstore.Store
 	f     int
-	votes map[types.BlockID]map[types.ReplicaID]bool
+	votes map[types.BlockID]*VoteSet
 
 	strength   map[types.BlockID]int
 	onStrength func(b *types.Block, x int)
@@ -25,7 +25,7 @@ func NewDirectTracker(store *blockstore.Store, f int, onStrength func(b *types.B
 	return &DirectTracker{
 		store:      store,
 		f:          f,
-		votes:      make(map[types.BlockID]map[types.ReplicaID]bool),
+		votes:      make(map[types.BlockID]*VoteSet),
 		strength:   make(map[types.BlockID]int),
 		onStrength: onStrength,
 	}
@@ -41,15 +41,14 @@ func (t *DirectTracker) OnQC(qc *types.QC) {
 // AddVote credits one direct vote (from a QC or a relayed ExtraVote) and
 // re-evaluates the 3-chains around the block.
 func (t *DirectTracker) AddVote(block types.BlockID, voter types.ReplicaID) {
-	m, ok := t.votes[block]
+	set, ok := t.votes[block]
 	if !ok {
-		m = make(map[types.ReplicaID]bool)
-		t.votes[block] = m
+		set = &VoteSet{}
+		t.votes[block] = set
 	}
-	if m[voter] {
+	if !set.Mark(voter) {
 		return
 	}
-	m[voter] = true
 	b := t.store.Block(block)
 	if b == nil {
 		return
@@ -65,7 +64,7 @@ func (t *DirectTracker) AddVote(block types.BlockID, voter types.ReplicaID) {
 }
 
 // DirectVotes returns the number of distinct direct votes known for block.
-func (t *DirectTracker) DirectVotes(block types.BlockID) int { return len(t.votes[block]) }
+func (t *DirectTracker) DirectVotes(block types.BlockID) int { return t.votes[block].Count() }
 
 // Strength returns the highest x such that the block is x-strong committed
 // under the direct-vote rule, or -1.

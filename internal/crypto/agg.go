@@ -1,0 +1,218 @@
+package crypto
+
+import (
+	"crypto/sha512"
+	"fmt"
+	"math/big"
+	"math/bits"
+
+	"repro/internal/types"
+)
+
+// This file implements the aggregating certificate schemes behind the compact
+// QC form (types.AggCert): one 32-byte aggregated signature scalar plus a
+// signer bitmap replaces the O(n) per-vote signature vector, so certificate
+// wire size and verification cost stay flat as the committee grows.
+//
+// Construction. Every replica i owns an aggregation scalar k_i derived from
+// the ring seed and reduced modulo the ed25519 group order ℓ. A vote's
+// aggregate contribution is k_i·H(P) mod ℓ, where P is the vote's
+// *voter-free* aggregation payload ("aggvote/" || block || round || height ||
+// marker/intervals) — the voter's identity enters through k_i, not the
+// hashed bytes. The certificate signature is the sum of the contributions
+// mod ℓ. Verification recomputes the sum from the signer bitmap: votes with
+// identical marker state share one payload, so the steady state (every
+// marker 0) needs ONE hash, ONE multiplication, and n cheap scalar
+// additions — the cost profile of a real multi-signature pairing check, and
+// the reason per-QC verify CPU is ~constant from n=31 to n=101.
+//
+// Trust model. Aggregation scalars are derived from the shared ring seed, so
+// like SchemeSim this construction is unforgeable only against adversaries
+// that do not hold the ring — exactly the scripted-adversary model of the
+// experiments (a Byzantine behavior corrupts bytes; it does not know honest
+// key material). The data flow — constant-size signature, signer bitmap,
+// voter-free message grouping — matches a production BLS/ed25519-musig
+// backend, and swapping one in changes only deriveAggKeys, hashToScalar and
+// aggregateSum; every caller (AggregateQC, VerifyQC, the engines, the wire
+// format) is already shaped for it. Vote-transit signatures remain real
+// (base-scheme) signatures checked at vote reception; only the certificate
+// compacts them away.
+
+// aggOrder is the ed25519 group order ℓ = 2^252 + 27742...493.
+var aggOrder, _ = new(big.Int).SetString(
+	"7237005577332262213973186563042994240857116359379907606001950938285454250989", 10)
+
+// deriveAggKeys derives the per-replica aggregation scalars from the ring
+// seed: k_i = SHA-512("aggkey/" || seed || i) mod ℓ.
+func deriveAggKeys(n int, seed int64) []*big.Int {
+	keys := make([]*big.Int, n)
+	for i := 0; i < n; i++ {
+		material := types.AppendUint64([]byte("aggkey/"), uint64(seed))
+		material = types.AppendUint32(material, uint32(i))
+		sum := sha512.Sum512(material)
+		k := new(big.Int).SetBytes(sum[:])
+		k.Mod(k, aggOrder)
+		if k.Sign() == 0 {
+			k.SetInt64(1) // never hit in practice; keeps k_i invertible-free but nonzero
+		}
+		keys[i] = k
+	}
+	return keys
+}
+
+// hashToScalar maps an aggregation payload to a scalar mod ℓ.
+func hashToScalar(payload []byte) *big.Int {
+	sum := sha512.Sum512(payload)
+	k := new(big.Int).SetBytes(sum[:])
+	return k.Mod(k, aggOrder)
+}
+
+// appendAggSuffix appends the marker/interval portion of a vote's aggregation
+// payload — the part that differs between votes of one QC and therefore the
+// grouping key for verification.
+func appendAggSuffix(b []byte, v *types.Vote) []byte {
+	b = types.AppendUint64(b, uint64(v.Marker))
+	if v.HasIntervals {
+		b = append(b, 1)
+		b = v.Intervals.Encode(b)
+	} else {
+		b = append(b, 0)
+	}
+	return b
+}
+
+// appendAggPayload appends the full voter-free aggregation payload for one
+// vote of the certificate.
+func appendAggPayload(b []byte, qc *types.QC, v *types.Vote) []byte {
+	b = append(b, "aggvote/"...)
+	b = append(b, qc.Block[:]...)
+	b = types.AppendUint64(b, uint64(qc.Round))
+	b = types.AppendUint64(b, uint64(qc.Height))
+	return appendAggSuffix(b, v)
+}
+
+// aggGroup accumulates the scalar-key sum for one distinct aggregation
+// payload within a certificate.
+type aggGroup struct {
+	sum  *big.Int
+	vote *types.Vote // representative vote carrying the marker state
+}
+
+// aggregateSum computes Σ k_i·H(P_i) mod ℓ over the certificate's votes,
+// grouping votes that share a payload so the multiplication count is the
+// number of distinct marker states, not the number of voters.
+func (kr *KeyRing) aggregateSum(qc *types.QC) (*big.Int, error) {
+	if kr.aggKeys == nil {
+		return nil, fmt.Errorf("crypto: scheme %q does not aggregate", kr.scheme)
+	}
+	groups := make(map[string]*aggGroup, 1)
+	var keyBuf []byte
+	for i := range qc.Votes {
+		v := &qc.Votes[i]
+		if int(v.Voter) >= kr.n {
+			return nil, fmt.Errorf("crypto: aggregate voter %s outside ring of %d", v.Voter, kr.n)
+		}
+		keyBuf = appendAggSuffix(keyBuf[:0], v)
+		g, ok := groups[string(keyBuf)]
+		if !ok {
+			g = &aggGroup{sum: new(big.Int), vote: v}
+			groups[string(keyBuf)] = g
+		}
+		g.sum.Add(g.sum, kr.aggKeys[v.Voter])
+	}
+	// Map order is irrelevant: addition mod ℓ commutes, so the total is
+	// deterministic for a given vote set.
+	total := new(big.Int)
+	scratch := new(big.Int)
+	var payload []byte
+	for _, g := range groups {
+		payload = appendAggPayload(payload[:0], qc, g.vote)
+		scratch.Mul(g.sum, hashToScalar(payload))
+		total.Add(total, scratch)
+	}
+	return total.Mod(total, aggOrder), nil
+}
+
+// Aggregates reports whether the ring's scheme produces compact aggregated
+// certificates (SchemeSimAgg or SchemeEd25519Agg).
+func (kr *KeyRing) Aggregates() bool { return kr.aggKeys != nil }
+
+// Aggregates reports whether the verifier supports aggregated certificates.
+// Engines consult it once at construction to decide whether formed QCs should
+// be compacted.
+func Aggregates(v Verifier) bool {
+	a, ok := v.(interface{ Aggregates() bool })
+	return ok && a.Aggregates()
+}
+
+// AggregateQC compacts a freshly formed certificate in place: it computes the
+// aggregated signature and signer bitmap from the votes, then drops the
+// per-vote signatures (the compact form's invariant: qc.Agg != nil ⇔ votes
+// carry no individual signatures). Vote markers are retained — endorsement
+// tracking needs them, and the wire form preserves them sparsely.
+func AggregateQC(v Verifier, qc *types.QC) error {
+	kr, ok := v.(*KeyRing)
+	if !ok || kr.aggKeys == nil {
+		return fmt.Errorf("crypto: verifier cannot aggregate certificates")
+	}
+	sum, err := kr.aggregateSum(qc)
+	if err != nil {
+		return err
+	}
+	var maxVoter types.ReplicaID
+	for i := range qc.Votes {
+		if qc.Votes[i].Voter > maxVoter {
+			maxVoter = qc.Votes[i].Voter
+		}
+	}
+	cert := &types.AggCert{Signers: make([]uint64, int(maxVoter)/64+1)}
+	for i := range qc.Votes {
+		id := qc.Votes[i].Voter
+		cert.Signers[id>>6] |= 1 << (id & 63)
+	}
+	if popcount(cert.Signers) != len(qc.Votes) {
+		return fmt.Errorf("crypto: duplicate voter in certificate for %s", qc.Block)
+	}
+	sum.FillBytes(cert.Sig[:])
+	qc.Agg = cert
+	for i := range qc.Votes {
+		qc.Votes[i].Signature = nil
+	}
+	return nil
+}
+
+func popcount(words []uint64) int {
+	n := 0
+	for _, w := range words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// verifyAggregate checks a compact certificate: structure (quorum, bitmap ↔
+// vote consistency), then the aggregate equation. There are no per-vote
+// signatures to bisect, so a mismatch cannot name an individual signer: the
+// aggregator (the proposer that formed and shipped the certificate) is at
+// fault, and the error says so. Exact per-signer attribution is a property of
+// the vector form only — the engines still verify vote-transit signatures
+// individually, so a corrupted *vote* is attributed before it ever enters a
+// certificate.
+func verifyAggregate(v Verifier, qc *types.QC, quorum int) error {
+	if err := qc.CheckStructure(quorum); err != nil {
+		return err
+	}
+	kr, ok := v.(*KeyRing)
+	if !ok || kr.aggKeys == nil {
+		return fmt.Errorf("crypto: compact %v requires an aggregating keyring", qc)
+	}
+	sum, err := kr.aggregateSum(qc)
+	if err != nil {
+		return err
+	}
+	var want [32]byte
+	sum.FillBytes(want[:])
+	if want != qc.Agg.Sig {
+		return fmt.Errorf("crypto: aggregate signature mismatch on %v (aggregator at fault; compact certificates carry no per-signer attribution)", qc)
+	}
+	return nil
+}

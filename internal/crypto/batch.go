@@ -78,6 +78,10 @@ func (b *BatchVerifier) Add(signer types.ReplicaID, payload, sig []byte) {
 	})
 }
 
+// serialBatchThreshold is the batch size below which Verify ignores the
+// requested worker count and runs serially on the calling goroutine.
+const serialBatchThreshold = 8
+
 // Len returns the number of accumulated jobs.
 func (b *BatchVerifier) Len() int { return len(b.items) }
 
@@ -101,6 +105,13 @@ func (b *BatchVerifier) Verify(workers int) bool {
 	}
 	if workers > n {
 		workers = n
+	}
+	if n <= serialBatchThreshold {
+		// Small batches stay on the calling goroutine regardless of the
+		// requested fan-out: the shard bookkeeping and goroutine startup cost
+		// 6-10 allocations per call (see BENCH_PR3) with no verification win
+		// on a handful of items. Guarded by an AllocsPerRun test.
+		workers = 1
 	}
 	if workers == 1 {
 		if !b.valid(0, n) {
@@ -175,8 +186,14 @@ var batchPool = sync.Pool{New: func() any { return new(BatchVerifier) }}
 // BatchVerifyQC is VerifyQC's batch counterpart: structure check, then all
 // vote signatures in one batch pass with up to workers-way concurrency. On
 // failure the error names the first offending vote (exact attribution via
-// bisection) and how many of the batch were invalid.
+// bisection) and how many of the batch were invalid. Compact certificates
+// (qc.Agg != nil) carry no per-vote signatures: the aggregate equation IS the
+// verify kernel, already one pass over the whole certificate, so they bypass
+// the sharded path entirely.
 func BatchVerifyQC(v Verifier, qc *types.QC, quorum, workers int) error {
+	if qc.Agg != nil {
+		return verifyAggregate(v, qc, quorum)
+	}
 	if err := qc.CheckStructure(quorum); err != nil {
 		return err
 	}

@@ -228,6 +228,43 @@ func TestBatchVerifierAddsNoAllocs(t *testing.T) {
 	}
 }
 
+// TestBatchSmallBatchStaysSerialAllocs guards the serial fast path: at or
+// below the small-batch threshold (8 items), Verify must ignore the
+// requested fan-out and stay on the calling goroutine — the shard
+// bookkeeping and goroutine startup cost 6-10 allocations per call (see
+// BENCH_PR3) with no verification win on a handful of items. Matching the
+// serial baseline exactly means the fast path is actually taken: any
+// goroutine fan-out would show up as extra allocations per run.
+func TestBatchSmallBatchStaysSerialAllocs(t *testing.T) {
+	kr, err := crypto.NewKeyRing(9, 1, crypto.SchemeSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	small := buildBatchCase(kr, rng, 8, nil)
+
+	serial := testing.AllocsPerRun(200, func() {
+		for i := range small.signers {
+			if !kr.Verify(small.signers[i], small.payloads[i], small.sigs[i]) {
+				t.Fatal("serial verify failed")
+			}
+		}
+	})
+	bv := crypto.NewBatchVerifier(kr)
+	small.fill(bv)
+	bv.Verify(8) // warm the arena and item slices
+	batch := testing.AllocsPerRun(200, func() {
+		bv.Reset(kr)
+		small.fill(bv)
+		if !bv.Verify(8) { // fan-out requested, serial path required
+			t.Fatal("batch verify failed")
+		}
+	})
+	if batch > serial {
+		t.Fatalf("small batch with workers=8 allocates %.1f/run, serial baseline %.1f/run — serial fast path not taken", batch, serial)
+	}
+}
+
 // BenchmarkVerifyQCBatch compares a cold certificate verification on the
 // serial path against the batch path at several worker counts, for both
 // schemes. On a multi-core host the batch path scales with workers; on a

@@ -9,6 +9,7 @@ import (
 	"crypto/ed25519"
 	"crypto/sha256"
 	"fmt"
+	"math/big"
 
 	"repro/internal/types"
 )
@@ -35,26 +36,33 @@ type KeyRing struct {
 	pubs    []ed25519.PublicKey
 	privs   []ed25519.PrivateKey
 	simSeed [32]byte
+	aggKeys []*big.Int // aggregation scalars (agg schemes only; see agg.go)
 }
 
-// SchemeEd25519 and SchemeSim select the signature implementation.
+// Scheme names select the signature implementation. The two aggregate
+// variants sign and verify individual messages exactly like their base
+// scheme, and additionally compact formed certificates into the constant-size
+// aggregated form (types.AggCert, agg.go).
 const (
-	SchemeEd25519 = "ed25519"
-	SchemeSim     = "sim"
+	SchemeEd25519    = "ed25519"
+	SchemeSim        = "sim"
+	SchemeEd25519Agg = "ed25519-agg"
+	SchemeSimAgg     = "sim-agg"
 )
 
 // NewKeyRing deterministically derives keys for n replicas from seed.
-// scheme is SchemeEd25519 for real signatures or SchemeSim for the fast
-// deterministic scheme.
+// scheme is SchemeEd25519 for real signatures, SchemeSim for the fast
+// deterministic scheme, or one of the -agg variants which add per-replica
+// aggregation scalars for compact certificates.
 func NewKeyRing(n int, seed int64, scheme string) (*KeyRing, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("crypto: keyring size %d", n)
 	}
 	kr := &KeyRing{n: n, scheme: scheme}
 	switch scheme {
-	case SchemeSim:
+	case SchemeSim, SchemeSimAgg:
 		kr.simSeed = sha256.Sum256(types.AppendUint64([]byte("simseed/"), uint64(seed)))
-	case SchemeEd25519:
+	case SchemeEd25519, SchemeEd25519Agg:
 		kr.pubs = make([]ed25519.PublicKey, n)
 		kr.privs = make([]ed25519.PrivateKey, n)
 		for i := 0; i < n; i++ {
@@ -67,6 +75,9 @@ func NewKeyRing(n int, seed int64, scheme string) (*KeyRing, error) {
 		}
 	default:
 		return nil, fmt.Errorf("crypto: unknown scheme %q", scheme)
+	}
+	if scheme == SchemeSimAgg || scheme == SchemeEd25519Agg {
+		kr.aggKeys = deriveAggKeys(n, seed)
 	}
 	return kr, nil
 }
@@ -85,7 +96,7 @@ func (kr *KeyRing) Verify(id types.ReplicaID, msg, sig []byte) bool {
 		return false
 	}
 	switch kr.scheme {
-	case SchemeSim:
+	case SchemeSim, SchemeSimAgg:
 		expect := kr.simSign(id, msg)
 		if len(sig) != len(expect) {
 			return false
@@ -126,7 +137,7 @@ func (s *ringSigner) ID() types.ReplicaID { return s.id }
 
 func (s *ringSigner) Sign(msg []byte) []byte {
 	switch s.ring.scheme {
-	case SchemeSim:
+	case SchemeSim, SchemeSimAgg:
 		// Same derivation as KeyRing.simSign, but through the signer's own
 		// scratch buffer: the only allocation left is the returned signature,
 		// which the caller retains.
@@ -142,8 +153,13 @@ func (s *ringSigner) Sign(msg []byte) []byte {
 
 // VerifyQC checks every signature inside the certificate in addition to its
 // structure: quorum size, distinct voters, votes match the certified block.
-// One scratch buffer is reused for all per-vote signing payloads.
+// One scratch buffer is reused for all per-vote signing payloads. Compact
+// certificates (qc.Agg != nil) are checked with the aggregate equation
+// instead of per-vote signatures.
 func VerifyQC(v Verifier, qc *types.QC, quorum int) error {
+	if qc.Agg != nil {
+		return verifyAggregate(v, qc, quorum)
+	}
 	if err := qc.CheckStructure(quorum); err != nil {
 		return err
 	}

@@ -1,0 +1,135 @@
+package harness_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/crypto"
+	"repro/internal/harness"
+	"repro/internal/types"
+)
+
+// reportKey flattens everything deterministic about a fuzz report — counters
+// and the full failure list — so sweeps run at different worker counts can
+// be compared byte-for-byte (Elapsed is host wall time and excluded).
+func reportKey(r *harness.FuzzReport) string {
+	s := fmt.Sprintf("scen=%d byz=%d part=%d crash=%d events=%d blocks=%d",
+		r.Scenarios, r.ByzantineScenarios, r.PartitionScenarios, r.CrashScenarios,
+		r.TotalEvents, r.TotalBlocks)
+	for _, f := range r.Failures {
+		s += "\n" + f.Spec.String()
+		for _, v := range f.Violations {
+			s += "\n  -> " + v
+		}
+	}
+	return s
+}
+
+// TestRunFuzzParallelMatchesSerial pins the worker-pool refactor: the sweep
+// report must be identical at every worker count, byte for byte.
+func TestRunFuzzParallelMatchesSerial(t *testing.T) {
+	opts := harness.FuzzOptions{Seed: 11, Scenarios: 8, N: 4, Duration: 3 * time.Second}
+
+	opts.Workers = 1
+	serial, err := harness.RunFuzz(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 0} {
+		opts.Workers = workers
+		parallel, err := harness.RunFuzz(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := reportKey(parallel), reportKey(serial); got != want {
+			t.Fatalf("workers=%d report diverged from serial:\n--- serial\n%s\n--- workers=%d\n%s",
+				workers, want, workers, got)
+		}
+	}
+}
+
+// TestFuzzSweepAggregateScheme runs the invariant-checking sweep with the
+// aggregate scheme pinned, so every certificate formed in every scenario —
+// under the full Byzantine/partition/crash mix — is a compact one.
+func TestFuzzSweepAggregateScheme(t *testing.T) {
+	scenarios := 10
+	if testing.Short() {
+		scenarios = 4
+	}
+	report, err := harness.RunFuzz(harness.FuzzOptions{
+		Seed:      3,
+		Scenarios: scenarios,
+		Scheme:    crypto.SchemeSimAgg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fail := range report.Failures {
+		t.Errorf("%s: %v", fail.Spec, fail.Violations)
+	}
+	if report.TotalBlocks == 0 {
+		t.Fatal("aggregate-scheme sweep committed nothing")
+	}
+}
+
+// TestAdversaryVsCompactQCs subjects compact certificates to the byte-level
+// adversaries under real crypto: one replica injects garbage frames, another
+// corrupts signatures, with ed25519-agg certificates on the wire. The honest
+// majority must keep committing and hold every invariant.
+func TestAdversaryVsCompactQCs(t *testing.T) {
+	spec := harness.GenFuzzScenario(5, 0, harness.FuzzOptions{
+		N: 7, Duration: 8 * time.Second, Scheme: crypto.SchemeEd25519Agg,
+	})
+	spec.Crashes = nil
+	spec.Partitions = nil
+	spec.Adversaries = map[types.ReplicaID][]adversary.Spec{
+		1: {{Kind: adversary.Garbage, Every: 2}},
+		3: {{Kind: adversary.CorruptSigs, Every: 1}},
+	}
+	res, violations, err := harness.RunFuzzScenario(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) > 0 {
+		t.Fatalf("invariants violated under garbage/corrupt-sigs with compact QCs: %v", violations)
+	}
+	if res.CommittedBlocks < 3 {
+		t.Fatalf("honest majority stalled: %d blocks committed", res.CommittedBlocks)
+	}
+}
+
+// TestCompactCertificatesExperiment smoke-runs the compactcert experiment
+// driver at reduced scale and asserts the headline property directly: QC
+// wire bytes flat (modulo bitmap words) and verify CPU not scaling with n.
+func TestCompactCertificatesExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-crypto simulation sweep")
+	}
+	points, err := harness.CompactCertificates(
+		harness.Scale{Duration: 10 * time.Second, Seed: 1},
+		[]int{31, 103}, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, large := points[0], points[1]
+	if small.CompactQCBytes >= small.VectorQCBytes {
+		t.Fatalf("compact form (%dB) not smaller than vector form (%dB)",
+			small.CompactQCBytes, small.VectorQCBytes)
+	}
+	growth := large.CompactQCBytes - small.CompactQCBytes
+	if allowed := 8 * ((large.N+63)/64 - (small.N+63)/64); growth > allowed {
+		t.Fatalf("compact QC grew %d bytes from n=%d to n=%d (allowed %d)",
+			growth, small.N, large.N, allowed)
+	}
+	for _, p := range points {
+		if p.Sim.CommittedBlocks < 3 {
+			t.Fatalf("n=%d aggregate-scheme simulation stalled: %d blocks", p.N, p.Sim.CommittedBlocks)
+		}
+		if p.Sim.RegularLatency.P99 < p.Sim.RegularLatency.P50 {
+			t.Fatalf("n=%d latency distribution inverted: p99 %.3f < p50 %.3f",
+				p.N, p.Sim.RegularLatency.P99, p.Sim.RegularLatency.P50)
+		}
+	}
+}

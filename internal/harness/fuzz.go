@@ -3,8 +3,10 @@ package harness
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/adversary"
@@ -49,6 +51,16 @@ type FuzzOptions struct {
 	// counting of Appendix C — the weakened-rule canary that the checkers
 	// must catch.
 	Naive bool
+	// Scheme fixes the signature scheme for every scenario ("" = the
+	// generator's default, crypto.SchemeSim). The aggregate schemes exercise
+	// compact certificates under the full adversary mix.
+	Scheme string
+	// Workers bounds the number of scenarios run concurrently: 1 runs the
+	// sweep on the calling goroutine exactly as before, 0 selects
+	// GOMAXPROCS. Each (Seed, Index) replay is an independent deterministic
+	// simulation and results merge in index order, so the report is
+	// identical at any worker count.
+	Workers int
 }
 
 func (o FuzzOptions) withDefaults() FuzzOptions {
@@ -77,6 +89,7 @@ type FuzzScenario struct {
 	Delta        time.Duration // Streamlet only
 	Verify       bool
 	Naive        bool
+	Scheme       string // "" = crypto.SchemeSim
 
 	// Network model (uniform latency keeps specs compact).
 	LatencyBase, LatencyJitter time.Duration
@@ -120,6 +133,7 @@ func GenFuzzScenario(seed int64, index int, opts FuzzOptions) FuzzScenario {
 		LatencyBase:   5 * time.Millisecond,
 		LatencyJitter: 2 * time.Millisecond,
 		Naive:         opts.Naive,
+		Scheme:        opts.Scheme,
 	}
 	if rng.Float64() < 0.6 {
 		s.Protocol = ProtoDiemBFT
@@ -267,6 +281,7 @@ func (s FuzzScenario) Scenario() *Scenario {
 		SFT:              true,
 		VoteMode:         s.VoteMode,
 		VerifySignatures: s.Verify,
+		Scheme:           s.Scheme,
 
 		NaiveEndorsements: s.Naive,
 		Adversaries:       s.Adversaries,
@@ -288,6 +303,9 @@ func (s FuzzScenario) String() string {
 	}
 	fmt.Fprintf(&b, "scenario %d (subseed %d): %s n=%d f=%d dur=%v verify=%v",
 		s.Index, s.SubSeed, proto, s.N, s.F, s.Duration, s.Verify)
+	if s.Scheme != "" {
+		fmt.Fprintf(&b, " scheme=%s", s.Scheme)
+	}
 	if s.Protocol == ProtoDiemBFT && s.VoteMode == diembft.VoteIntervals {
 		b.WriteString(" votes=intervals")
 	}
@@ -518,32 +536,96 @@ type FuzzReport struct {
 	Elapsed     time.Duration
 }
 
+// fuzzOutcome is the per-index result of one scenario, small enough to hold
+// for the whole sweep so concurrent runs can be merged in index order.
+type fuzzOutcome struct {
+	spec       FuzzScenario
+	events     int64
+	blocks     int
+	violations []string
+	err        error
+}
+
+func runFuzzIndex(opts FuzzOptions, i int) fuzzOutcome {
+	spec := GenFuzzScenario(opts.Seed, i, opts)
+	res, violations, err := RunFuzzScenario(spec)
+	if err != nil {
+		return fuzzOutcome{spec: spec, err: fmt.Errorf("fuzz scenario %d: %w", i, err)}
+	}
+	return fuzzOutcome{spec: spec, events: res.Events, blocks: res.CommittedBlocks, violations: violations}
+}
+
 // RunFuzz executes the sweep: Scenarios generated scenarios, each run and
 // invariant-checked. The returned report carries every violating spec; a
 // violation is reproduced by re-running its (Seed, Index) pair.
+//
+// Scenarios are independent deterministic simulations keyed by (Seed, Index),
+// so with Options.Workers > 1 they run on a worker pool and are merged back
+// in ascending index order — the report is identical at every worker count,
+// and Workers == 1 runs the sweep on the calling goroutine exactly as the
+// serial implementation did.
 func RunFuzz(opts FuzzOptions) (*FuzzReport, error) {
 	opts = opts.withDefaults()
 	report := &FuzzReport{Options: opts, Scenarios: opts.Scenarios}
 	start := time.Now()
-	for i := 0; i < opts.Scenarios; i++ {
-		spec := GenFuzzScenario(opts.Seed, i, opts)
-		res, violations, err := RunFuzzScenario(spec)
-		if err != nil {
-			return nil, fmt.Errorf("fuzz scenario %d: %w", i, err)
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > opts.Scenarios {
+		workers = opts.Scenarios
+	}
+
+	outcomes := make([]fuzzOutcome, opts.Scenarios)
+	if workers <= 1 {
+		for i := 0; i < opts.Scenarios; i++ {
+			outcomes[i] = runFuzzIndex(opts, i)
+			if outcomes[i].err != nil {
+				// Match the serial contract: stop at the first failing
+				// scenario rather than finishing the sweep.
+				return nil, outcomes[i].err
+			}
 		}
-		if len(spec.Adversaries) > 0 {
+	} else {
+		indices := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range indices {
+					outcomes[i] = runFuzzIndex(opts, i)
+				}
+			}()
+		}
+		for i := 0; i < opts.Scenarios; i++ {
+			indices <- i
+		}
+		close(indices)
+		wg.Wait()
+	}
+
+	// Merge strictly in index order so the report — counters, failure list,
+	// everything except Elapsed — is independent of scheduling.
+	for i := range outcomes {
+		o := &outcomes[i]
+		if o.err != nil {
+			return nil, o.err
+		}
+		if len(o.spec.Adversaries) > 0 {
 			report.ByzantineScenarios++
 		}
-		if len(spec.Partitions) > 0 {
+		if len(o.spec.Partitions) > 0 {
 			report.PartitionScenarios++
 		}
-		if len(spec.Crashes) > 0 {
+		if len(o.spec.Crashes) > 0 {
 			report.CrashScenarios++
 		}
-		report.TotalEvents += res.Events
-		report.TotalBlocks += res.CommittedBlocks
-		if len(violations) > 0 {
-			report.Failures = append(report.Failures, FuzzFailure{Spec: spec, Violations: violations})
+		report.TotalEvents += o.events
+		report.TotalBlocks += o.blocks
+		if len(o.violations) > 0 {
+			report.Failures = append(report.Failures, FuzzFailure{Spec: o.spec, Violations: o.violations})
 		}
 	}
 	report.Elapsed = time.Since(start)

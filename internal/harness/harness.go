@@ -70,7 +70,9 @@ type Scenario struct {
 
 	VerifySignatures bool
 	// Scheme selects the signature implementation: crypto.SchemeSim (the
-	// default, fast and deterministic) or crypto.SchemeEd25519 for real
+	// default, fast and deterministic), crypto.SchemeSimAgg /
+	// crypto.SchemeEd25519Agg for the compact aggregated-certificate
+	// variants (ed25519-agg implies verification), or crypto.SchemeEd25519 for real
 	// crypto. An ed25519 scenario implies VerifySignatures — running real
 	// signatures without checking them measures nothing.
 	Scheme string
@@ -260,7 +262,7 @@ func (s *Scenario) withDefaults() *Scenario {
 	if c.Scheme == "" {
 		c.Scheme = crypto.SchemeSim
 	}
-	if c.Scheme == crypto.SchemeEd25519 {
+	if c.Scheme == crypto.SchemeEd25519 || c.Scheme == crypto.SchemeEd25519Agg {
 		c.VerifySignatures = true
 	}
 	return &c

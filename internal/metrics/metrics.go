@@ -111,11 +111,14 @@ func (s *Series) sort() {
 	}
 }
 
-// Summary is an immutable snapshot of a series.
+// Summary is an immutable snapshot of a series. It carries the latency
+// distribution (p50/p95/p99), not just the mean — tail behavior is what the
+// paper's extra-wait and commit-strength trade-offs move, and a mean alone
+// hides it.
 type Summary struct {
-	Count          int
-	Mean, P50, P95 float64
-	Min, Max       float64
+	Count               int
+	Mean, P50, P95, P99 float64
+	Min, Max            float64
 }
 
 // Summarize snapshots the series.
@@ -128,6 +131,7 @@ func (s *Series) Summarize() Summary {
 		Mean:  s.Mean(),
 		P50:   s.Percentile(50),
 		P95:   s.Percentile(95),
+		P99:   s.Percentile(99),
 		Min:   s.Min(),
 		Max:   s.Max(),
 	}
@@ -138,6 +142,6 @@ func (s Summary) String() string {
 	if s.Count == 0 {
 		return "n=0"
 	}
-	return fmt.Sprintf("n=%d mean=%.3f p50=%.3f p95=%.3f min=%.3f max=%.3f",
-		s.Count, s.Mean, s.P50, s.P95, s.Min, s.Max)
+	return fmt.Sprintf("n=%d mean=%.3f p50=%.3f p95=%.3f p99=%.3f min=%.3f max=%.3f",
+		s.Count, s.Mean, s.P50, s.P95, s.P99, s.Min, s.Max)
 }

@@ -83,7 +83,7 @@ func TestSummarize(t *testing.T) {
 		s.Add(float64(i))
 	}
 	sum := s.Summarize()
-	if sum.Count != 100 || sum.Mean != 50.5 || sum.P50 != 50 || sum.P95 != 95 || sum.Min != 1 || sum.Max != 100 {
+	if sum.Count != 100 || sum.Mean != 50.5 || sum.P50 != 50 || sum.P95 != 95 || sum.P99 != 99 || sum.Min != 1 || sum.Max != 100 {
 		t.Fatalf("summary: %+v", sum)
 	}
 	if sum.String() == "" {

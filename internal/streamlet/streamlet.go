@@ -7,7 +7,6 @@ package streamlet
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"repro/internal/blockstore"
@@ -60,11 +59,6 @@ type Config struct {
 
 func (c *Config) quorum() int { return 2*c.F + 1 }
 
-type voteKey struct {
-	block types.BlockID
-	voter types.ReplicaID
-}
-
 // Replica is one Streamlet (optionally SFT-Streamlet) replica engine.
 type Replica struct {
 	cfg     Config
@@ -75,12 +69,19 @@ type Replica struct {
 	round      types.Round
 	votedRound map[types.Round]bool
 
-	votes    map[types.BlockID]map[types.ReplicaID]types.Vote
+	// votes is the per-block vote collection; its bitmap doubles as the
+	// (block, voter) dedup the engine previously kept in a separate
+	// map[voteKey]bool — Mark records a voter as seen without retaining a
+	// vote (journal replay), Add does both.
+	votes    map[types.BlockID]*core.VoteSet
 	orphans  map[types.BlockID][]*types.Proposal
 	maxCertH types.Height // height of the longest certified chain
 
 	seenProp map[types.BlockID]bool
-	seenVote map[voteKey]bool
+
+	// aggregate marks that the verifier's scheme compacts formed QCs into
+	// the aggregated-signature form (crypto.AggregateQC).
+	aggregate bool
 
 	lastCommitted types.BlockID
 	committedH    types.Height
@@ -125,10 +126,10 @@ func New(cfg Config) (*Replica, error) {
 		store:      blockstore.New(),
 		round:      1,
 		votedRound: make(map[types.Round]bool),
-		votes:      make(map[types.BlockID]map[types.ReplicaID]types.Vote),
+		votes:      make(map[types.BlockID]*core.VoteSet),
 		orphans:    make(map[types.BlockID][]*types.Proposal),
 		seenProp:   make(map[types.BlockID]bool),
-		seenVote:   make(map[voteKey]bool),
+		aggregate:  crypto.Aggregates(cfg.Verifier),
 	}
 	r.journal = cfg.Journal
 	if cfg.VerifySignatures {
@@ -200,7 +201,15 @@ func (r *Replica) Restore(rec *core.Recovery) error {
 		v := &rec.Votes[i]
 		voted = append(voted, core.VotedBlock{ID: v.Block, Round: v.Round, Height: v.Height})
 		r.votedRound[v.Round] = true
-		r.seenVote[voteKey{block: v.Block, voter: v.Voter}] = true
+		// Mark, not Add: the replayed own vote is deduplicated when its echo
+		// arrives but never re-counted toward a fresh certificate, exactly the
+		// pre-crash semantics.
+		set := r.votes[v.Block]
+		if set == nil {
+			set = &core.VoteSet{}
+			r.votes[v.Block] = set
+		}
+		set.Mark(v.Voter)
 	}
 	r.history.Restore(voted)
 	if rec.CommittedHeight > 0 {
@@ -574,21 +583,19 @@ func (r *Replica) maybeVote(b *types.Block) {
 // --- votes and certification ---
 
 func (r *Replica) onVote(now time.Duration, v types.Vote) {
-	k := voteKey{block: v.Block, voter: v.Voter}
-	if r.seenVote[k] {
+	if r.votes[v.Block].Has(v.Voter) {
 		return
 	}
 	if r.checkSigs() && crypto.VerifyVote(r.cfg.Verifier, v) != nil {
 		return
 	}
-	r.seenVote[k] = true
-	r.echo(&types.VoteMsg{Vote: v})
-	m, ok := r.votes[v.Block]
+	set, ok := r.votes[v.Block]
 	if !ok {
-		m = make(map[types.ReplicaID]types.Vote, r.cfg.quorum())
-		r.votes[v.Block] = m
+		set = &core.VoteSet{}
+		r.votes[v.Block] = set
 	}
-	m[v.Voter] = v
+	set.Add(v)
+	r.echo(&types.VoteMsg{Vote: v})
 	if b := r.store.Block(v.Block); b != nil {
 		r.tryCertify(b)
 	}
@@ -597,15 +604,19 @@ func (r *Replica) onVote(now time.Duration, v types.Vote) {
 func (r *Replica) tryCertify(b *types.Block) {
 	id := b.ID()
 	collected := r.votes[id]
-	if len(collected) < r.cfg.quorum() || r.store.IsCertified(id) {
+	if collected.Len() < r.cfg.quorum() || r.store.IsCertified(id) {
 		return
 	}
-	votes := make([]types.Vote, 0, len(collected))
-	for _, v := range collected {
-		votes = append(votes, v)
-	}
-	sort.Slice(votes, func(i, j int) bool { return votes[i].Voter < votes[j].Voter })
+	// Ascending voter order keeps QC hashes byte-identical to the map-based
+	// collection this replaced.
+	votes := collected.Sorted()
 	qc := &types.QC{Block: id, Round: b.Round, Height: b.Height, Votes: votes}
+	if r.aggregate {
+		// Compact before registering: stored, journaled and echoed forms are
+		// all the aggregated one. An aggregation error (unreachable with a
+		// well-formed ring) leaves the still-valid vector form in place.
+		_ = crypto.AggregateQC(r.cfg.Verifier, qc)
+	}
 	_, improved, err := r.store.RegisterQC(qc)
 	if err != nil {
 		return

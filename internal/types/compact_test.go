@@ -1,0 +1,232 @@
+package types_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"strings"
+	"testing"
+
+	"repro/internal/intervals"
+	"repro/internal/types"
+)
+
+// mkCompactQC hand-builds a structurally valid compact certificate over the
+// given voters. The aggregate signature bytes are arbitrary — these tests pin
+// the wire format, not the crypto (internal/crypto/agg_test.go does that).
+func mkCompactQC(voters ...types.ReplicaID) *types.QC {
+	var id types.BlockID
+	id[0] = 0xAB
+	q := &types.QC{Block: id, Round: 7, Height: 6}
+	agg := &types.AggCert{}
+	for i := range agg.Sig {
+		agg.Sig[i] = byte(i + 1)
+	}
+	words := 1
+	for _, v := range voters {
+		q.Votes = append(q.Votes, types.Vote{Block: id, Round: 7, Height: 6, Voter: v})
+		if w := int(v)/64 + 1; w > words {
+			words = w
+		}
+	}
+	agg.Signers = make([]uint64, words)
+	for _, v := range voters {
+		agg.Signers[v>>6] |= 1 << (v & 63)
+	}
+	q.Agg = agg
+	return q
+}
+
+// Offsets into the compact encoding: 48-byte header (block, round, height),
+// 4-byte sentinel, then word count / bitmap / sparse table / signature.
+const (
+	compactWordsOff  = 48 + 4
+	compactBitmapOff = compactWordsOff + 4
+)
+
+func TestCompactQCEncodeDecodeRoundTrip(t *testing.T) {
+	q := mkCompactQC(1, 5, 64)
+	q.Votes[1].Marker = 9
+	q.Votes[2].HasIntervals = true
+	q.Votes[2].Intervals = intervals.New(intervals.Interval{Lo: 3, Hi: 9})
+
+	enc := q.Encode(nil)
+	dec, rest, err := types.DecodeQC(enc)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("decode: %v (%d trailing)", err, len(rest))
+	}
+	if dec.Agg == nil {
+		t.Fatal("compact form decoded without Agg")
+	}
+	if dec.Agg.Sig != q.Agg.Sig {
+		t.Fatal("aggregate signature did not round-trip")
+	}
+	if len(dec.Votes) != 3 {
+		t.Fatalf("materialized %d votes, want 3", len(dec.Votes))
+	}
+	for i, want := range []types.ReplicaID{1, 5, 64} {
+		v := dec.Votes[i]
+		if v.Voter != want {
+			t.Fatalf("vote %d voter = %v, want %v (ascending order)", i, v.Voter, want)
+		}
+		if v.Block != q.Block || v.Round != q.Round || v.Height != q.Height {
+			t.Fatalf("vote %d header fields not inherited from the QC", i)
+		}
+		if v.Signature != nil {
+			t.Fatalf("vote %d materialized with a signature", i)
+		}
+	}
+	if dec.Votes[0].Marker != 0 || dec.Votes[1].Marker != 9 {
+		t.Fatalf("markers did not round-trip: %d, %d", dec.Votes[0].Marker, dec.Votes[1].Marker)
+	}
+	if !dec.Votes[2].HasIntervals || !dec.Votes[2].Intervals.Contains(5) {
+		t.Fatal("interval set did not round-trip")
+	}
+	if err := dec.CheckStructure(3); err != nil {
+		t.Fatalf("decoded compact QC fails structure check: %v", err)
+	}
+	if e2 := dec.Encode(nil); !bytes.Equal(enc, e2) {
+		t.Fatalf("re-encode differs:\n e1: %x\n e2: %x", enc, e2)
+	}
+	if got := q.Size(); got != len(enc) {
+		t.Fatalf("Size() = %d, encoded %d bytes", got, len(enc))
+	}
+}
+
+// TestCompactQCGobRoundTrip pins that the gob path (the TCP transport's
+// codec) ships the versioned wire encoding for both certificate forms.
+func TestCompactQCGobRoundTrip(t *testing.T) {
+	for name, q := range map[string]*types.QC{
+		"compact": mkCompactQC(0, 1, 2),
+		"vector":  seedQC(),
+		"genesis": types.NewGenesisQC(types.BlockID{}),
+	} {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(q); err != nil {
+			t.Fatalf("%s: gob encode: %v", name, err)
+		}
+		var dec types.QC
+		if err := gob.NewDecoder(&buf).Decode(&dec); err != nil {
+			t.Fatalf("%s: gob decode: %v", name, err)
+		}
+		if !bytes.Equal(q.Encode(nil), dec.Encode(nil)) {
+			t.Fatalf("%s: gob round-trip changed the canonical encoding", name)
+		}
+	}
+}
+
+// TestCompactQCSizeFlat is the hard-failing size guard behind the O(1)
+// certificate claim (`make bench-guard` runs it): a steady-state compact QC
+// must encode to the same byte count at n=31 and n=103 except for the one
+// extra bitmap word a >64-replica committee needs. If a per-signer field
+// ever leaks back into the compact encoding, this fails.
+func TestCompactQCSizeFlat(t *testing.T) {
+	size := func(n int) int {
+		f := (n - 1) / 3
+		voters := make([]types.ReplicaID, 2*f+1)
+		for i := range voters {
+			voters[i] = types.ReplicaID(i)
+		}
+		q := mkCompactQC(voters...)
+		enc := q.Encode(nil)
+		if got := q.Size(); got != len(enc) {
+			t.Fatalf("n=%d: Size() = %d, encoded %d bytes", n, got, len(enc))
+		}
+		return len(enc)
+	}
+	small, large := size(31), size(103)
+	if small != 100 {
+		t.Errorf("compact QC at n=31 encodes to %d bytes, want 100", small)
+	}
+	if large != 108 {
+		t.Errorf("compact QC at n=103 encodes to %d bytes, want 108", large)
+	}
+	// One u64 bitmap word per 64 replicas is the only growth allowed.
+	if allowed := 8 * ((103+63)/64 - (31+63)/64); large-small > allowed {
+		t.Fatalf("compact QC grew %d bytes from n=31 to n=103 (allowed %d) — not O(1)", large-small, allowed)
+	}
+}
+
+func TestCompactQCDecodeRejects(t *testing.T) {
+	base := mkCompactQC(0, 1, 2)
+	base.Votes[1].Marker = 4
+	base.Votes[2].Marker = 5
+	enc := base.Encode(nil)
+	if _, rest, err := types.DecodeQC(enc); err != nil || len(rest) != 0 {
+		t.Fatalf("baseline does not decode: %v", err)
+	}
+	// Sparse table layout for this QC: one bitmap word, so the sparse count
+	// sits right after it and entries are (voter u32, marker u64, flag u8).
+	sparseOff := compactBitmapOff + 8
+	entryOff := sparseOff + 4
+	secondVoterOff := entryOff + 13
+
+	mutate := func(name string, f func(b []byte) []byte) {
+		b := f(append([]byte(nil), enc...))
+		if _, _, err := types.DecodeQC(b); err == nil {
+			t.Errorf("%s: decoder accepted corrupt compact QC", name)
+		}
+	}
+	mutate("zero bitmap words", func(b []byte) []byte {
+		binary.BigEndian.PutUint32(b[compactWordsOff:], 0)
+		return b
+	})
+	mutate("word count above MaxAggWords", func(b []byte) []byte {
+		binary.BigEndian.PutUint32(b[compactWordsOff:], types.MaxAggWords+1)
+		return b
+	})
+	mutate("empty bitmap", func(b []byte) []byte {
+		binary.BigEndian.PutUint64(b[compactBitmapOff:], 0)
+		return b
+	})
+	mutate("sparse count above popcount", func(b []byte) []byte {
+		binary.BigEndian.PutUint32(b[sparseOff:], 4)
+		return b
+	})
+	mutate("duplicate sparse voter", func(b []byte) []byte {
+		binary.BigEndian.PutUint32(b[secondVoterOff:], 1) // repeats the first entry's voter
+		return b
+	})
+	mutate("sparse voter with unset bit", func(b []byte) []byte {
+		binary.BigEndian.PutUint32(b[secondVoterOff:], 9)
+		return b
+	})
+	mutate("truncated aggregate signature", func(b []byte) []byte {
+		return b[:len(b)-1]
+	})
+}
+
+// TestCompactQCStructureChecks covers the bitmap ↔ votes consistency rules
+// CheckStructure enforces on in-memory compact certificates.
+func TestCompactQCStructureChecks(t *testing.T) {
+	if err := mkCompactQC(0, 1, 2).CheckStructure(3); err != nil {
+		t.Fatalf("valid compact QC rejected: %v", err)
+	}
+
+	// Sub-quorum popcount: 3 signers can never satisfy quorum 4.
+	if err := mkCompactQC(0, 1, 2).CheckStructure(4); err == nil || !strings.Contains(err.Error(), "quorum") {
+		t.Errorf("sub-quorum compact QC passed: %v", err)
+	}
+
+	// Extra bit with no matching vote: popcount disagrees with the vote set.
+	q := mkCompactQC(0, 1, 2)
+	q.Agg.Signers[0] |= 1 << 10
+	if err := q.CheckStructure(3); err == nil {
+		t.Error("bitmap/vote count mismatch passed")
+	}
+
+	// A vote whose bit is missing from the bitmap.
+	q = mkCompactQC(0, 1, 2)
+	q.Agg.Signers[0] &^= 1 << 2 // clear voter 2's bit...
+	q.Agg.Signers[0] |= 1 << 9  // ...keep popcount intact
+	if err := q.CheckStructure(3); err == nil {
+		t.Error("vote missing from bitmap passed")
+	}
+
+	// Oversized bitmap.
+	q = mkCompactQC(0, 1, 2)
+	q.Agg.Signers = append(q.Agg.Signers, make([]uint64, types.MaxAggWords)...)
+	if err := q.CheckStructure(3); err == nil {
+		t.Error("bitmap above MaxAggWords passed")
+	}
+}

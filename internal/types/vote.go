@@ -3,6 +3,7 @@ package types
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 
 	"repro/internal/intervals"
 )
@@ -95,14 +96,58 @@ func (v Vote) String() string {
 	return fmt.Sprintf("vote{%s r%d by %s m=%d}", v.Block, v.Round, v.Voter, v.Marker)
 }
 
+// AggCert is the compact certificate form: one aggregated 32-byte signature
+// plus a signer bitmap replaces the per-vote signature vector, making the
+// certificate constant-size in the committee (the bitmap grows one u64 per
+// 64 replicas). See internal/crypto/agg.go for the aggregation scheme and
+// the package doc for the wire layout.
+type AggCert struct {
+	// Sig is the aggregated signature scalar, big-endian.
+	Sig [32]byte
+	// Signers is the voter bitmap: bit i of word i/64 set means replica i's
+	// vote is aggregated into Sig.
+	Signers []uint64
+}
+
+// MaxAggWords bounds the signer bitmap at 16 words (1024 replicas), matching
+// CheckStructure's stack bitset; decoders reject anything larger before
+// allocating.
+const MaxAggWords = 16
+
+// Has reports whether replica id's bit is set in the signer bitmap.
+func (a *AggCert) Has(id ReplicaID) bool {
+	w := int(id) >> 6
+	return w < len(a.Signers) && a.Signers[w]&(1<<(id&63)) != 0
+}
+
+// Count returns the number of set bits (aggregated voters).
+func (a *AggCert) Count() int {
+	n := 0
+	for _, w := range a.Signers {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
 // QC is a quorum certificate: 2f+1 distinct signed strong-votes for one
 // block. With SFT enabled it is the paper's strong-QC; the embedded votes
 // keep their markers so that every replica can recompute endorsements.
+//
+// A QC exists in one of two forms. The vector form (Agg == nil) carries the
+// full signed votes. The compact form (Agg != nil) carries the aggregated
+// signature and signer bitmap instead; Votes is still populated — decoders
+// materialize one vote per bitmap bit, markers restored from the sparse
+// override table — but the per-vote Signature fields are nil. Everything
+// downstream of verification (endorsement tracking, orphan-QC ranking,
+// journal replay) reads Votes and works identically on both forms.
 type QC struct {
 	Block  BlockID
 	Round  Round
 	Height Height
 	Votes  []Vote
+
+	// Agg, when non-nil, marks the compact form.
+	Agg *AggCert
 }
 
 // NewGenesisQC builds the conventional round-0 certificate for the genesis
@@ -123,9 +168,24 @@ func (q *QC) RanksHigher(other *QC) bool {
 // CheckStructure validates everything about the QC that does not require
 // cryptography: at least quorum votes, all for the same block and round,
 // from distinct voters. Genesis QCs (round 0, no votes) pass by convention.
+// Compact QCs additionally require the signer bitmap to agree exactly with
+// the materialized vote set.
 func (q *QC) CheckStructure(quorum int) error {
-	if q.Round == 0 && len(q.Votes) == 0 {
+	if q.Round == 0 && len(q.Votes) == 0 && q.Agg == nil {
 		return nil
+	}
+	if a := q.Agg; a != nil {
+		if len(a.Signers) > MaxAggWords {
+			return fmt.Errorf("qc for %s r%d: %d bitmap words exceeds %d", q.Block, q.Round, len(a.Signers), MaxAggWords)
+		}
+		if a.Count() != len(q.Votes) {
+			return fmt.Errorf("qc for %s r%d: bitmap has %d signers, %d votes", q.Block, q.Round, a.Count(), len(q.Votes))
+		}
+		for i := range q.Votes {
+			if !a.Has(q.Votes[i].Voter) {
+				return fmt.Errorf("qc for %s r%d: voter %s missing from signer bitmap", q.Block, q.Round, q.Votes[i].Voter)
+			}
+		}
 	}
 	if len(q.Votes) < quorum {
 		return fmt.Errorf("qc for %s r%d: %d votes < quorum %d", q.Block, q.Round, len(q.Votes), quorum)
@@ -168,22 +228,80 @@ func (q *QC) Voters() []ReplicaID {
 	return out
 }
 
-// Size returns the modeled wire size of the QC in bytes.
+// Size returns the modeled wire size of the QC in bytes. The compact form
+// counts its actual encoding (header, bitmap, sparse marker overrides,
+// aggregated signature) — constant in the committee size apart from one
+// bitmap word per 64 replicas.
 func (q *QC) Size() int {
 	n := 32 + 8 + 8 + 4
+	if q.Agg != nil {
+		n += 4 + 8*len(q.Agg.Signers) + 4 + len(q.Agg.Sig)
+		for i := range q.Votes {
+			v := &q.Votes[i]
+			if v.Marker == 0 && !v.HasIntervals {
+				continue
+			}
+			n += 4 + 8 + 1
+			if v.HasIntervals {
+				n += 4 + 16*v.Intervals.Len()
+			}
+		}
+		return n
+	}
 	for _, v := range q.Votes {
 		n += v.Size()
 	}
 	return n
 }
 
+// aggSentinel marks the compact encoding in the vote-count slot. It can
+// never collide with a legacy vote count: DecodeQC bounds real counts by
+// input length / minVoteFrame, which 0xFFFFFFFF always exceeds.
+const aggSentinel = 0xFFFFFFFF
+
 // Encode appends a deterministic encoding of the QC, used when hashing the
 // block that carries it. Per-vote payloads are appended in place (length
 // prefix backfilled) so encoding a QC performs no per-vote allocations.
+//
+// Versioning: both forms share the header (block, round, height). The vector
+// form follows with the vote count and the per-vote payload+signature
+// frames. The compact form writes aggSentinel in the count slot, then the
+// signer bitmap (word count + words), a sparse override table carrying only
+// the votes whose marker state is non-default (voter, marker, interval
+// flag/set), and the 32-byte aggregated signature. Steady state — every
+// marker 0 — the override table is empty and the encoding is constant-size
+// plus one bitmap word per 64 replicas.
 func (q *QC) Encode(b []byte) []byte {
 	b = append(b, q.Block[:]...)
 	b = AppendUint64(b, uint64(q.Round))
 	b = AppendUint64(b, uint64(q.Height))
+	if a := q.Agg; a != nil {
+		b = AppendUint32(b, aggSentinel)
+		b = AppendUint32(b, uint32(len(a.Signers)))
+		for _, w := range a.Signers {
+			b = AppendUint64(b, w)
+		}
+		mark := len(b)
+		b = append(b, 0, 0, 0, 0) // sparse count, backfilled below
+		sparse := 0
+		for i := range q.Votes {
+			v := &q.Votes[i]
+			if v.Marker == 0 && !v.HasIntervals {
+				continue
+			}
+			sparse++
+			b = AppendUint32(b, uint32(v.Voter))
+			b = AppendUint64(b, uint64(v.Marker))
+			if v.HasIntervals {
+				b = append(b, 1)
+				b = v.Intervals.Encode(b)
+			} else {
+				b = append(b, 0)
+			}
+		}
+		binary.BigEndian.PutUint32(b[mark:], uint32(sparse))
+		return append(b, a.Sig[:]...)
+	}
 	b = AppendUint32(b, uint32(len(q.Votes)))
 	for i := range q.Votes {
 		v := &q.Votes[i]

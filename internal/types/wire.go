@@ -2,6 +2,7 @@ package types
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/intervals"
 )
@@ -132,6 +133,13 @@ func DecodeQC(b []byte) (*QC, []byte, error) {
 		return nil, nil, err
 	}
 	q.Round, q.Height = Round(r), Height(h)
+	if n == aggSentinel {
+		b, err = decodeCompactQC(q, b)
+		if err != nil {
+			return nil, nil, err
+		}
+		return q, b, nil
+	}
 	if n > 0 {
 		// A vote frame is at least its 4-byte length prefix, the 66-byte
 		// minimal signing payload, and a 4-byte empty-signature prefix.
@@ -167,6 +175,119 @@ func DecodeQC(b []byte) (*QC, []byte, error) {
 		b = rest
 	}
 	return q, b, nil
+}
+
+// decodeCompactQC parses the compact certificate body (everything after the
+// aggSentinel vote-count slot): signer bitmap, sparse marker overrides,
+// aggregated signature. It materializes one vote per bitmap bit, ascending
+// by voter, so every consumer of qc.Votes (endorsement tracking, quorum
+// comparisons, journal replay) sees the same view as the vector form — minus
+// the per-vote signatures, which the compact form does not carry.
+func decodeCompactQC(q *QC, b []byte) ([]byte, error) {
+	words, b, err := ConsumeUint32(b)
+	if err != nil {
+		return nil, err
+	}
+	if words < 1 || words > MaxAggWords {
+		return nil, fmt.Errorf("types: compact qc bitmap of %d words (max %d)", words, MaxAggWords)
+	}
+	a := &AggCert{Signers: make([]uint64, words)}
+	for i := range a.Signers {
+		a.Signers[i], b, err = ConsumeUint64(b)
+		if err != nil {
+			return nil, err
+		}
+	}
+	voters := a.Count()
+	if voters == 0 {
+		return nil, fmt.Errorf("types: compact qc with empty signer bitmap")
+	}
+	q.Agg = a
+	q.Votes = make([]Vote, 0, voters)
+	for w, word := range a.Signers {
+		for word != 0 {
+			bit := bits.TrailingZeros64(word)
+			word &^= 1 << bit
+			q.Votes = append(q.Votes, Vote{
+				Block:  q.Block,
+				Round:  q.Round,
+				Height: q.Height,
+				Voter:  ReplicaID(w*64 + bit),
+			})
+		}
+	}
+	sparse, b, err := ConsumeUint32(b)
+	if err != nil {
+		return nil, err
+	}
+	if int(sparse) > voters {
+		return nil, fmt.Errorf("types: compact qc with %d overrides for %d voters", sparse, voters)
+	}
+	prev := -1
+	idx := 0
+	for i := uint32(0); i < sparse; i++ {
+		voter, rest, err := ConsumeUint32(b)
+		if err != nil {
+			return nil, err
+		}
+		b = rest
+		if int(voter) <= prev || !a.Has(ReplicaID(voter)) {
+			return nil, fmt.Errorf("types: compact qc override for voter %d out of order or unset", voter)
+		}
+		prev = int(voter)
+		m, rest, err := ConsumeUint64(b)
+		if err != nil {
+			return nil, err
+		}
+		b = rest
+		if len(b) < 1 {
+			return nil, ErrShortBuffer
+		}
+		hasIntervals := b[0]
+		b = b[1:]
+		// Overrides and materialized votes are both ascending by voter, so a
+		// single forward scan lines them up.
+		for idx < len(q.Votes) && q.Votes[idx].Voter != ReplicaID(voter) {
+			idx++
+		}
+		v := &q.Votes[idx]
+		v.Marker = Round(m)
+		switch hasIntervals {
+		case 0:
+		case 1:
+			v.HasIntervals = true
+			v.Intervals, b, err = intervals.Decode(b)
+			if err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("types: bad interval flag %d", hasIntervals)
+		}
+	}
+	if len(b) < len(a.Sig) {
+		return nil, ErrShortBuffer
+	}
+	copy(a.Sig[:], b)
+	return b[len(a.Sig):], nil
+}
+
+// GobEncode routes the gob codec (the TCP transport's envelope encoding)
+// through the pinned deterministic QC encoding, so compact certificates ship
+// their compact bytes over real sockets instead of gob's structural encoding
+// of the materialized vote vector.
+func (q *QC) GobEncode() ([]byte, error) { return q.Encode(nil), nil }
+
+// GobDecode reverses GobEncode.
+func (q *QC) GobDecode(data []byte) error {
+	dec, rest, err := DecodeQC(data)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("types: %d trailing bytes after gob-decoded qc", len(rest))
+	}
+	*q = *dec
+	return nil
 }
 
 // AppendEncoding appends the block's full deterministic encoding — the exact

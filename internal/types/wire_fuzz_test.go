@@ -106,6 +106,54 @@ func FuzzDecodeQC(f *testing.F) {
 	})
 }
 
+// FuzzDecodeCompactQC drives DecodeQC with compact-form (aggregated) seeds:
+// the sentinel count, signer bitmap, sparse marker override table and
+// aggregate signature all face attacker-controlled bytes. Same contract as
+// the other decoders — never panic, and decode→encode must reach a fixpoint.
+func FuzzDecodeCompactQC(f *testing.F) {
+	plain := mkCompactQC(0, 1, 2)
+	f.Add(plain.Encode(nil))
+	marked := mkCompactQC(1, 5, 64)
+	marked.Votes[1].Marker = 9
+	marked.Votes[2].HasIntervals = true
+	marked.Votes[2].Intervals = intervals.New(intervals.Interval{Lo: 3, Hi: 9})
+	f.Add(marked.Encode(nil))
+	f.Add(marked.Encode(nil)[:60]) // truncated inside the bitmap
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		qc, rest, err := types.DecodeQC(data)
+		if err != nil {
+			return
+		}
+		if len(rest) > len(data) {
+			t.Fatalf("decoder returned more bytes than it was given")
+		}
+		if qc.Agg != nil {
+			// Compact-form invariants: every materialized vote is bitmap-backed
+			// and signature-free.
+			for i := range qc.Votes {
+				if !qc.Agg.Has(qc.Votes[i].Voter) {
+					t.Fatalf("materialized voter %v missing from bitmap", qc.Votes[i].Voter)
+				}
+				if qc.Votes[i].Signature != nil {
+					t.Fatal("compact decode materialized a signature")
+				}
+			}
+			if qc.Agg.Count() != len(qc.Votes) {
+				t.Fatalf("bitmap count %d != %d votes", qc.Agg.Count(), len(qc.Votes))
+			}
+		}
+		e1 := qc.Encode(nil)
+		qc2, tail, err := types.DecodeQC(e1)
+		if err != nil || len(tail) != 0 {
+			t.Fatalf("canonical re-encoding failed to decode: %v (%d trailing)", err, len(tail))
+		}
+		if e2 := qc2.Encode(nil); !bytes.Equal(e1, e2) {
+			t.Fatalf("encode not a fixpoint:\n e1: %x\n e2: %x", e1, e2)
+		}
+	})
+}
+
 func FuzzDecodeBlock(f *testing.F) {
 	f.Add(seedBlock().AppendEncoding(nil))
 	f.Add(types.Genesis().AppendEncoding(nil))

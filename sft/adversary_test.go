@@ -117,7 +117,7 @@ func TestSimnetPartitionHeals(t *testing.T) {
 	defer world.Close()
 
 	world.PartitionAt(2*time.Second, []sft.ReplicaID{0, 1})
-	world.HealAt(4*time.Second)
+	world.HealAt(4 * time.Second)
 
 	world.Run(2 * time.Second)
 	atSplit := nodes[0].CommittedHeight()

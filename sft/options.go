@@ -95,12 +95,18 @@ func WithCommitRule(r CommitRule) Option {
 }
 
 // WithScheme selects the signature scheme: SchemeEd25519 (default, real
-// crypto, verification always on) or SchemeSim (fast deterministic toy
-// scheme, verification off — the setting large simulations use).
+// crypto, verification always on), SchemeSim (fast deterministic toy
+// scheme, verification off — the setting large simulations use), or their
+// aggregating variants Ed25519Aggregate / SimAggregate, which additionally
+// compact every formed certificate into the constant-size aggregated form
+// (recommended at n ≳ 64, where per-vote signature vectors dominate wire
+// bytes and verify CPU).
 func WithScheme(sc Scheme) Option {
 	return func(s *settings) {
-		if sc != SchemeEd25519 && sc != SchemeSim {
-			s.fail(fmt.Errorf("sft: unknown scheme %q (want sft.SchemeEd25519 or sft.SchemeSim)", sc))
+		switch sc {
+		case SchemeEd25519, SchemeSim, Ed25519Aggregate, SimAggregate:
+		default:
+			s.fail(fmt.Errorf("sft: unknown scheme %q (want sft.SchemeEd25519, sft.SchemeSim, sft.Ed25519Aggregate or sft.SimAggregate)", sc))
 			return
 		}
 		s.scheme = sc

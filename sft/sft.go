@@ -137,6 +137,17 @@ const (
 	// use; signature verification defaults to off since all traffic is
 	// generated by trusted in-process engines.
 	SchemeSim Scheme = crypto.SchemeSim
+	// Ed25519Aggregate signs and verifies individual messages exactly like
+	// SchemeEd25519 and additionally compacts every formed certificate into
+	// the constant-size aggregated form (one 32-byte aggregated signature
+	// plus a signer bitmap instead of the per-vote signature vector) — the
+	// scheme for 100+-replica committees, where vector certificates dominate
+	// both wire bytes and verify CPU. Verification is always on under it.
+	Ed25519Aggregate Scheme = crypto.SchemeEd25519Agg
+	// SimAggregate is SchemeSim plus compact aggregated certificates, for
+	// large deterministic simulations that want the compact wire form
+	// without real vote-transit crypto.
+	SimAggregate Scheme = crypto.SchemeSimAgg
 )
 
 // Engine selects the consensus protocol.
@@ -272,7 +283,7 @@ func New(cfg Config, opts ...Option) (*Node, error) {
 		// the event loop when an out-of-range replica first signs.
 		return nil, fmt.Errorf("sft: key ring holds %d keys, cluster has %d replicas", ring.N(), cfg.N)
 	}
-	verify := s.scheme == SchemeEd25519 || s.verify
+	verify := s.scheme == SchemeEd25519 || s.scheme == Ed25519Aggregate || s.verify
 
 	n := &Node{
 		cfg:      cfg,

@@ -146,6 +146,76 @@ func TestLocalNetSubscriptions(t *testing.T) {
 	}
 }
 
+// TestLocalNetAggregateScheme runs a real goroutine-per-replica cluster
+// with the aggregating ed25519 scheme: every certificate formed on the wire
+// is a compact (bitmap + aggregate signature) QC, verification is on, and
+// commits must still flow and strengthen to 2f.
+func TestLocalNetAggregateScheme(t *testing.T) {
+	const (
+		n    = 4
+		f    = 1
+		seed = 23
+	)
+	ring, err := sft.NewKeyRing(n, seed, sft.Ed25519Aggregate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lan := sft.NewLocalNet(n)
+	defer lan.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	nodes := make([]*sft.Node, n)
+	for i := 0; i < n; i++ {
+		id := sft.ReplicaID(i)
+		nodes[i], err = sft.New(sft.Config{ID: id, N: n, Seed: seed},
+			sft.WithScheme(sft.Ed25519Aggregate),
+			sft.WithKeyRing(ring),
+			sft.WithTransport(lan.Transport(id)),
+			sft.WithRoundTimeout(200*time.Millisecond),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	events := nodes[0].Commits()
+
+	var wg sync.WaitGroup
+	for _, node := range nodes {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := node.Run(ctx); err != nil {
+				t.Errorf("run: %v", err)
+			}
+		}()
+	}
+
+	var first sft.BlockID
+	deadline := time.After(30 * time.Second)
+	for first == (sft.BlockID{}) {
+		select {
+		case ev := <-events:
+			if ev.Regular {
+				first = ev.Block.ID()
+			}
+		case <-deadline:
+			t.Fatal("no commit within 30s under the aggregate scheme")
+		}
+	}
+	wctx, wcancel := context.WithTimeout(ctx, 30*time.Second)
+	defer wcancel()
+	if err := nodes[0].WaitStrength(wctx, first, 2*f); err != nil {
+		t.Fatalf("WaitStrength under aggregate scheme: %v", err)
+	}
+
+	cancel()
+	wg.Wait()
+	for range events {
+	}
+}
+
 // TestMinStrengthFilter pins the commit rule's client-side threshold: a
 // subscriber under MinStrength 2f sees only 2f-strong events.
 func TestMinStrengthFilter(t *testing.T) {
