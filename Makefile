@@ -13,7 +13,7 @@ FUZZ_TARGETS = \
 FUZZTIME_SMOKE ?= 20s
 FUZZTIME_LONG ?= 10m
 
-.PHONY: all build build-examples vet test test-race bench bench-smoke bench-micro bench-guard fuzz-smoke fuzz-long adversary-fuzz adversary-fuzz-agg compactcert
+.PHONY: all build build-examples vet test test-race bench bench-smoke bench-micro bench-guard fuzz-smoke fuzz-long adversary-fuzz adversary-fuzz-agg compactcert obs-smoke
 
 all: test
 
@@ -61,7 +61,7 @@ bench-micro:
 # micro-benchmarks for the numbers. CI runs this; record results in
 # BENCH_PR<n>.json when they move.
 bench-guard:
-	$(GO) test -run 'Alloc' -count=1 ./internal/types/ ./internal/simnet/ ./internal/core/ ./internal/wal/ ./internal/crypto/
+	$(GO) test -run 'Alloc' -count=1 ./internal/types/ ./internal/simnet/ ./internal/core/ ./internal/wal/ ./internal/crypto/ ./internal/obs/
 	$(GO) test -run 'TestCompactQCSizeFlat' -count=1 ./internal/types/
 	$(MAKE) bench-micro
 
@@ -93,3 +93,9 @@ adversary-fuzz-agg:
 # bytes and verify CPU, vector vs aggregated form, under real ed25519.
 compactcert:
 	$(GO) run ./cmd/sftbench -experiment compactcert -seed 1
+
+# Ops-surface smoke: start a live 4-node TCP cluster with -obs-addr and
+# assert /metrics serves well-formed Prometheus exposition, /healthz is 200,
+# and /tracez + /debug/pprof respond. CI runs this.
+obs-smoke:
+	bash scripts/obs_smoke.sh

@@ -77,6 +77,7 @@ func main() {
 		pipeline   = flag.Bool("pipeline", false, "route experiments through the verification pipeline (prevalidate/apply split)")
 		scenarios  = flag.Int("scenarios", 60, "randomized scenarios for -experiment adversary")
 		workers    = flag.Int("workers", 0, "concurrent scenarios for -experiment adversary (0 = GOMAXPROCS; results are identical at any worker count)")
+		jsonPath   = flag.String("json", "", "write machine-readable results (per-experiment latency and per-level strength histograms) to this file")
 	)
 	flag.Parse()
 
@@ -114,6 +115,9 @@ func main() {
 	if *delta != 0 {
 		deltas = []time.Duration{*delta}
 	}
+	if *jsonPath != "" {
+		benchInit(sc)
+	}
 
 	run := func(name string, fn func() error) {
 		if *experiment != "all" && *experiment != name {
@@ -129,8 +133,8 @@ func main() {
 		fmt.Printf("    [wall time %v]\n\n", time.Since(start).Round(time.Millisecond))
 	}
 
-	run("fig7a", func() error { return figure7(sc, deltas, harness.Figure7a, "symmetric") })
-	run("fig7b", func() error { return figure7(sc, deltas, harness.Figure7b, "asymmetric") })
+	run("fig7a", func() error { return figure7(sc, deltas, harness.Figure7a, "fig7a", "symmetric") })
+	run("fig7b", func() error { return figure7(sc, deltas, harness.Figure7b, "fig7b", "asymmetric") })
 	run("fig8", func() error { return figure8(sc) })
 	run("throughput", func() error { return throughput(sc, deltas[0]) })
 	run("msgcomplexity", func() error { return msgComplexity(sc) })
@@ -155,6 +159,12 @@ func main() {
 	// sizes {31, 103} under real ed25519 vote signatures regardless of -n.
 	if *experiment == "compactcert" {
 		run("compactcert", func() error { return compactCert(sc, deltas[0]) })
+	}
+	if *jsonPath != "" {
+		if err := benchWrite(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "sftbench: write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -371,7 +381,7 @@ func crashRecovery(sc harness.Scale, delta time.Duration) error {
 	return nil
 }
 
-func figure7(sc harness.Scale, deltas []time.Duration, fn func(harness.Scale, time.Duration) (*harness.Result, error), label string) error {
+func figure7(sc harness.Scale, deltas []time.Duration, fn func(harness.Scale, time.Duration) (*harness.Result, error), name, label string) error {
 	results := make([]*harness.Result, 0, len(deltas))
 	for _, d := range deltas {
 		res, err := fn(sc, d)
@@ -402,9 +412,37 @@ func figure7(sc harness.Scale, deltas []time.Duration, fn func(harness.Scale, ti
 		rows = append(rows, row)
 	}
 	printTable(fmt.Sprintf("Figure 7 (%s): strong commit latency vs resilience", label), header, rows)
+
+	// The operator's view of the same data: once a block is (f-strong)
+	// committed locally, how much longer until it tolerates x faults.
+	delayRows := [][]string{}
+	for _, lv := range harness.DefaultLevels(f) {
+		row := []string{harness.LevelLabel(lv, f)}
+		any := false
+		for _, res := range results {
+			s := res.LevelCommitDelay[lv]
+			if s.Count == 0 {
+				row = append(row, "unreached", "-", "-")
+			} else {
+				any = true
+				row = append(row, fmt.Sprintf("%.3f", s.P50), fmt.Sprintf("%.3f", s.P95), fmt.Sprintf("%.3f", s.P99))
+			}
+		}
+		if any {
+			delayRows = append(delayRows, row)
+		}
+	}
+	delayHeader := []string{"x-strong"}
+	for _, d := range deltas {
+		delayHeader = append(delayHeader,
+			fmt.Sprintf("p50 δ=%v", d), fmt.Sprintf("p95 δ=%v", d), fmt.Sprintf("p99 δ=%v", d))
+	}
+	printTable("Commit → x-strong delay (s): extra wait per resilience level after the regular commit", delayHeader, delayRows)
+
 	for i, res := range results {
 		fmt.Printf("    δ=%v: %d blocks committed, regular latency %.3fs, %.1f msgs/commit\n",
 			deltas[i], res.CommittedBlocks, res.RegularLatency.Mean, res.MsgsPerCommit)
+		benchRecord(benchExperimentOf(name, res, f, deltas[i], 0))
 	}
 	return nil
 }
@@ -439,6 +477,7 @@ func figure8(sc harness.Scale) error {
 			}
 		}
 		rows = append(rows, row)
+		benchRecord(benchExperimentOf("fig8", p.Result, f, 0, p.ExtraWait))
 	}
 	printTable("Figure 8: regular vs strong commit latency trade-off (δ=100ms)", header, rows)
 	return nil

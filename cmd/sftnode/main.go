@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -27,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/workload"
 	"repro/sft"
 )
@@ -48,6 +50,7 @@ func main() {
 		pipeline = flag.Bool("pipeline", true, "verify signatures off the event loop, on the per-peer transport reader goroutines, with batched QC verification")
 		workers  = flag.Int("pipeline-workers", 0, "batch-verification concurrency per cold QC (with -pipeline); 0 = GOMAXPROCS divided across the n-1 concurrent peer readers")
 		strength = flag.Int("min-strength", 0, "x-strong threshold for reported commits (the paper's client-side knob; 0 = report every level)")
+		obsAddr  = flag.String("obs-addr", "", "optional ops HTTP address serving /metrics (Prometheus), /healthz, /tracez and /debug/pprof")
 		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -115,6 +118,9 @@ func main() {
 	if *pipeline {
 		opts = append(opts, sft.WithVerifyPipeline(*workers))
 	}
+	if *obsAddr != "" {
+		opts = append(opts, sft.WithObservability(sft.ObsConfig{}))
+	}
 
 	node, err := sft.New(sft.Config{ID: sft.ReplicaID(*id), N: *n, Seed: *seed}, opts...)
 	if err != nil {
@@ -125,6 +131,42 @@ func main() {
 			rec.Blocks, rec.Votes, rec.VotedRound, rec.CommittedHeight, rec.HighQCRound)
 	}
 	log.Printf("listening on %s, cluster n=%d f=%d (pipeline=%v)", node.Addr(), *n, f, *pipeline)
+
+	// Ops surface: Prometheus metrics, health, block traces and pprof. The
+	// health gate flags this replica when its own votes stop appearing in
+	// recent chain QCs — the paper's "outcast replica" signal.
+	if *obsAddr != "" {
+		handler := obs.NewHandler(obs.ServerConfig{
+			Obs: node.Obs(),
+			Healthy: func() bool {
+				rep, ok := node.Health()
+				if !ok || rep.QCsObserved == 0 {
+					return true // starting up; no chain evidence either way
+				}
+				for _, s := range rep.Stragglers {
+					if s == sft.ReplicaID(*id) {
+						return false
+					}
+				}
+				return true
+			},
+			Health: func() any {
+				rep, ok := node.Health()
+				if !ok {
+					return nil
+				}
+				return rep
+			},
+		})
+		obsSrv := &http.Server{Addr: *obsAddr, Handler: handler}
+		go func() {
+			if err := obsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("obs server: %v", err)
+			}
+		}()
+		defer obsSrv.Close()
+		log.Printf("ops endpoints on http://%s: /metrics /healthz /tracez /debug/pprof", *obsAddr)
+	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()

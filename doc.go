@@ -52,6 +52,15 @@
 //   - WithVerifyPipeline(workers) — signature checking off the event loop
 //     (per-peer reader goroutines under TCP, a bounded worker pool under
 //     LocalNet), with batched cold-QC verification.
+//   - WithObservability(ObsConfig{...}) — the operator surface: a
+//     per-node obs sink (Prometheus-style registry, block-lifecycle
+//     tracer, health monitor) instrumenting every layer — rounds,
+//     timeouts, votes, QCs, commit and strength-rise latency histograms
+//     per resilience level, WAL fsync and batch-verify timings, per-peer
+//     frame/byte counters. Node.Obs() and Node.Health() expose it;
+//     obs.NewHandler serves /metrics, /healthz, /tracez and /debug/pprof
+//     (cmd/sftnode -obs-addr). Engine-side hooks use the engine clock, so
+//     fixed-seed runs stay bit-identical with the sink on or off.
 //   - WithMetrics, WithObserver, WithPayload, WithRoundTimeout,
 //     WithExtraWait(For), WithDelta, WithoutEcho, WithCommitLog,
 //     WithPruneKeep — observation and per-engine knobs.

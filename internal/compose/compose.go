@@ -16,6 +16,7 @@ import (
 	"repro/internal/crypto"
 	"repro/internal/diembft"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/streamlet"
 	"repro/internal/types"
 	"repro/internal/wal"
@@ -82,6 +83,11 @@ type Spec struct {
 	Payload func(r types.Round) types.Payload
 	Journal *core.Journal
 
+	// Obs, if non-nil, is the observability sink the engine reports into
+	// (see internal/obs). Pure observation: identical specs produce
+	// bit-identical runs whether Obs is set or nil.
+	Obs *obs.Obs
+
 	// Adversary, when non-empty, makes the replica Byzantine: the honest
 	// engine is wrapped with the behavior chain the specs describe (see
 	// internal/adversary), uniformly for both protocols. AdversarySeed
@@ -127,6 +133,7 @@ func Engine(s Spec) (engine.Engine, error) {
 			Payload:           s.Payload,
 			NaiveEndorsements: s.NaiveEndorsements,
 			Journal:           s.Journal,
+			Obs:               s.Obs,
 		})
 	case DiemBFT, 0:
 		eng, err = diembft.New(diembft.Config{
@@ -152,6 +159,7 @@ func Engine(s Spec) (engine.Engine, error) {
 			PruneKeep:         s.PruneKeep,
 			NaiveEndorsements: s.NaiveEndorsements,
 			Journal:           s.Journal,
+			Obs:               s.Obs,
 		})
 	default:
 		return nil, fmt.Errorf("compose: unknown protocol %v", s.Protocol)
@@ -193,7 +201,15 @@ func Restore(e engine.Engine, rec *core.Recovery) error {
 // where the process survives and page-cache durability models the kill
 // faithfully; real deployments pass fsync true.
 func OpenWAL(dir string, fsync bool) (*core.Journal, *core.Recovery, error) {
-	l, err := wal.Open(dir, wal.Options{NoSync: !fsync})
+	return OpenWALObserved(dir, fsync, nil)
+}
+
+// OpenWALObserved is OpenWAL with a flush-observation hook threaded into the
+// log (see wal.Options.ObserveFlush); the observability layer uses it to
+// record flush counts, bytes, and fsync latency without touching replay or
+// durability semantics.
+func OpenWALObserved(dir string, fsync bool, observeFlush func(d time.Duration, bytes int, synced bool)) (*core.Journal, *core.Recovery, error) {
+	l, err := wal.Open(dir, wal.Options{NoSync: !fsync, ObserveFlush: observeFlush})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -180,6 +180,13 @@ type Result struct {
 	RegularLatency metrics.Summary
 	// LevelLatency maps strength level x to creation-to-x-strong latency.
 	LevelLatency map[int]metrics.Summary
+	// LevelCommitDelay maps strength level x to the delay between a
+	// replica's regular (f-strong) commit of a block and the block reaching
+	// x-strong at that replica — the operator-facing "how much longer for
+	// more resilience" number. Rises observed in the same engine event as
+	// the commit (or, in DiemBFT, microseconds before it: strength outputs
+	// precede commit outputs within one event) count as zero.
+	LevelCommitDelay map[int]metrics.Summary
 
 	Msgs          simnet.MsgStats
 	MsgsPerCommit float64
@@ -279,6 +286,16 @@ type collector struct {
 	chains   map[types.ReplicaID]map[types.Height]types.BlockID
 	observer types.ReplicaID
 
+	// Commit→x-strong delay accounting (in-window blocks only). commitAt
+	// holds each replica's regular-commit time per block; delayLevel the
+	// per-level delay series. Strength rises can precede the commit within
+	// one engine event (DiemBFT emits Strength outputs before Commit), so
+	// pre-commit rises buffer in pendingRises and flush at commit with the
+	// delay clamped at zero.
+	commitAt     map[types.ReplicaID]map[types.BlockID]time.Duration
+	delayLevel   map[int]*metrics.Series
+	pendingRises map[types.ReplicaID]map[types.BlockID][]pendingRise
+
 	// Invariant-checker inputs (Scenario.RecordStrengths). strengths holds
 	// the per-replica maximum (commits folded in at F); lastEvent tracks
 	// only tracker-reported strength events, the stream the monotonicity
@@ -289,17 +306,28 @@ type collector struct {
 	violations []string
 }
 
+// pendingRise is one strength rise observed before the block's regular
+// commit, awaiting the commit time to resolve into a delay.
+type pendingRise struct {
+	x  int
+	at time.Duration
+}
+
 func newCollector(sc *Scenario, observer types.ReplicaID) *collector {
 	c := &collector{
-		sc:       sc,
-		levels:   sc.Levels,
-		byLevel:  make(map[int]*metrics.Series, len(sc.Levels)),
-		reached:  make(map[types.ReplicaID]map[types.BlockID]int),
-		commits:  make(map[types.ReplicaID]int),
-		observer: observer,
+		sc:           sc,
+		levels:       sc.Levels,
+		byLevel:      make(map[int]*metrics.Series, len(sc.Levels)),
+		reached:      make(map[types.ReplicaID]map[types.BlockID]int),
+		commits:      make(map[types.ReplicaID]int),
+		observer:     observer,
+		commitAt:     make(map[types.ReplicaID]map[types.BlockID]time.Duration),
+		delayLevel:   make(map[int]*metrics.Series, len(sc.Levels)),
+		pendingRises: make(map[types.ReplicaID]map[types.BlockID][]pendingRise),
 	}
 	for _, lv := range sc.Levels {
 		c.byLevel[lv] = &metrics.Series{}
+		c.delayLevel[lv] = &metrics.Series{}
 	}
 	if sc.RecordChains {
 		c.chains = make(map[types.ReplicaID]map[types.Height]types.BlockID)
@@ -382,6 +410,34 @@ func (c *collector) onCommit(rep types.ReplicaID, now time.Duration, b *types.Bl
 	if c.inWindow(b) {
 		c.regular.AddDuration(now - time.Duration(b.Timestamp))
 	}
+	if c.inWindow(b) && (c.sc.LevelObservers == nil || c.sc.LevelObservers[rep]) {
+		id := b.ID()
+		m, ok := c.commitAt[rep]
+		if !ok {
+			m = make(map[types.BlockID]time.Duration)
+			c.commitAt[rep] = m
+		}
+		m[id] = now
+		// Rises the tracker reported ahead of this commit resolve now.
+		if pend := c.pendingRises[rep][id]; len(pend) > 0 {
+			for _, p := range pend {
+				c.addLevelDelay(p.x, p.at-now)
+			}
+			delete(c.pendingRises[rep], id)
+		}
+	}
+}
+
+// addLevelDelay folds one commit→x-strong delay into the per-level series,
+// clamping at zero (a rise reported in, or just ahead of, the commit's own
+// engine event costs the operator nothing extra).
+func (c *collector) addLevelDelay(lv int, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	if s, ok := c.delayLevel[lv]; ok {
+		s.AddDuration(d)
+	}
 }
 
 func (c *collector) onStrength(rep types.ReplicaID, now time.Duration, b *types.Block, x int) {
@@ -403,9 +459,23 @@ func (c *collector) onStrength(rep types.ReplicaID, now time.Duration, b *types.
 	}
 	m[b.ID()] = x
 	lat := now - time.Duration(b.Timestamp)
+	id := b.ID()
+	committed, hasCommit := c.commitAt[rep][id]
 	for _, lv := range c.levels {
 		if lv > prev && lv <= x {
 			c.byLevel[lv].AddDuration(lat)
+			if hasCommit {
+				c.addLevelDelay(lv, now-committed)
+			} else {
+				// Strength outputs precede the commit output within one
+				// DiemBFT event; park the rise until the commit lands.
+				pm, ok := c.pendingRises[rep]
+				if !ok {
+					pm = make(map[types.BlockID][]pendingRise)
+					c.pendingRises[rep] = pm
+				}
+				pm[id] = append(pm[id], pendingRise{x: lv, at: now})
+			}
 		}
 	}
 }
@@ -551,12 +621,13 @@ func Run(sc *Scenario) (*Result, error) {
 	sim.Run(s.Duration)
 
 	res := &Result{
-		Scenario:        s,
-		Observer:        observer,
-		CommittedBlocks: col.commits[observer],
-		LevelLatency:    make(map[int]metrics.Summary, len(s.Levels)),
-		Msgs:            sim.Stats(),
-		Events:          sim.Events(),
+		Scenario:         s,
+		Observer:         observer,
+		CommittedBlocks:  col.commits[observer],
+		LevelLatency:     make(map[int]metrics.Summary, len(s.Levels)),
+		LevelCommitDelay: make(map[int]metrics.Summary, len(s.Levels)),
+		Msgs:             sim.Stats(),
+		Events:           sim.Events(),
 	}
 	res.CommittedTxns = int64(res.CommittedBlocks) * int64(s.PayloadTxns)
 	res.ThroughputTPS = float64(res.CommittedTxns) / s.Duration.Seconds()
@@ -564,6 +635,9 @@ func Run(sc *Scenario) (*Result, error) {
 	res.RegularLatency = col.regular.Summarize()
 	for lv, series := range col.byLevel {
 		res.LevelLatency[lv] = series.Summarize()
+	}
+	for lv, series := range col.delayLevel {
+		res.LevelCommitDelay[lv] = series.Summarize()
 	}
 	if res.CommittedBlocks > 0 {
 		res.MsgsPerCommit = float64(res.Msgs.Count) / float64(res.CommittedBlocks)

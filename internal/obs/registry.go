@@ -1,0 +1,427 @@
+// Package obs is the operator-grade observability subsystem: a dependency-free
+// metrics registry (counters, gauges, fixed-bucket histograms) with
+// Prometheus-text exposition, a deterministic block-lifecycle tracer, and the
+// Obs sink every layer of the stack reports into.
+//
+// Two rules keep the determinism contract intact:
+//
+//  1. Hooks are pure observation. They update atomics and a ring buffer and
+//     never feed anything back into an engine, so a fixed-seed simulation is
+//     bit-identical with observability enabled or disabled.
+//  2. Consensus-visible timestamps (block lifecycle stages, strength rises)
+//     come from the engine's clock — virtual time under simnet — while
+//     operational latencies that only exist off the event loop (fsync, batch
+//     verify) may use the wall clock.
+//
+// Every hook is nil-safe on the *Obs receiver, so instrumented code calls
+// unconditionally and pays a single predictable branch when observability is
+// off.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one name="value" pair attached to a metric child.
+type Label struct {
+	Key, Value string
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds delta (must be >= 0 to stay monotonic; not enforced).
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// SetMax raises the gauge to v if v is larger (CAS loop; lock-free).
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Add moves the gauge by delta (may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// LatencyBuckets is the default bucket layout for latency histograms, in
+// seconds. It spans 0.5ms..60s, which covers both simnet virtual latencies
+// and real fsync/verify times.
+var LatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Histogram is a fixed-bucket histogram with lock-free observation. Bucket i
+// counts samples v <= bounds[i] (Prometheus "le" semantics); one implicit
+// +Inf bucket catches the rest. Observe is a bucket search plus three atomic
+// ops and allocates nothing.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; NOT cumulative
+	sum    atomic.Uint64  // float64 bits, updated via CAS
+	count  atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First bucket whose upper bound is >= v; len(bounds) == +Inf bucket.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration sample in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.Observe(d.Seconds())
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) by linear interpolation
+// inside the bucket holding the target rank — the standard
+// histogram_quantile estimate. Samples landing in the +Inf bucket clamp to
+// the highest finite bound. Returns NaN when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.count.Load() == 0 {
+		return math.NaN()
+	}
+	total := h.count.Load()
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i == len(h.bounds) { // +Inf bucket
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state with
+// cumulative bucket counts, ready for exposition.
+type HistogramSnapshot struct {
+	Bounds     []float64 // upper bounds, ascending; +Inf implied
+	Cumulative []int64   // len(Bounds)+1, cumulative counts
+	Sum        float64
+	Count      int64
+}
+
+// Snapshot copies the histogram state. Concurrent Observe calls may tear
+// between buckets and the total, which Prometheus scrapes tolerate.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds:     h.bounds,
+		Cumulative: make([]int64, len(h.counts)),
+		Sum:        h.Sum(),
+		Count:      h.count.Load(),
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		s.Cumulative[i] = cum
+	}
+	return s
+}
+
+// child is one labeled instance within a family.
+type child struct {
+	labels  string // pre-rendered {k="v",...}, or ""
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// family is one metric name: help text, kind, and its labeled children.
+type family struct {
+	name, help string
+	kind       metricKind
+	mu         sync.Mutex
+	children   []*child
+}
+
+// Registry holds metric families in registration order and renders them in
+// Prometheus text exposition format. Registration takes a lock; observation
+// on the returned handles is lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func (r *Registry) fam(name, help string, kind metricKind) *family {
+	f, ok := r.byName[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as both %s and %s", name, f.kind, kind))
+	}
+	return f
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Counter registers (or extends) a counter family and returns the handle for
+// the given label set.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fam(name, help, kindCounter)
+	c := &child{labels: renderLabels(labels), counter: &Counter{}}
+	f.mu.Lock()
+	f.children = append(f.children, c)
+	f.mu.Unlock()
+	return c.counter
+}
+
+// Gauge registers (or extends) a gauge family and returns the handle.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fam(name, help, kindGauge)
+	c := &child{labels: renderLabels(labels), gauge: &Gauge{}}
+	f.mu.Lock()
+	f.children = append(f.children, c)
+	f.mu.Unlock()
+	return c.gauge
+}
+
+// Histogram registers (or extends) a histogram family with the given bucket
+// upper bounds and returns the handle.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fam(name, help, kindHistogram)
+	c := &child{labels: renderLabels(labels), hist: newHistogram(bounds)}
+	f.mu.Lock()
+	f.children = append(f.children, c)
+	f.mu.Unlock()
+	return c.hist
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// mergeLabels appends extra to a pre-rendered label string.
+func mergeLabels(rendered, extra string) string {
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + extra + "}"
+}
+
+// WritePrometheus renders every family in Prometheus text exposition format
+// (version 0.0.4). Safe to call concurrently with metric updates.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.mu.Lock()
+		children := make([]*child, len(f.children))
+		copy(children, f.children)
+		f.mu.Unlock()
+
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, c := range children {
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, c.labels, c.counter.Value())
+			case kindGauge:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, c.labels, c.gauge.Value())
+			case kindHistogram:
+				s := c.hist.Snapshot()
+				for i, bound := range s.Bounds {
+					le := `le="` + formatFloat(bound) + `"`
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, mergeLabels(c.labels, le), s.Cumulative[i])
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, mergeLabels(c.labels, `le="+Inf"`), s.Cumulative[len(s.Cumulative)-1])
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, c.labels, formatFloat(s.Sum))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, c.labels, s.Count)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ServerConfig wires the ops HTTP handler.
+type ServerConfig struct {
+	// Obs backs /metrics and /tracez. Required.
+	Obs *Obs
+	// Healthy gates /healthz; nil means always healthy.
+	Healthy func() bool
+	// Health supplies the /healthz JSON payload (e.g. a health.Report).
+	// Optional.
+	Health func() any
+	// TraceLimit bounds /tracez output (default 64; ?n= overrides up to
+	// the tracer capacity).
+	TraceLimit int
+}
+
+// traceView is the JSON shape of one block trace on /tracez.
+type traceView struct {
+	ID        string  `json:"id"`
+	Height    uint64  `json:"height"`
+	Round     uint64  `json:"round"`
+	Proposer  uint32  `json:"proposer"`
+	Proposed  float64 `json:"proposed_s,omitempty"`
+	Voted     float64 `json:"voted_s,omitempty"`
+	QCFormed  float64 `json:"qc_s,omitempty"`
+	Committed float64 `json:"committed_s,omitempty"`
+	Strengths []struct {
+		X  int     `json:"x"`
+		At float64 `json:"at_s"`
+	} `json:"strengths,omitempty"`
+}
+
+func viewOf(t BlockTrace) traceView {
+	v := traceView{
+		ID:       t.ID.String(),
+		Height:   uint64(t.Height),
+		Round:    uint64(t.Round),
+		Proposer: uint32(t.Proposer),
+	}
+	sec := func(d time.Duration) float64 { return d.Seconds() }
+	if t.Has(StageProposed) {
+		v.Proposed = sec(t.Proposed)
+	}
+	if t.Has(StageVoted) {
+		v.Voted = sec(t.Voted)
+	}
+	if t.Has(StageQC) {
+		v.QCFormed = sec(t.QCFormed)
+	}
+	if t.Has(StageCommitted) {
+		v.Committed = sec(t.Committed)
+	}
+	for _, r := range t.Strengths {
+		v.Strengths = append(v.Strengths, struct {
+			X  int     `json:"x"`
+			At float64 `json:"at_s"`
+		}{r.X, sec(r.At)})
+	}
+	return v
+}
+
+// NewHandler returns the ops mux: /metrics (Prometheus text), /healthz
+// (JSON, 200/503), /tracez (recent block traces as JSON), /debug/pprof.
+func NewHandler(c ServerConfig) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if c.Obs == nil {
+			http.Error(w, "observability disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = c.Obs.Registry().WritePrometheus(w)
+	})
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		healthy := c.Healthy == nil || c.Healthy()
+		body := map[string]any{"status": "ok"}
+		code := http.StatusOK
+		if !healthy {
+			body["status"] = "unavailable"
+			code = http.StatusServiceUnavailable
+		}
+		if c.Health != nil {
+			if h := c.Health(); h != nil {
+				body["health"] = h
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		_ = json.NewEncoder(w).Encode(body)
+	})
+
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		if c.Obs == nil {
+			http.Error(w, "observability disabled", http.StatusNotFound)
+			return
+		}
+		limit := c.TraceLimit
+		if limit <= 0 {
+			limit = 64
+		}
+		if s := r.URL.Query().Get("n"); s != "" {
+			var n int
+			if _, err := fmt.Sscanf(s, "%d", &n); err == nil && n > 0 {
+				limit = n
+			}
+		}
+		traces := c.Obs.Tracer().Recent(limit)
+		views := make([]traceView, len(traces))
+		for i, t := range traces {
+			views[i] = viewOf(t)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{"traces": views})
+	})
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	return mux
+}

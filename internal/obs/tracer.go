@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/types"
+)
+
+// Stage is a bitmask of lifecycle stages a block has reached on this node.
+type Stage uint8
+
+// Lifecycle stages, in the order a block normally passes through them.
+const (
+	StageProposed Stage = 1 << iota // proposal seen (or made) for the block
+	StageVoted                      // this node voted for the block
+	StageQC                         // a QC for the block was formed/registered
+	StageCommitted
+)
+
+// StrengthRise records one commit-strength increase for a block.
+type StrengthRise struct {
+	X  int           `json:"x"`
+	At time.Duration `json:"at"`
+}
+
+// BlockTrace is one block's lifecycle as observed by this node. Timestamps
+// are engine-clock durations (virtual under simnet, wall-anchored under the
+// real runtime); a zero timestamp with the stage bit unset means the stage
+// was not observed.
+type BlockTrace struct {
+	ID        types.BlockID
+	Height    types.Height
+	Round     types.Round
+	Proposer  types.ReplicaID
+	Stages    Stage
+	Proposed  time.Duration
+	Voted     time.Duration
+	QCFormed  time.Duration
+	Committed time.Duration
+	Strengths []StrengthRise
+}
+
+// Has reports whether the trace reached stage s.
+func (t *BlockTrace) Has(s Stage) bool { return t.Stages&s != 0 }
+
+// Tracer keeps the lifecycle of the most recent blocks in a fixed-capacity
+// ring. Eviction recycles slots, so steady-state tracing allocates only when
+// a block collects more strength rises than any evicted predecessor did.
+type Tracer struct {
+	mu      sync.Mutex
+	ring    []BlockTrace
+	byID    map[types.BlockID]int
+	next    int
+	size    int
+	evicted int64
+}
+
+// NewTracer returns a tracer retaining the last capacity blocks
+// (default 256 when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Tracer{
+		ring: make([]BlockTrace, capacity),
+		byID: make(map[types.BlockID]int, capacity),
+	}
+}
+
+// slot returns the trace entry for b, allocating (and possibly evicting) as
+// needed. Caller holds t.mu.
+func (t *Tracer) slot(b *types.Block) *BlockTrace {
+	id := b.ID()
+	if i, ok := t.byID[id]; ok {
+		return &t.ring[i]
+	}
+	i := t.next
+	t.next = (t.next + 1) % len(t.ring)
+	e := &t.ring[i]
+	if t.size < len(t.ring) {
+		t.size++
+	} else {
+		delete(t.byID, e.ID)
+		t.evicted++
+	}
+	rises := e.Strengths[:0]
+	*e = BlockTrace{
+		ID:        id,
+		Height:    b.Height,
+		Round:     b.Round,
+		Proposer:  b.Proposer,
+		Strengths: rises,
+	}
+	t.byID[id] = i
+	return e
+}
+
+// Observe records that block b reached stage s at engine time now.
+func (t *Tracer) Observe(b *types.Block, s Stage, now time.Duration) {
+	if t == nil || b == nil {
+		return
+	}
+	t.mu.Lock()
+	e := t.slot(b)
+	e.Stages |= s
+	switch s {
+	case StageProposed:
+		e.Proposed = now
+	case StageVoted:
+		e.Voted = now
+	case StageQC:
+		e.QCFormed = now
+	case StageCommitted:
+		e.Committed = now
+	}
+	t.mu.Unlock()
+}
+
+// Rise records a strength increase to x for block b at engine time now.
+func (t *Tracer) Rise(b *types.Block, x int, now time.Duration) {
+	if t == nil || b == nil {
+		return
+	}
+	t.mu.Lock()
+	e := t.slot(b)
+	e.Strengths = append(e.Strengths, StrengthRise{X: x, At: now})
+	t.mu.Unlock()
+}
+
+// CommittedAt returns the commit timestamp of block b if this node observed
+// its commit and the trace is still resident.
+func (t *Tracer) CommittedAt(id types.BlockID) (time.Duration, bool) {
+	if t == nil {
+		return 0, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i, ok := t.byID[id]
+	if !ok || t.ring[i].Stages&StageCommitted == 0 {
+		return 0, false
+	}
+	return t.ring[i].Committed, true
+}
+
+// Evicted returns how many traces have been recycled out of the ring.
+func (t *Tracer) Evicted() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.evicted
+}
+
+// Len returns the number of live traces.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.size
+}
+
+// Recent returns deep copies of up to max traces, newest first. max <= 0
+// means all live traces.
+func (t *Tracer) Recent(max int) []BlockTrace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.size
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]BlockTrace, 0, n)
+	for k := 0; k < n; k++ {
+		i := (t.next - 1 - k + len(t.ring)*2) % len(t.ring)
+		e := t.ring[i]
+		e.Strengths = append([]StrengthRise(nil), e.Strengths...)
+		out = append(out, e)
+	}
+	return out
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // prevalidatePipeline is the bounded worker-pool stage between a Transport
@@ -32,6 +33,10 @@ type prevalidatePipeline struct {
 	// the ones it rejected (bad signatures, malformed certificates).
 	checked metrics.Counter
 	drops   metrics.Counter
+
+	// obs mirrors the counters (and the queue-depth gauge) into the
+	// observability registry; nil-safe.
+	obs *obs.Obs
 }
 
 const (
@@ -42,12 +47,13 @@ const (
 // newPrevalidatePipeline constructs the stage without starting any
 // goroutines — Node.Run calls start, so a node that is built but never run
 // leaks nothing and leaves its transport untouched.
-func newPrevalidatePipeline(eng engine.Pipelined, workers int) *prevalidatePipeline {
+func newPrevalidatePipeline(eng engine.Pipelined, workers int, o *obs.Obs) *prevalidatePipeline {
 	if workers < 1 {
 		workers = 1
 	}
 	p := &prevalidatePipeline{
 		eng:    eng,
+		obs:    o,
 		queues: make([]chan Inbound, workers),
 		out:    make(chan Inbound, pipelineOutQueue),
 	}
@@ -78,10 +84,14 @@ func (p *prevalidatePipeline) start(src <-chan Inbound, stop <-chan struct{}) {
 					p.checked.Inc()
 					if err := eng.Prevalidate(in.From, in.Msg); err != nil {
 						p.drops.Inc()
+						p.obs.OnPrevalidate(true)
+						p.obs.PrevalidateQueueAdd(-1)
 						continue
 					}
+					p.obs.OnPrevalidate(false)
 					in.Verified = true
 				}
+				p.obs.PrevalidateQueueAdd(-1)
 				select {
 				case p.out <- in:
 				case <-stop:
@@ -103,9 +113,11 @@ func (p *prevalidatePipeline) start(src <-chan Inbound, stop <-chan struct{}) {
 				if !ok {
 					break dispatch
 				}
+				p.obs.PrevalidateQueueAdd(1)
 				select {
 				case p.queues[int(uint32(in.From))%workers] <- in:
 				case <-stop:
+					p.obs.PrevalidateQueueAdd(-1)
 					break dispatch
 				}
 			case <-stop:

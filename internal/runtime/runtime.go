@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/types"
 )
 
@@ -61,6 +62,9 @@ type Options struct {
 	// there (per-sender FIFO preserved) and the loop applies pre-verified
 	// messages without any crypto. 0 keeps the classic single-threaded path.
 	PrevalidateWorkers int
+	// Obs, if non-nil, receives prevalidation queue-depth and outcome
+	// observations from the worker pool (see internal/obs).
+	Obs *obs.Obs
 }
 
 // Node runs one engine on a transport until its context is cancelled.
@@ -111,7 +115,7 @@ func NewNode(eng engine.Engine, tr Transport, opts Options) (*Node, error) {
 	if pe, ok := eng.(engine.Pipelined); ok {
 		n.pipelined = pe
 		if opts.PrevalidateWorkers > 0 {
-			n.pipe = newPrevalidatePipeline(pe, opts.PrevalidateWorkers)
+			n.pipe = newPrevalidatePipeline(pe, opts.PrevalidateWorkers, opts.Obs)
 			n.recv = n.pipe.out
 		}
 	}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/crypto"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/pacemaker"
 	"repro/internal/statesync"
 	"repro/internal/types"
@@ -55,6 +56,11 @@ type Config struct {
 	// formed certificates and commits, flushed before each event's outputs
 	// are released (the same durability contract as the DiemBFT engine).
 	Journal *core.Journal
+
+	// Obs, if non-nil, receives lifecycle observations (round entries,
+	// proposals, votes, certification, commits, strength rises). Hooks are
+	// pure observation, so runs are bit-identical with Obs set or nil.
+	Obs *obs.Obs
 }
 
 func (c *Config) quorum() int { return 2*c.F + 1 }
@@ -107,6 +113,11 @@ type Replica struct {
 	// signature checks. Only the event-loop goroutine touches it.
 	preverified bool
 
+	// evNow is the current event's engine time, stashed at event entry for
+	// observation callbacks without a `now` parameter in scope. Only the
+	// event-loop goroutine touches it.
+	evNow time.Duration
+
 	outs []engine.Output
 }
 
@@ -149,6 +160,7 @@ func New(cfg Config) (*Replica, error) {
 					return
 				}
 				r.outs = append(r.outs, engine.Strength{Block: b, X: x})
+				cfg.Obs.OnStrength(b, x, r.evNow)
 			},
 		})
 	}
@@ -252,9 +264,11 @@ func (r *Replica) noteRestoredCert(qc *types.QC) {
 // replica also broadcasts a state-sync request to fetch what it missed.
 func (r *Replica) Init(now time.Duration) []engine.Output {
 	r.outs = nil
+	r.evNow = now
 	if slot := types.Round(now / (2 * r.cfg.Delta)); slot+1 > r.round {
 		r.round = slot + 1
 	}
+	r.cfg.Obs.OnRoundEnter(r.round, now, false)
 	// Align the first timer to the next slot boundary so a mid-run restart
 	// keeps ticking in phase with the rest of the cluster.
 	delay := 2*r.cfg.Delta - now%(2*r.cfg.Delta)
@@ -272,8 +286,10 @@ func (r *Replica) Init(now time.Duration) []engine.Output {
 // round).
 func (r *Replica) OnTimer(now time.Duration, id int) []engine.Output {
 	r.outs = nil
+	r.evNow = now
 	if types.Round(id) == r.round {
 		r.round++
+		r.cfg.Obs.OnRoundEnter(r.round, now, false)
 		r.outs = append(r.outs, engine.SetTimer{ID: int(r.round), Delay: 2 * r.cfg.Delta})
 		r.maybePropose(now)
 	}
@@ -284,6 +300,7 @@ func (r *Replica) OnTimer(now time.Duration, id int) []engine.Output {
 func (r *Replica) OnMessage(now time.Duration, from types.ReplicaID, msg types.Message) []engine.Output {
 	r.preverified = false
 	r.outs = nil
+	r.evNow = now
 	r.handle(now, msg)
 	return r.take()
 }
@@ -293,6 +310,7 @@ func (r *Replica) OnMessage(now time.Duration, from types.ReplicaID, msg types.M
 func (r *Replica) OnVerifiedMessage(now time.Duration, from types.ReplicaID, msg types.Message) []engine.Output {
 	r.preverified = true
 	r.outs = nil
+	r.evNow = now
 	r.handle(now, msg)
 	r.preverified = false
 	return r.take()
@@ -384,6 +402,10 @@ func (r *Replica) onStateSyncResponse(m *types.StateSyncResponse) {
 	}
 	if r.cfg.VerifySignatures {
 		ap.VerifyQC = func(qc *types.QC) error {
+			if r.cfg.Obs != nil {
+				start := time.Now()
+				defer func() { r.cfg.Obs.ObserveVerifyBatch(time.Since(start)) }()
+			}
 			return crypto.VerifyQC(r.cfg.Verifier, qc, r.cfg.quorum())
 		}
 	}
@@ -398,6 +420,7 @@ func (r *Replica) afterCert(qc *types.QC) {
 	if b == nil {
 		return
 	}
+	r.cfg.Obs.OnQCObserved(b, r.evNow)
 	if b.Height > r.maxCertH {
 		r.maxCertH = b.Height
 	}
@@ -498,6 +521,7 @@ func (r *Replica) maybePropose(now time.Duration) {
 	p.Signature = r.cfg.Signer.Sign(p.SigningPayload())
 	// Journal own proposals before they can leave (see the DiemBFT engine).
 	r.journalBlock(b)
+	r.cfg.Obs.OnProposed(b, now)
 	r.outs = append(r.outs, engine.Broadcast{Msg: p, SelfDeliver: true})
 }
 
@@ -541,6 +565,7 @@ func (r *Replica) acceptProposal(now time.Duration, p *types.Proposal) {
 		// Own blocks were journaled at propose time.
 		r.journalBlock(b)
 	}
+	r.cfg.Obs.OnBlockSeen(b, now)
 	r.maybeVote(b)
 	r.tryCertify(b)
 	if kids := r.orphans[b.ID()]; len(kids) > 0 {
@@ -577,6 +602,7 @@ func (r *Replica) maybeVote(b *types.Block) {
 	}
 	r.votedRound[r.round] = true
 	r.history.RecordVote(b)
+	r.cfg.Obs.OnVoted(b, r.evNow)
 	r.outs = append(r.outs, engine.Broadcast{Msg: &types.VoteMsg{Vote: v}, SelfDeliver: true})
 }
 
@@ -625,6 +651,9 @@ func (r *Replica) tryCertify(b *types.Block) {
 		// Streamlet certificates are formed from the local vote set and not
 		// embedded in any journaled block until a child extends them.
 		_ = r.journal.AppendQC(qc)
+	}
+	if improved {
+		r.cfg.Obs.OnQCFormed(b, r.evNow)
 	}
 	// Locking rule: the longest certified chain may have grown.
 	if b.Height > r.maxCertH {
@@ -677,6 +706,7 @@ func (r *Replica) commitTo(b *types.Block) {
 	}
 	for _, blk := range chain {
 		r.outs = append(r.outs, engine.Commit{Block: blk})
+		r.cfg.Obs.OnCommit(blk, r.evNow)
 	}
 	r.lastCommitted = b.ID()
 	r.committedH = b.Height

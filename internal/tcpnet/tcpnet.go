@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 	"repro/internal/types"
 )
@@ -66,6 +67,47 @@ type Config struct {
 	// pass surface with Inbound.Verified set, telling the engine loop to
 	// skip its own signature checks. Wire it to engine.Pipelined.Prevalidate.
 	Prevalidate func(from types.ReplicaID, msg types.Message) error
+	// Obs, if non-nil, receives per-peer frame/byte counts and
+	// prevalidation outcomes (see internal/obs).
+	Obs *obs.Obs
+}
+
+// countWriter counts bytes written through it. Callers serialize access
+// (Send holds the per-peer lock across Encode and take).
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countWriter) take() int64 {
+	n := c.n
+	c.n = 0
+	return n
+}
+
+// countReader counts bytes read through it; only the connection's reader
+// goroutine touches it.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countReader) take() int64 {
+	n := c.n
+	c.n = 0
+	return n
 }
 
 // FrameStats counts frames the transport dropped before they reached the
@@ -115,6 +157,7 @@ type peerConn struct {
 	mu   sync.Mutex
 	conn net.Conn
 	enc  *gob.Encoder
+	cw   *countWriter
 }
 
 // Listen starts accepting peer connections and returns the transport.
@@ -171,6 +214,7 @@ func (n *Net) Send(to types.ReplicaID, msg types.Message) error {
 		n.dropPeer(to, pc)
 		return fmt.Errorf("tcpnet: send to %v: %w", to, err)
 	}
+	n.cfg.Obs.OnFrameOut(to, pc.cw.take())
 	return nil
 }
 
@@ -227,12 +271,14 @@ func (n *Net) peer(to types.ReplicaID) (*peerConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tcpnet: dial %v: %w", to, err)
 	}
-	enc := gob.NewEncoder(conn)
+	cw := &countWriter{w: conn}
+	enc := gob.NewEncoder(cw)
 	if err := enc.Encode(hello{From: n.cfg.ID}); err != nil {
 		_ = conn.Close()
 		return nil, fmt.Errorf("tcpnet: handshake with %v: %w", to, err)
 	}
-	pc := &peerConn{conn: conn, enc: enc}
+	cw.take() // the handshake is not a consensus frame
+	pc := &peerConn{conn: conn, enc: enc, cw: cw}
 	n.mu.Lock()
 	if existing, ok := n.conns[to]; ok {
 		// Raced with another Send; keep the established one.
@@ -282,7 +328,8 @@ func (n *Net) readLoop(conn net.Conn) {
 		delete(n.accepted, conn)
 		n.mu.Unlock()
 	}()
-	n.serveFrames(gob.NewDecoder(conn))
+	cr := &countReader{r: conn}
+	n.serveFramesCounted(gob.NewDecoder(cr), cr)
 }
 
 // serveFrames drains one peer connection's frame stream: the identifying
@@ -290,9 +337,20 @@ func (n *Net) readLoop(conn net.Conn) {
 // filtering. Factored off readLoop so the frame parser can be fuzzed
 // against raw attacker-controlled bytes without a socket.
 func (n *Net) serveFrames(dec *gob.Decoder) {
+	n.serveFramesCounted(dec, nil)
+}
+
+// serveFramesCounted is serveFrames with an optional byte counter wrapped
+// around the decoder's source; every decoded envelope (accepted or dropped —
+// both are real traffic from the peer) is charged to the connection's
+// handshake identity.
+func (n *Net) serveFramesCounted(dec *gob.Decoder, cr *countReader) {
 	var h hello
 	if err := dec.Decode(&h); err != nil {
 		return
+	}
+	if cr != nil {
+		cr.take() // the handshake is not a consensus frame
 	}
 	if h.From == n.cfg.ID {
 		// A peer claiming to be this node is spoofing by definition —
@@ -303,7 +361,11 @@ func (n *Net) serveFrames(dec *gob.Decoder) {
 	}
 	for {
 		var env envelope
-		if err := dec.Decode(&env); err != nil {
+		err := dec.Decode(&env)
+		if cr != nil && err == nil {
+			n.cfg.Obs.OnFrameIn(h.From, cr.take())
+		}
+		if err != nil {
 			// A garbage frame mid-stream is malformed (it also
 			// desynchronizes the gob stream, so the connection ends here).
 			// Transport failures — peer crash, reset, truncation — are
@@ -331,8 +393,10 @@ func (n *Net) serveFrames(dec *gob.Decoder) {
 			// FIFO order while spreading crypto across cores.
 			if err := n.cfg.Prevalidate(env.From, env.Msg); err != nil {
 				n.prevalidated.Inc()
+				n.cfg.Obs.OnPrevalidate(true)
 				continue
 			}
+			n.cfg.Obs.OnPrevalidate(false)
 			verified = true
 		}
 		select {

@@ -82,7 +82,15 @@ func detLatency() *simnet.UniformModel {
 }
 
 // runFacade runs a cluster composed entirely through the public facade.
-func runFacade(t *testing.T, eng sft.Engine) *trace {
+// Extra options apply to every node; the built nodes are returned for tests
+// that inspect per-node state after the run.
+func runFacade(t *testing.T, eng sft.Engine, extra ...sft.Option) *trace {
+	t.Helper()
+	tr, _ := runFacadeNodes(t, eng, extra...)
+	return tr
+}
+
+func runFacadeNodes(t *testing.T, eng sft.Engine, extra ...sft.Option) (*trace, []*sft.Node) {
 	t.Helper()
 	tr := newTrace()
 	world, err := sft.NewSimnet(sft.SimnetConfig{N: detN, Latency: detLatency(), Seed: detSeed})
@@ -90,6 +98,7 @@ func runFacade(t *testing.T, eng sft.Engine) *trace {
 		t.Fatal(err)
 	}
 	payload := workload.PaperPayload(detSeed, 50, 4096)
+	nodes := make([]*sft.Node, detN)
 	for i := 0; i < detN; i++ {
 		id := sft.ReplicaID(i)
 		opts := []sft.Option{
@@ -107,14 +116,17 @@ func runFacade(t *testing.T, eng sft.Engine) *trace {
 				}
 			}),
 		}
-		if _, err := sft.New(sft.Config{ID: id, N: detN, Seed: detSeed}, opts...); err != nil {
+		opts = append(opts, extra...)
+		node, err := sft.New(sft.Config{ID: id, N: detN, Seed: detSeed}, opts...)
+		if err != nil {
 			t.Fatal(err)
 		}
+		nodes[i] = node
 	}
 	world.Run(detDuration)
 	stats := world.Stats()
 	tr.events, tr.msgs, tr.bytes = world.Events(), stats.Count, stats.Bytes
-	return tr
+	return tr, nodes
 }
 
 // runHandWired runs the equivalent cluster wired by hand against the

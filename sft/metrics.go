@@ -29,13 +29,37 @@ type MetricsSnapshot struct {
 	// spoofed their sender, broke the wire format, or failed signature /
 	// certificate verification before reaching the engine.
 	SpoofedFrames, MalformedFrames, VerifyDroppedFrames int64
+	// The fields below are populated only when the node was built with
+	// WithObservability; without it they stay zero.
+
+	// Round is the highest round the engine entered.
+	Round Round
+	// Timeouts counts local pacemaker round timeouts fired.
+	Timeouts int64
+	// PrevalidateDrops counts messages dropped by signature prevalidation.
+	PrevalidateDrops int64
+	// WALFlushes counts write-ahead-log batch flushes.
+	WALFlushes int64
+	// HealthLive reports whether the Section 5 health monitor is wired (it
+	// gates the health fields below and their String() rendering).
+	HealthLive bool
+	// HealthDiversity is the number of distinct replicas appearing in the
+	// health window's QCs — the ceiling on reachable strong-commit levels.
+	HealthDiversity int
+	// HealthStragglers lists replicas absent from every recent chain QC,
+	// the paper's "outcast replicas".
+	HealthStragglers []ReplicaID
 }
 
 // String renders a snapshot compactly for periodic status logs.
 func (m MetricsSnapshot) String() string {
-	return fmt.Sprintf("%d commits, %d strength updates, height %d, max strength %d, dropped %d spoofed / %d malformed / %d failed-verify",
+	s := fmt.Sprintf("%d commits, %d strength updates, height %d, max strength %d, dropped %d spoofed / %d malformed / %d failed-verify",
 		m.Commits, m.StrengthUpdates, m.CommittedHeight, m.MaxStrength,
 		m.SpoofedFrames, m.MalformedFrames, m.VerifyDroppedFrames)
+	if m.HealthLive {
+		s += fmt.Sprintf(", diversity %d, stragglers %v", m.HealthDiversity, m.HealthStragglers)
+	}
+	return s
 }
 
 func (m *Metrics) onCommit(h Height) {

@@ -10,9 +10,20 @@ import (
 	"repro/internal/compose"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/health"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 	"repro/internal/tcpnet"
 )
+
+// Observability is the per-node observability sink built by
+// WithObservability: a metric registry (Prometheus text via
+// Registry().WritePrometheus), a block-lifecycle tracer, and snapshot
+// accessors. Serve it over HTTP with obs.NewHandler.
+type Observability = obs.Obs
+
+// HealthReport is a snapshot of the Section 5 QC-diversity health signal.
+type HealthReport = health.Report
 
 // CommitEvent is one observation of a block's commit strength. Every block
 // produces a sequence of events: first the regular commit (Strength = f,
@@ -103,6 +114,11 @@ type Node struct {
 	metrics  *Metrics
 	observer func(CommitEvent)
 
+	// obs and health are set by WithObservability; both read as nil-safe
+	// no-ops when the option is absent.
+	obs    *obs.Obs
+	health *healthState
+
 	start   time.Time
 	started bool
 
@@ -121,6 +137,28 @@ type strengthWaiter struct {
 	id    BlockID
 	x     int
 	ready chan struct{}
+}
+
+// healthState wraps the single-threaded health.Monitor for concurrent
+// feeding (commit path) and reading (Node.Health, /healthz).
+type healthState struct {
+	mu  sync.Mutex
+	mon *health.Monitor
+}
+
+func (h *healthState) observe(qc *QC) {
+	if h == nil || qc == nil {
+		return
+	}
+	h.mu.Lock()
+	h.mon.ObserveQC(qc)
+	h.mu.Unlock()
+}
+
+func (h *healthState) snapshot() HealthReport {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.mon.Snapshot()
 }
 
 // ID returns the replica this node embodies.
@@ -292,7 +330,10 @@ func (n *Node) dropWaiter(w *strengthWaiter) {
 }
 
 // Metrics returns a snapshot of the node's counters, including the TCP
-// transport's dropped-frame accounting when applicable.
+// transport's dropped-frame accounting when applicable. Nodes built with
+// WithObservability additionally report round, timeout, prevalidation-drop
+// and WAL-flush counters plus the health monitor's diversity/straggler
+// scores.
 func (n *Node) Metrics() MetricsSnapshot {
 	snap := n.metrics.snapshot()
 	if n.tcp != nil {
@@ -304,7 +345,35 @@ func (n *Node) Metrics() MetricsSnapshot {
 	if n.rt != nil {
 		snap.VerifyDroppedFrames += n.rt.PrevalidateDrops()
 	}
+	if n.obs != nil {
+		snap.Round = Round(n.obs.CurrentRound())
+		snap.Timeouts = n.obs.LocalTimeouts()
+		snap.PrevalidateDrops = n.obs.PrevalidateDrops()
+		snap.WALFlushes = n.obs.WALFlushes()
+	}
+	if n.health != nil {
+		rep := n.health.snapshot()
+		snap.HealthLive = true
+		snap.HealthDiversity = rep.Diversity
+		snap.HealthStragglers = rep.Stragglers
+	}
 	return snap
+}
+
+// Obs returns the node's observability sink, or nil without
+// WithObservability. The returned value's methods are nil-safe, so callers
+// may use it unconditionally.
+func (n *Node) Obs() *Observability { return n.obs }
+
+// Health returns the Section 5 QC-diversity health snapshot. The second
+// result is false without WithObservability. The monitor ingests the
+// justify QC of every committed block, so diversity and stragglers reflect
+// exactly the certificates the chain carries.
+func (n *Node) Health() (HealthReport, bool) {
+	if n.health == nil {
+		return HealthReport{}, false
+	}
+	return n.health.snapshot(), true
 }
 
 // swapIncarnation points the handle at a restarted engine and its reopened
@@ -333,6 +402,7 @@ func (n *Node) now() time.Duration {
 // runtime callbacks or the Simnet dispatcher by the transport attach.
 func (n *Node) onCommit(now time.Duration, b *Block) {
 	n.metrics.onCommit(b.Height)
+	n.health.observe(b.Justify)
 	n.publish(CommitEvent{Block: b, Height: b.Height, Round: b.Round, Strength: n.cfg.F(), Regular: true, Time: now})
 }
 

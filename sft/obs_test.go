@@ -1,0 +1,91 @@
+package sft_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/sft"
+)
+
+// TestObservabilityPreservesDeterminism pins the tentpole contract of the
+// observability layer: it is pure observation. A fixed-seed simnet run with
+// WithObservability on every node produces exactly the same consensus trace
+// — commit sequences, strength events, message and event counts — as the
+// identical run without it.
+func TestObservabilityPreservesDeterminism(t *testing.T) {
+	for _, eng := range []sft.Engine{sft.DiemBFT, sft.Streamlet} {
+		t.Run(eng.String(), func(t *testing.T) {
+			plain := runFacade(t, eng)
+			observed, nodes := runFacadeNodes(t, eng, sft.WithObservability(sft.ObsConfig{}))
+			plain.equal(t, observed)
+			if len(plain.commits[0]) == 0 {
+				t.Fatal("run committed nothing; determinism comparison is vacuous")
+			}
+			// The sink must have actually seen the run it did not perturb.
+			o := nodes[0].Obs()
+			if o == nil {
+				t.Fatal("WithObservability did not attach a sink")
+			}
+			if o.Commits() == 0 {
+				t.Fatalf("obs saw no commits; facade observer saw %d", len(plain.commits[0]))
+			}
+			if got, want := o.Commits(), int64(len(plain.commits[0])); got != want {
+				t.Fatalf("obs counted %d commits, facade observer %d", got, want)
+			}
+			if o.CurrentRound() == 0 {
+				t.Fatal("obs saw no round advances")
+			}
+			if o.Tracer().Len() == 0 {
+				t.Fatal("tracer recorded no block lifecycles")
+			}
+		})
+	}
+}
+
+// TestObservabilityMetricsSnapshot checks the extended MetricsSnapshot
+// fields and the health wiring: round/commit counters fill in, the health
+// monitor ingests the chain's justify QCs, and String() reports diversity.
+func TestObservabilityMetricsSnapshot(t *testing.T) {
+	_, nodes := runFacadeNodes(t, sft.DiemBFT, sft.WithObservability(sft.ObsConfig{}))
+	node := nodes[0]
+	snap := node.Metrics()
+	if snap.Round == 0 {
+		t.Fatal("snapshot Round not filled from obs")
+	}
+	if !snap.HealthLive {
+		t.Fatal("snapshot HealthLive false with observability on")
+	}
+	// 4 replicas, all honest and connected: every replica's votes appear in
+	// recent QCs, so full diversity and no stragglers.
+	if snap.HealthDiversity != detN {
+		t.Fatalf("diversity %d, want %d", snap.HealthDiversity, detN)
+	}
+	if len(snap.HealthStragglers) != 0 {
+		t.Fatalf("unexpected stragglers %v in a healthy cluster", snap.HealthStragglers)
+	}
+	if !strings.Contains(snap.String(), "diversity") {
+		t.Fatalf("String() misses health section: %q", snap.String())
+	}
+	rep, ok := node.Health()
+	if !ok {
+		t.Fatal("Health() not live with observability on")
+	}
+	if rep.QCsObserved == 0 {
+		t.Fatal("health monitor ingested no QCs")
+	}
+	if rep.Diversity != detN {
+		t.Fatalf("health diversity %d, want %d", rep.Diversity, detN)
+	}
+
+	// Without the option, the surface reads as absent, not zero-valued-live.
+	_, plainNodes := runFacadeNodes(t, sft.DiemBFT)
+	if plainNodes[0].Obs() != nil {
+		t.Fatal("Obs() non-nil without WithObservability")
+	}
+	if _, ok := plainNodes[0].Health(); ok {
+		t.Fatal("Health() live without WithObservability")
+	}
+	if s := plainNodes[0].Metrics(); s.HealthLive || strings.Contains(s.String(), "diversity") {
+		t.Fatalf("health fields leaked into plain snapshot: %q", s.String())
+	}
+}

@@ -34,6 +34,9 @@ type settings struct {
 	adversary      []AdversarySpec
 	adversaryPeers []ReplicaID
 
+	obsEnabled bool
+	obsCfg     ObsConfig
+
 	payload      func(Round) Payload
 	roundTimeout time.Duration
 	extraWait    time.Duration
@@ -217,6 +220,33 @@ func WithMetrics(m *Metrics) Option {
 			return
 		}
 		s.metrics = m
+	}
+}
+
+// ObsConfig tunes WithObservability. The zero value is a sensible default.
+type ObsConfig struct {
+	// TraceCapacity bounds the block-lifecycle ring buffer behind /tracez
+	// (default 256 blocks; older traces are evicted).
+	TraceCapacity int
+	// HealthWindow is the sliding window, in rounds, over which QC voter
+	// diversity and stragglers are scored (default 2N — two full leader
+	// rotations, Theorem 2's argument).
+	HealthWindow Round
+}
+
+// WithObservability attaches the operator-grade observability sink: a
+// metric registry instrumenting every layer (rounds, votes, QCs, commit and
+// strength-rise latency histograms per level, WAL flush/fsync, per-peer
+// transport frames, prevalidation), a block-lifecycle tracer, and the
+// Section 5 health monitor fed from commit-event justify QCs. Read it
+// through Node.Obs and Node.Health, or serve it over HTTP with
+// obs.NewHandler (cmd/sftnode -obs-addr). Observation is pure — engine
+// metrics are timestamped on the engine clock, so a Simnet run produces the
+// same consensus trace (bit-identical fingerprint) with or without it.
+func WithObservability(cfg ObsConfig) Option {
+	return func(s *settings) {
+		s.obsEnabled = true
+		s.obsCfg = cfg
 	}
 }
 

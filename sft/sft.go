@@ -42,12 +42,14 @@ import (
 	"repro/internal/core"
 	"repro/internal/crypto"
 	"repro/internal/diembft"
+	"repro/internal/health"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/types"
 )
 
 // Version identifies the facade API generation (cmd/sftnode -version).
-const Version = "0.4.0"
+const Version = "0.5.0"
 
 // Re-exported chain types: the facade's vocabulary is the same as the
 // engines', so values flow between the public API and the internal packages
@@ -296,6 +298,18 @@ func New(cfg Config, opts ...Option) (*Node, error) {
 		n.metrics = &Metrics{}
 	}
 
+	// Observability: built before the WAL opens so flush latencies of the
+	// recovery replay's first appends are already counted, and before the
+	// transport attaches so the network and prevalidation layers see it.
+	if s.obsEnabled {
+		n.obs = obs.New(obs.Options{
+			N:             cfg.N,
+			F:             cfg.F(),
+			TraceCapacity: s.obsCfg.TraceCapacity,
+		})
+		n.health = &healthState{mon: health.NewMonitor(cfg.N, types.Round(s.obsCfg.HealthWindow))}
+	}
+
 	// Durability: open (and replay) the WAL before the engine is built so
 	// the journal rides into the engine spec and the recovered state can be
 	// restored into the fresh engine. Real transports fsync; the simulator
@@ -303,7 +317,7 @@ func New(cfg Config, opts ...Option) (*Node, error) {
 	var journal *journalHandle
 	var recovery *core.Recovery
 	if s.walDir != "" {
-		j, rec, err := compose.OpenWAL(s.walDir, !s.transport.simulated())
+		j, rec, err := compose.OpenWALObserved(s.walDir, !s.transport.simulated(), walObserver(n.obs))
 		if err != nil {
 			return nil, err
 		}
@@ -336,6 +350,7 @@ func New(cfg Config, opts ...Option) (*Node, error) {
 		DisableEcho:      s.disableEcho,
 		Payload:          s.payload,
 		BatchWorkers:     s.batchWorkers(cfg.N),
+		Obs:              n.obs,
 	}
 	if s.engine == DiemBFT && rule.Votes == VoteIntervals {
 		spec.VoteMode = diembft.VoteIntervals
@@ -417,4 +432,13 @@ func composeProtocol(e Engine) compose.Protocol {
 		return compose.Streamlet
 	}
 	return compose.DiemBFT
+}
+
+// walObserver adapts an obs sink (possibly nil) into the WAL's flush hook.
+// A nil func keeps the WAL's zero-overhead fast path.
+func walObserver(o *obs.Obs) func(d time.Duration, bytes int, synced bool) {
+	if o == nil {
+		return nil
+	}
+	return o.ObserveWALFlush
 }

@@ -52,6 +52,7 @@ func (t *tcpTransport) attach(n *Node) error {
 		Listen:    t.cfg.Listen,
 		Peers:     t.cfg.Peers,
 		DialRetry: t.cfg.DialRetry,
+		Obs:       n.obs,
 	}
 	if n.pipeline {
 		pe, ok := n.eng.(engine.Pipelined)
@@ -111,7 +112,8 @@ func (t *localTransport) attach(n *Node) error {
 // prevalidation hook; TCP verifies on its per-peer readers instead.
 func attachRuntime(n *Node, tr runtime.Transport, workerPool bool) error {
 	opts := runtime.Options{
-		N: n.cfg.N,
+		N:   n.cfg.N,
+		Obs: n.obs,
 		OnCommit: func(b *types.Block) {
 			n.onCommit(n.now(), b)
 		},
