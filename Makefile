@@ -8,12 +8,13 @@ FUZZ_TARGETS = \
 	./internal/types:FuzzDecodeQC \
 	./internal/types:FuzzDecodeCompactQC \
 	./internal/types:FuzzDecodeBlock \
+	./internal/types:FuzzDecodeTC \
 	./internal/tcpnet:FuzzServeFrames$$ \
 	./internal/tcpnet:FuzzServeFramesMultiPeer
 FUZZTIME_SMOKE ?= 20s
 FUZZTIME_LONG ?= 10m
 
-.PHONY: all build build-examples vet test test-race bench bench-smoke bench-micro bench-guard fuzz-smoke fuzz-long adversary-fuzz adversary-fuzz-agg compactcert obs-smoke
+.PHONY: all build build-examples vet test test-race bench bench-smoke bench-micro bench-guard fuzz-smoke fuzz-long adversary-fuzz adversary-fuzz-agg compactcert liveness-attack obs-smoke
 
 all: test
 
@@ -93,6 +94,14 @@ adversary-fuzz-agg:
 # bytes and verify CPU, vector vs aggregated form, under real ed25519.
 compactcert:
 	$(GO) run ./cmd/sftbench -experiment compactcert -seed 1
+
+# Liveness under attack: f timeout-spam + lie-round-entry colluders against
+# the passive baseline vs the active, attack-hardened pacemaker at one seed
+# (explicit-only in sftbench; this is its acceptance shape). The experiment
+# fails unless the hardened arm stays live with its per-peer timeout buffer
+# bounded while the passive arm's grows without bound.
+liveness-attack:
+	$(GO) run ./cmd/sftbench -experiment livenessattack -seed 1 -n 7 -duration 10s
 
 # Ops-surface smoke: start a live 4-node TCP cluster with -obs-addr and
 # assert /metrics serves well-formed Prometheus exposition, /healthz is 200,

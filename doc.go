@@ -68,9 +68,30 @@
 //     Byzantine, its honest engine wrapped with the composed behavior
 //     chain (Adversary* kinds: equivocation, vote withholding,
 //     double-signing, marker lying, fork revival, round starvation,
-//     signature corruption, garbage, replay, drop/delay/duplicate).
+//     signature corruption, garbage, replay, drop/delay/duplicate,
+//     timeout spamming, round-entry lying).
 //     WithAdversaryPeers names its coalition — the paper's adversary
 //     coordinates, and coalition-aware behaviors (fork revival) use it.
+//   - WithPacemaker(PacemakerConfig{Active, Window, PerPeerTimeoutCap,
+//     LeaderReputation}) — the attack-hardened active pacemaker (DiemBFT
+//     only; PR 8). Active mode broadcasts justified RoundEntry
+//     announcements (QC or 2f+1-attestation timeout certificate), rejects
+//     unjustified round advances, and drops timeouts claiming rounds more
+//     than Window (default 8) past the local round before any signature
+//     work; PerPeerTimeoutCap (default 8, enforced in passive mode too)
+//     bounds buffered timeouts per peer so spam holds O(cap) memory;
+//     LeaderReputation > 0 deterministically skips recently-timed-out
+//     leaders without consulting WAL recovery state. Determinism
+//     contract: with LeaderReputation off, fixed-seed runs pin
+//     bit-identical to the passive baseline — active mode only adds
+//     validated messages and rejections, never changing what honest
+//     replicas do on an honest schedule. The zero config (the default)
+//     is the passive paper baseline, unchanged. `sftbench -experiment
+//     livenessattack` (make liveness-attack) runs the passive-vs-active
+//     A/B under timeout-spam + lie-round-entry colluders, and
+//     sft_pacemaker_rejected_timeouts_total{reason} /
+//     sft_round_entry_rejected_total{reason} expose rejections on
+//     /metrics.
 //
 // Commit-strength subscriptions are how clients consume the paper's
 // contribution. Node.Commits() returns an independent channel of

@@ -75,9 +75,22 @@ type Spec struct {
 	QCCacheSize    int
 	BatchWorkers   int
 
+	// Active pacemaker (DiemBFT-only; see diembft.Config). ActivePacemaker
+	// turns on justified round entry and the bounded future window
+	// (TimeoutWindow, 0 = default); PerPeerTimeoutCap bounds buffered
+	// timeouts per peer in both modes; LeaderReputationWindow > 0 enables
+	// leader-reputation rotation.
+	ActivePacemaker        bool
+	TimeoutWindow          types.Round
+	PerPeerTimeoutCap      int
+	LeaderReputationWindow types.Round
+
 	// Streamlet-only knobs.
 	Delta       time.Duration
 	DisableEcho bool
+	// ProposalWindow bounds how far ahead of the local lock-step round a
+	// Streamlet proposal may claim to be (0 = unbounded baseline).
+	ProposalWindow types.Round
 
 	// Shared.
 	Payload func(r types.Round) types.Payload
@@ -119,6 +132,9 @@ func Engine(s Spec) (engine.Engine, error) {
 		if s.FBFT || s.VoteMode != 0 {
 			return nil, fmt.Errorf("compose: FBFT/VoteMode are DiemBFT-only knobs")
 		}
+		if s.ActivePacemaker || s.TimeoutWindow != 0 || s.PerPeerTimeoutCap != 0 || s.LeaderReputationWindow != 0 {
+			return nil, fmt.Errorf("compose: the active pacemaker is a DiemBFT-only subsystem (Streamlet has no timeouts; use ProposalWindow)")
+		}
 		eng, err = streamlet.New(streamlet.Config{
 			ID:                s.ID,
 			N:                 s.N,
@@ -130,12 +146,16 @@ func Engine(s Spec) (engine.Engine, error) {
 			SFT:               s.SFT,
 			Horizon:           s.Horizon,
 			DisableEcho:       s.DisableEcho,
+			ProposalWindow:    s.ProposalWindow,
 			Payload:           s.Payload,
 			NaiveEndorsements: s.NaiveEndorsements,
 			Journal:           s.Journal,
 			Obs:               s.Obs,
 		})
 	case DiemBFT, 0:
+		if s.ProposalWindow != 0 {
+			return nil, fmt.Errorf("compose: ProposalWindow is a Streamlet-only knob (DiemBFT bounds rounds via the active pacemaker)")
+		}
 		eng, err = diembft.New(diembft.Config{
 			ID:                s.ID,
 			N:                 s.N,
@@ -160,6 +180,11 @@ func Engine(s Spec) (engine.Engine, error) {
 			NaiveEndorsements: s.NaiveEndorsements,
 			Journal:           s.Journal,
 			Obs:               s.Obs,
+
+			ActivePacemaker:        s.ActivePacemaker,
+			TimeoutWindow:          s.TimeoutWindow,
+			PerPeerTimeoutCap:      s.PerPeerTimeoutCap,
+			LeaderReputationWindow: s.LeaderReputationWindow,
 		})
 	default:
 		return nil, fmt.Errorf("compose: unknown protocol %v", s.Protocol)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/crypto"
+	"repro/internal/obs"
 	"repro/internal/pacemaker"
 	"repro/internal/statesync"
 	"repro/internal/types"
@@ -45,6 +46,8 @@ func (r *Replica) Prevalidate(from types.ReplicaID, msg types.Message) error {
 		return crypto.VerifyVote(r.cfg.Verifier, m.Vote)
 	case *types.Timeout:
 		return r.prevalidateTimeout(m)
+	case *types.RoundEntry:
+		return r.prevalidateRoundEntry(m)
 	case *types.ExtraVote:
 		return crypto.VerifyVote(r.cfg.Verifier, m.Vote)
 	case *types.SyncResponse:
@@ -68,7 +71,9 @@ func (r *Replica) prevalidateProposal(p *types.Proposal) error {
 	if p.Block.Round != p.Round || p.Block.Proposer != p.Sender {
 		return fmt.Errorf("diembft: proposal round/proposer mismatch")
 	}
-	if pacemaker.Leader(p.Round, r.cfg.N) != p.Sender {
+	if r.cfg.LeaderReputationWindow <= 0 && pacemaker.Leader(p.Round, r.cfg.N) != p.Sender {
+		// Reputation rotation reads the (mutable) block store, so its leader
+		// check stays on the event loop; validProposal always re-checks.
 		return fmt.Errorf("diembft: proposal from non-leader %v", p.Sender)
 	}
 	if p.Block.Justify.Block != p.Block.Parent {
@@ -90,12 +95,76 @@ func (r *Replica) prevalidateProposal(p *types.Proposal) error {
 // and gets the full check. For honest traffic (network timeouts always name
 // a remote sender) the two paths behave identically.
 func (r *Replica) prevalidateTimeout(t *types.Timeout) error {
+	// Active-mode window and structural checks run BEFORE any signature math:
+	// dropping a spammed far-future timeout here costs a comparison, not a
+	// verification — that asymmetry is the whole point of the bounded window.
+	// The round snapshot may lag the event loop by one event; it only ever
+	// lags (rounds never regress), so stale drops are sound and a borderline
+	// in-window message is simply re-judged by the state stage.
+	if r.pm.Active() {
+		if cur := types.Round(r.curRound.Load()); t.Round > cur+r.pm.Window() {
+			r.cfg.Obs.OnTimeoutRejected(obs.ReasonFutureWindow)
+			return fmt.Errorf("diembft: timeout for round %d beyond window (at %d)", t.Round, cur)
+		}
+		if t.HighQC == nil {
+			r.cfg.Obs.OnTimeoutRejected(obs.ReasonMismatch)
+			return fmt.Errorf("diembft: timeout without high QC")
+		}
+	}
+	if t.HighQC != nil && t.HighRound != t.HighQC.Round {
+		r.cfg.Obs.OnTimeoutRejected(obs.ReasonMismatch)
+		return fmt.Errorf("diembft: timeout high-round claim %d does not match QC round %d", t.HighRound, t.HighQC.Round)
+	}
 	if !r.cfg.Verifier.Verify(t.Sender, t.SigningPayload(), t.Signature) {
 		return fmt.Errorf("diembft: bad timeout signature from %v", t.Sender)
 	}
 	if t.HighQC != nil {
 		// verifyQC structure-checks the certificate itself.
 		return r.verifyQC(t.HighQC)
+	}
+	return nil
+}
+
+// prevalidateRoundEntry mirrors onRoundEntry's verification off-loop. The
+// cheap structural and window checks run first so forged entries cost no
+// signature work; QC verification lands in the shared cache, so the state
+// stage's own processQC path turns into cache hits.
+func (r *Replica) prevalidateRoundEntry(e *types.RoundEntry) error {
+	if !r.pm.Active() {
+		return nil // the passive state stage ignores these entirely
+	}
+	cur := types.Round(r.curRound.Load())
+	if e.Round <= cur {
+		r.cfg.Obs.OnRoundEntryRejected(obs.ReasonStale)
+		return fmt.Errorf("diembft: stale round entry for %d (at %d)", e.Round, cur)
+	}
+	if e.Round > cur+r.pm.Window() {
+		r.cfg.Obs.OnRoundEntryRejected(obs.ReasonFutureWindow)
+		return fmt.Errorf("diembft: round entry for %d beyond window (at %d)", e.Round, cur)
+	}
+	hasQC, hasTC := e.Justify != nil, e.TC != nil
+	if hasQC == hasTC {
+		r.cfg.Obs.OnRoundEntryRejected(obs.ReasonNoJustify)
+		return fmt.Errorf("diembft: round entry needs exactly one justification")
+	}
+	if (hasQC && e.Justify.Round+1 != e.Round) || (hasTC && e.TC.Round+1 != e.Round) {
+		r.cfg.Obs.OnRoundEntryRejected(obs.ReasonBadJustify)
+		return fmt.Errorf("diembft: round entry justification does not prove round %d", e.Round)
+	}
+	if !r.cfg.Verifier.Verify(e.Sender, e.SigningPayload(), e.Signature) {
+		r.cfg.Obs.OnRoundEntryRejected(obs.ReasonBadSignature)
+		return fmt.Errorf("diembft: bad round entry signature from %v", e.Sender)
+	}
+	if hasQC {
+		if err := r.verifyQC(e.Justify); err != nil {
+			r.cfg.Obs.OnRoundEntryRejected(obs.ReasonBadJustify)
+			return err
+		}
+		return nil
+	}
+	if err := crypto.VerifyTC(r.cfg.Verifier, e.TC, r.cfg.quorum()); err != nil {
+		r.cfg.Obs.OnRoundEntryRejected(obs.ReasonBadJustify)
+		return err
 	}
 	return nil
 }

@@ -67,7 +67,7 @@ func TestPrevalidateVoteAndTimeout(t *testing.T) {
 		votes = append(votes, qv)
 	}
 	qc := &types.QC{Block: good.Block.ID(), Round: 1, Height: 1, Votes: votes}
-	to := &types.Timeout{Round: 2, HighQC: qc, Sender: 3}
+	to := &types.Timeout{Round: 2, HighQC: qc, HighRound: qc.Round, Sender: 3}
 	to.Signature = ring.Signer(3).Sign(to.SigningPayload())
 	if err := rep.Prevalidate(3, to); err != nil {
 		t.Fatalf("genuine timeout rejected: %v", err)
@@ -76,13 +76,13 @@ func TestPrevalidateVoteAndTimeout(t *testing.T) {
 	corrupted := &types.QC{Block: qc.Block, Round: qc.Round, Height: qc.Height}
 	corrupted.Votes = append([]types.Vote(nil), qc.Votes...)
 	corrupted.Votes[1].Signature = []byte("forged")
-	badTO := &types.Timeout{Round: 2, HighQC: corrupted, Sender: 3}
+	badTO := &types.Timeout{Round: 2, HighQC: corrupted, HighRound: corrupted.Round, Sender: 3}
 	badTO.Signature = ring.Signer(3).Sign(badTO.SigningPayload())
 	if err := rep.Prevalidate(3, badTO); err == nil {
 		t.Fatal("timeout with corrupted high QC passed prevalidation")
 	}
 
-	badSig := &types.Timeout{Round: 2, HighQC: qc, Sender: 3}
+	badSig := &types.Timeout{Round: 2, HighQC: qc, HighRound: qc.Round, Sender: 3}
 	badSig.Signature = ring.Signer(2).Sign(badSig.SigningPayload())
 	if err := rep.Prevalidate(3, badSig); err == nil {
 		t.Fatal("timeout with forged sender signature passed prevalidation")
@@ -107,7 +107,7 @@ func TestSpoofedSelfTimeoutRejected(t *testing.T) {
 		votes = append(votes, v)
 	}
 	forgedQC := &types.QC{Block: b1.ID(), Round: 5, Height: 1, Votes: votes}
-	spoofed := &types.Timeout{Round: 5, HighQC: forgedQC, Sender: 1 /* the receiver itself */}
+	spoofed := &types.Timeout{Round: 5, HighQC: forgedQC, HighRound: forgedQC.Round, Sender: 1 /* the receiver itself */}
 	spoofed.Signature = []byte("forged")
 
 	rep.OnMessage(0, 2, spoofed) // delivered from the network, not loopback

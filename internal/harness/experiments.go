@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/adversary"
 	"repro/internal/diembft"
+	"repro/internal/pacemaker"
 	"repro/internal/simnet"
 	"repro/internal/types"
 )
@@ -334,6 +335,118 @@ func Theorem3(sc Scale, t int) (marker, interval *Result, target int, err error)
 		return nil, nil, 0, err
 	}
 	return marker, interval, target, nil
+}
+
+// LivenessAttackResult pairs the two arms of the pacemaker-hardening A/B:
+// the same seed, cluster and adversary coalition run once against the
+// passive paper baseline (per-peer timeout cap effectively removed, as
+// before the hardening) and once against the active pacemaker with
+// justified round entry, the future window, the default per-peer cap and
+// leader-reputation rotation.
+type LivenessAttackResult struct {
+	Passive, Active *Result
+	// PassivePeak / ActivePeak are the worst single-peer timeout-buffer
+	// high-watermarks across replicas — the memory-exhaustion evidence.
+	PassivePeak, ActivePeak int
+	// PassiveDropped / ActiveDropped count timeouts the per-peer cap shed.
+	PassiveDropped, ActiveDropped uint64
+	// Cap is the hardened arm's per-peer bound (ActivePeak must stay <= Cap).
+	Cap int
+}
+
+func peakPacemaker(res *Result) (peak int, dropped uint64) {
+	for _, st := range res.Pacemakers {
+		if st.PeakPerPeer > peak {
+			peak = st.PeakPerPeer
+		}
+		dropped += st.Dropped
+	}
+	return peak, dropped
+}
+
+// LivenessAttack runs the liveness-under-attack experiment: f colluders
+// composing timeout-spam at full cadence with round-entry lying, against an
+// otherwise healthy cluster. The experiment asserts the hardening claim
+// outright — both arms must stay safe (the attack forges no protocol
+// content, so the invariant checkers run at t=0), the active arm must keep
+// committing with its worst per-peer timeout buffer bounded by the cap, and
+// the passive arm must exhibit the unbounded buffer growth the hardening
+// removes. Defaults to the acceptance shape (n=7, f=2, 10 virtual seconds)
+// rather than paper scale.
+func LivenessAttack(sc Scale) (*LivenessAttackResult, error) {
+	if sc.N == 0 {
+		sc.N, sc.F = 7, 2
+	}
+	if sc.Duration == 0 {
+		sc.Duration = 10 * time.Second
+	}
+	if sc.Seed == 0 {
+		sc.Seed = 1
+	}
+	byz := make(map[types.ReplicaID][]adversary.Spec, sc.F)
+	for i := 0; i < sc.F; i++ {
+		// Consecutive trailing IDs: adjacent leader slots maximize the rounds
+		// the coalition fronts.
+		byz[types.ReplicaID(sc.N-1-i)] = []adversary.Spec{
+			{Kind: adversary.TimeoutSpam, Every: 1},
+			{Kind: adversary.LieRoundEntry, Every: 2},
+		}
+	}
+	mk := func(active bool) *Scenario {
+		model := simnet.NewSymmetricModel(sc.N, 3, intraDelay, 20*time.Millisecond, 5*time.Millisecond)
+		s := &Scenario{
+			Name:             "livenessattack",
+			N:                sc.N,
+			F:                sc.F,
+			Latency:          model,
+			Seed:             sc.Seed,
+			Duration:         sc.Duration,
+			RoundTimeout:     250 * time.Millisecond,
+			SFT:              true,
+			VerifySignatures: true,
+			Scheme:           sc.Scheme,
+			VerifyPipeline:   sc.Pipeline,
+			Adversaries:      byz,
+			RecordStrengths:  true,
+			RecordChains:     true,
+		}
+		if active {
+			s.ActivePacemaker = true
+			s.LeaderReputationWindow = 8
+		} else {
+			// The pre-hardening pacemaker buffered timeouts without a
+			// per-peer bound; an effectively infinite cap reproduces that
+			// while keeping the Stats accounting live.
+			s.PerPeerTimeoutCap = 1 << 20
+		}
+		return s
+	}
+	out := &LivenessAttackResult{Cap: pacemaker.DefaultPerPeerCap}
+	var err error
+	if out.Passive, err = Run(mk(false)); err != nil {
+		return nil, err
+	}
+	if out.Active, err = Run(mk(true)); err != nil {
+		return nil, err
+	}
+	t := adversary.ForgingReplicas(byz)
+	for arm, res := range map[string]*Result{"passive": out.Passive, "active": out.Active} {
+		if vs := CheckInvariants(res, t); len(vs) > 0 {
+			return nil, fmt.Errorf("livenessattack: %s arm safety violated: %s", arm, vs[0])
+		}
+	}
+	out.PassivePeak, out.PassiveDropped = peakPacemaker(out.Passive)
+	out.ActivePeak, out.ActiveDropped = peakPacemaker(out.Active)
+	if out.Active.CommittedBlocks < 3 {
+		return nil, fmt.Errorf("livenessattack: hardened arm stalled (%d commits)", out.Active.CommittedBlocks)
+	}
+	if out.ActivePeak > out.Cap {
+		return nil, fmt.Errorf("livenessattack: hardened arm's per-peer buffer peaked at %d > cap %d", out.ActivePeak, out.Cap)
+	}
+	if out.PassivePeak <= out.Cap {
+		return nil, fmt.Errorf("livenessattack: passive arm peaked at only %d — the attack demonstrated nothing", out.PassivePeak)
+	}
+	return out, nil
 }
 
 // CrashRecoveryResult aggregates the kill/restart/state-sync-rejoin

@@ -33,6 +33,61 @@ func TestTheorem2Liveness(t *testing.T) {
 	}
 }
 
+// TestLivenessAttack runs the pacemaker-hardening A/B at acceptance scale:
+// the experiment itself asserts safety on both arms, liveness and bounded
+// per-peer timeout memory on the hardened arm, and demonstrated unbounded
+// growth on the passive baseline.
+func TestLivenessAttack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	res, err := harness.LivenessAttack(harness.Scale{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Active.CommittedBlocks < res.Passive.CommittedBlocks/2 {
+		t.Errorf("hardened arm committed %d blocks vs passive %d — hardening cost liveness",
+			res.Active.CommittedBlocks, res.Passive.CommittedBlocks)
+	}
+	t.Logf("passive: %d commits, peak per-peer buffer %d; active: %d commits, peak %d (cap %d)",
+		res.Passive.CommittedBlocks, res.PassivePeak,
+		res.Active.CommittedBlocks, res.ActivePeak, res.Cap)
+}
+
+// TestPacemakerCanary pins the fuzz-side A/B demo the sftbench adversary
+// sweep runs: same seed, passive buffer grows past the cap, active stays
+// bounded, both safe.
+func TestPacemakerCanary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	_, passive, pv, err := harness.PacemakerCanary(3, 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, active, av, err := harness.PacemakerCanary(3, 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pv) > 0 || len(av) > 0 {
+		t.Fatalf("canary violated safety: passive=%v active=%v", pv, av)
+	}
+	peak := func(r *harness.Result) (p int) {
+		for _, st := range r.Pacemakers {
+			if st.PeakPerPeer > p {
+				p = st.PeakPerPeer
+			}
+		}
+		return p
+	}
+	if got := peak(active); got > 8 {
+		t.Errorf("active arm per-peer buffer peaked at %d > cap", got)
+	}
+	if got := peak(passive); got <= 8 {
+		t.Errorf("passive arm peaked at only %d — spam demonstrated nothing", got)
+	}
+}
+
 func TestTheorem3IntervalVsMarker(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation experiment")

@@ -91,6 +91,14 @@ type FuzzScenario struct {
 	Naive        bool
 	Scheme       string // "" = crypto.SchemeSim
 
+	// Pacemaker knobs (DiemBFT only). The generator samples the active
+	// pacemaker so justified round entry and timeout validation run under
+	// the full adversary mix; the liveness canary additionally pins
+	// LeaderReputation and PerPeerCap for its A/B arms.
+	ActivePacemaker  bool
+	LeaderReputation types.Round
+	PerPeerCap       int
+
 	// Network model (uniform latency keeps specs compact).
 	LatencyBase, LatencyJitter time.Duration
 
@@ -140,6 +148,16 @@ func GenFuzzScenario(seed int64, index int, opts FuzzOptions) FuzzScenario {
 		s.VoteMode = diembft.VoteMarker
 		if rng.Float64() < 0.3 {
 			s.VoteMode = diembft.VoteIntervals
+		}
+		// Sample the active pacemaker (and occasionally leader reputation)
+		// so justified round entry faces the same adversary mix as the
+		// baseline — benign active scenarios must still pass the Theorem 2
+		// liveness checks below.
+		if rng.Float64() < 0.35 {
+			s.ActivePacemaker = true
+			if rng.Float64() < 0.5 {
+				s.LeaderReputation = 8
+			}
 		}
 	} else {
 		s.Protocol = ProtoStreamlet
@@ -251,6 +269,10 @@ func sampleBehavior(rng *rand.Rand) adversary.Spec {
 		return adversary.Spec{Kind: adversary.Garbage, Every: 3 + rng.Intn(5)}
 	case adversary.ReplayStale:
 		return adversary.Spec{Kind: adversary.ReplayStale, Every: 3 + rng.Intn(5)}
+	case adversary.TimeoutSpam:
+		return adversary.Spec{Kind: adversary.TimeoutSpam, Every: 2 + rng.Intn(4)}
+	case adversary.LieRoundEntry:
+		return adversary.Spec{Kind: adversary.LieRoundEntry, Every: 2 + rng.Intn(4)}
 	case adversary.Drop:
 		return adversary.Spec{Kind: adversary.Drop, P: 0.1 + 0.4*rng.Float64()}
 	case adversary.Delay:
@@ -283,6 +305,10 @@ func (s FuzzScenario) Scenario() *Scenario {
 		VerifySignatures: s.Verify,
 		Scheme:           s.Scheme,
 
+		ActivePacemaker:        s.ActivePacemaker,
+		LeaderReputationWindow: s.LeaderReputation,
+		PerPeerTimeoutCap:      s.PerPeerCap,
+
 		NaiveEndorsements: s.Naive,
 		Adversaries:       s.Adversaries,
 		Crashes:           s.Crashes,
@@ -308,6 +334,15 @@ func (s FuzzScenario) String() string {
 	}
 	if s.Protocol == ProtoDiemBFT && s.VoteMode == diembft.VoteIntervals {
 		b.WriteString(" votes=intervals")
+	}
+	if s.ActivePacemaker {
+		b.WriteString(" active-pm")
+		if s.LeaderReputation > 0 {
+			fmt.Fprintf(&b, " rep=%d", s.LeaderReputation)
+		}
+	}
+	if s.PerPeerCap > 0 {
+		fmt.Fprintf(&b, " peercap=%d", s.PerPeerCap)
 	}
 	if s.Naive {
 		b.WriteString(" NAIVE-RULE")
@@ -678,4 +713,55 @@ func WeakenedRuleCanary(seed int64, n int, naive bool) (FuzzScenario, []string, 
 	}
 	_, violations, err := RunFuzzScenario(spec)
 	return spec, violations, err
+}
+
+// PacemakerCanary runs the directed liveness attack — f colluders composing
+// timeout-spam at full cadence with round-entry lying — under one seed and
+// returns the run plus the safety checker's findings. With active false the
+// scenario models the unhardened baseline: the passive pacemaker with the
+// per-peer timeout cap effectively removed, so the spam accumulates in the
+// timeout buffer without bound (watch Result.Pacemakers' PeakPerPeer climb
+// with the run length). With active true the same seed runs the hardened
+// pacemaker — justified round entry, future-window validation, the default
+// per-peer cap, and leader-reputation rotation — which must keep committing
+// with PeakPerPeer bounded by the cap. Callers compare the two arms; both
+// must stay CheckInvariants-clean, because this is a liveness/resource
+// attack, not a safety one.
+func PacemakerCanary(seed int64, n int, active bool) (FuzzScenario, *Result, []string, error) {
+	f := (n - 1) / 3
+	sub := subSeed(seed, 1<<21) // outside sweep index space and the weakened-rule canary's slot
+	rng := rand.New(rand.NewSource(sub))
+	spec := FuzzScenario{
+		Index:         1 << 21,
+		SubSeed:       sub,
+		Protocol:      ProtoDiemBFT,
+		N:             n,
+		F:             f,
+		VoteMode:      diembft.VoteMarker,
+		Duration:      10 * time.Second,
+		RoundTimeout:  250 * time.Millisecond,
+		Delta:         25 * time.Millisecond,
+		LatencyBase:   5 * time.Millisecond,
+		LatencyJitter: 2 * time.Millisecond,
+		Verify:        true,
+		Adversaries:   make(map[types.ReplicaID][]adversary.Spec, f),
+	}
+	if active {
+		spec.ActivePacemaker = true
+		spec.LeaderReputation = 8
+	} else {
+		// The pre-hardening buffer had no per-peer bound; an effectively
+		// infinite cap reproduces it while keeping Stats accounting live.
+		spec.PerPeerCap = 1 << 20
+	}
+	start := rng.Intn(n)
+	for i := 0; i < f; i++ {
+		id := types.ReplicaID((start + i) % n)
+		spec.Adversaries[id] = []adversary.Spec{
+			{Kind: adversary.TimeoutSpam, Every: 1},
+			{Kind: adversary.LieRoundEntry, Every: 2},
+		}
+	}
+	res, violations, err := RunFuzzScenario(spec)
+	return spec, res, violations, err
 }

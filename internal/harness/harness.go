@@ -20,6 +20,7 @@ import (
 	"repro/internal/diembft"
 	"repro/internal/engine"
 	"repro/internal/metrics"
+	"repro/internal/pacemaker"
 	"repro/internal/simnet"
 	"repro/internal/types"
 	"repro/internal/workload"
@@ -64,9 +65,19 @@ type Scenario struct {
 	Horizon        int
 	PruneKeep      types.Height
 
+	// Active pacemaker knobs (DiemBFT; see diembft.Config). The zero values
+	// are the passive paper baseline.
+	ActivePacemaker        bool
+	TimeoutWindow          types.Round
+	PerPeerTimeoutCap      int
+	LeaderReputationWindow types.Round
+
 	// Streamlet engine knobs.
 	Delta       time.Duration
 	DisableEcho bool
+	// ProposalWindow bounds how far ahead of the lock-step round a
+	// Streamlet proposal may claim to be (0 = unbounded baseline).
+	ProposalWindow types.Round
 
 	VerifySignatures bool
 	// Scheme selects the signature implementation: crypto.SchemeSim (the
@@ -212,6 +223,13 @@ type Result struct {
 	StrengthViolations []string
 	// PartitionDrops counts deliveries discarded by scheduled partitions.
 	PartitionDrops int64
+
+	// Pacemakers holds each DiemBFT replica's final timeout-buffer
+	// accounting (buffered entries, per-peer high-watermark, cap drops) —
+	// the evidence the liveness-attack A/B uses to prove bounded memory
+	// under timeout-spam. Replicas under a CrashPlan report their final
+	// incarnation; Streamlet scenarios leave it empty.
+	Pacemakers map[types.ReplicaID]pacemaker.Stats
 }
 
 // DefaultLevels returns the paper's x sweep {1.0f, 1.1f, ..., 2.0f} as
@@ -569,6 +587,10 @@ func Run(sc *Scenario) (*Result, error) {
 		return compose.OpenWAL(walDir(id), false)
 	}
 
+	// Keep the engine handles: after the run the harness harvests per-replica
+	// pacemaker stats from them (restarted replicas overwrite their slot, so
+	// the map always points at the final incarnation).
+	engines := make(map[types.ReplicaID]engine.Engine, s.N)
 	for i := 0; i < s.N; i++ {
 		id := types.ReplicaID(i)
 		var journal *core.Journal
@@ -583,6 +605,7 @@ func Run(sc *Scenario) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		engines[id] = eng
 		sim.SetEngine(id, eng)
 	}
 	for id, at := range s.Crash {
@@ -615,6 +638,7 @@ func Run(sc *Scenario) (*Result, error) {
 			if err := compose.Restore(eng, rec); err != nil {
 				panic(fmt.Sprintf("harness: restore %v: %v", id, err))
 			}
+			engines[id] = eng
 			return eng
 		})
 	}
@@ -648,6 +672,15 @@ func Run(sc *Scenario) (*Result, error) {
 	res.Blocks = col.blocks
 	res.StrengthViolations = col.violations
 	res.PartitionDrops = sim.PartitionDrops()
+	res.Pacemakers = make(map[types.ReplicaID]pacemaker.Stats, len(engines))
+	for id, eng := range engines {
+		if w, ok := eng.(*adversary.Replica); ok {
+			eng = w.Inner()
+		}
+		if p, ok := eng.(interface{ PacemakerStats() pacemaker.Stats }); ok {
+			res.Pacemakers[id] = p.PacemakerStats()
+		}
+	}
 	return res, nil
 }
 
@@ -669,6 +702,7 @@ func engineSpec(s *Scenario, id types.ReplicaID, ring *crypto.KeyRing, payload f
 			SFT:               s.SFT,
 			Horizon:           s.Horizon,
 			DisableEcho:       s.DisableEcho,
+			ProposalWindow:    s.ProposalWindow,
 			Payload:           payload,
 			NaiveEndorsements: s.NaiveEndorsements,
 			Journal:           journal,
@@ -697,6 +731,11 @@ func engineSpec(s *Scenario, id types.ReplicaID, ring *crypto.KeyRing, payload f
 			PruneKeep:         s.PruneKeep,
 			NaiveEndorsements: s.NaiveEndorsements,
 			Journal:           journal,
+
+			ActivePacemaker:        s.ActivePacemaker,
+			TimeoutWindow:          s.TimeoutWindow,
+			PerPeerTimeoutCap:      s.PerPeerTimeoutCap,
+			LeaderReputationWindow: s.LeaderReputationWindow,
 		}
 		applyAdversary(&spec, s, id)
 		return spec

@@ -57,7 +57,30 @@ type Obs struct {
 	prevalChecked *Counter
 	prevalDropped *Counter
 	prevalQueue   *Gauge
+
+	// Pacemaker hardening: rejected timeouts and round entries, by reason.
+	// Children are pre-registered per reason so hot-path (and prevalidation
+	// reader-goroutine) increments never touch the registry lock.
+	rejTimeouts map[string]*Counter
+	rejEntries  map[string]*Counter
 }
+
+// Rejection reasons for the pacemaker-hardening counter families. The sets
+// are closed so every child pre-registers; an unknown reason lands on
+// ReasonOther rather than allocating a new child at runtime.
+const (
+	ReasonStale        = "stale"
+	ReasonFutureWindow = "future-window"
+	ReasonPeerCap      = "peer-cap"
+	ReasonMismatch     = "high-round-mismatch"
+	ReasonNoJustify    = "no-justify"
+	ReasonBadJustify   = "bad-justify"
+	ReasonBadSignature = "bad-signature"
+	ReasonOther        = "other"
+)
+
+var timeoutReasons = []string{ReasonStale, ReasonFutureWindow, ReasonPeerCap, ReasonMismatch, ReasonBadSignature, ReasonOther}
+var entryReasons = []string{ReasonStale, ReasonFutureWindow, ReasonNoJustify, ReasonBadJustify, ReasonBadSignature, ReasonOther}
 
 // New builds an Obs sink with every metric family pre-registered so hot-path
 // hooks never touch the registry lock.
@@ -111,6 +134,19 @@ func New(o Options) *Obs {
 			"Block creation to x-strong commit, engine clock, by strength level.", LatencyBuckets, lv)
 		s.commitToLevel[x] = r.Histogram("sft_commit_to_strength_seconds",
 			"Local commit to x-strong commit, engine clock, by strength level.", LatencyBuckets, lv)
+	}
+
+	s.rejTimeouts = make(map[string]*Counter, len(timeoutReasons))
+	for _, reason := range timeoutReasons {
+		s.rejTimeouts[reason] = r.Counter("sft_pacemaker_rejected_timeouts_total",
+			"Timeout messages rejected by the pacemaker's validation, by reason.",
+			Label{Key: "reason", Value: reason})
+	}
+	s.rejEntries = make(map[string]*Counter, len(entryReasons))
+	for _, reason := range entryReasons {
+		s.rejEntries[reason] = r.Counter("sft_round_entry_rejected_total",
+			"Round-entry announcements rejected as unjustified, by reason.",
+			Label{Key: "reason", Value: reason})
 	}
 
 	s.framesIn = make([]*Counter, o.N)
@@ -312,6 +348,33 @@ func (o *Obs) PrevalidateQueueAdd(delta int64) {
 	o.prevalQueue.Add(delta)
 }
 
+// OnTimeoutRejected records a timeout message the pacemaker validation
+// rejected (stale, beyond the future window, per-peer cap, inconsistent
+// high-round claim, bad signature). Safe from prevalidation goroutines.
+func (o *Obs) OnTimeoutRejected(reason string) {
+	if o == nil {
+		return
+	}
+	c, ok := o.rejTimeouts[reason]
+	if !ok {
+		c = o.rejTimeouts[ReasonOther]
+	}
+	c.Inc()
+}
+
+// OnRoundEntryRejected records a round-entry announcement rejected as
+// unjustified. Safe from prevalidation goroutines.
+func (o *Obs) OnRoundEntryRejected(reason string) {
+	if o == nil {
+		return
+	}
+	c, ok := o.rejEntries[reason]
+	if !ok {
+		c = o.rejEntries[ReasonOther]
+	}
+	c.Inc()
+}
+
 // --- snapshot accessors (for sft.MetricsSnapshot parity) ------------------
 
 // CurrentRound returns the highest round entered.
@@ -352,4 +415,30 @@ func (o *Obs) Commits() int64 {
 		return 0
 	}
 	return o.commits.Value()
+}
+
+// RejectedTimeouts returns the total timeout messages rejected across all
+// reasons.
+func (o *Obs) RejectedTimeouts() int64 {
+	if o == nil {
+		return 0
+	}
+	var total int64
+	for _, c := range o.rejTimeouts {
+		total += c.Value()
+	}
+	return total
+}
+
+// RoundEntryRejections returns the total round entries rejected across all
+// reasons.
+func (o *Obs) RoundEntryRejections() int64 {
+	if o == nil {
+		return 0
+	}
+	var total int64
+	for _, c := range o.rejEntries {
+		total += c.Value()
+	}
+	return total
 }

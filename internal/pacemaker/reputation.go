@@ -1,0 +1,66 @@
+package pacemaker
+
+import "repro/internal/types"
+
+// ChainInfo is one certified ancestor the reputation rule scores: the block's
+// round and who proposed it. Callers pass the justify ancestry in strictly
+// descending round order (tip first).
+type ChainInfo struct {
+	Round    types.Round
+	Proposer types.ReplicaID
+}
+
+// ReputationLeader elects the leader of round r with leader-reputation
+// rotation: replicas whose most recent round-robin slot inside the window
+// timed out — visible as round gaps in the certified chain — are skipped
+// until they next produce a certified block, so a crashed or slow leader
+// stops stalling one round per rotation.
+//
+// Determinism: the function is pure in (r, n, window, chain), and the chain
+// is the justify ancestry of the proposal under consideration — data the
+// proposer ships inside the proposal itself — so proposer and validators
+// always score from identical inputs, and recovery is free (the ancestry is
+// WAL-journaled with the blocks). Failed rounds are attributed to their
+// round-robin leader; certified blocks are credited to their actual
+// proposer. If every candidate is excluded the plain round-robin leader is
+// returned, so reputation can delay no one forever (liveness falls back to
+// Theorem 2's rotation argument).
+func ReputationLeader(r types.Round, n int, window types.Round, chain []ChainInfo) types.ReplicaID {
+	if window <= 0 || len(chain) == 0 {
+		return Leader(r, n)
+	}
+	lo := types.Round(1)
+	if r > window {
+		lo = r - window
+	}
+	lastFailed := make(map[types.ReplicaID]types.Round, n)
+	lastSuccess := make(map[types.ReplicaID]types.Round, n)
+	prev := r
+	for _, c := range chain {
+		if c.Round >= prev {
+			// Defensive: ignore out-of-order entries instead of mis-scoring.
+			continue
+		}
+		for fr := max(c.Round+1, lo); fr < prev; fr++ {
+			id := Leader(fr, n)
+			if fr > lastFailed[id] {
+				lastFailed[id] = fr
+			}
+		}
+		if c.Round < lo {
+			break
+		}
+		if c.Round > lastSuccess[c.Proposer] {
+			lastSuccess[c.Proposer] = c.Round
+		}
+		prev = c.Round
+	}
+	for k := types.Round(0); k < types.Round(n); k++ {
+		id := Leader(r+k, n)
+		failed, bad := lastFailed[id]
+		if !bad || lastSuccess[id] > failed {
+			return id
+		}
+	}
+	return Leader(r, n)
+}

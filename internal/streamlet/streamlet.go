@@ -7,6 +7,7 @@ package streamlet
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/blockstore"
@@ -43,6 +44,14 @@ type Config struct {
 	// the sender's broadcast alone (fine on the simulator's reliable
 	// links, and much cheaper for large n).
 	DisableEcho bool
+
+	// ProposalWindow, when > 0, drops proposals more than this many rounds
+	// ahead of the local lock-step round — at prevalidation where possible,
+	// so spammed far-future proposals cost a comparison instead of signature
+	// work and orphan-buffer memory. Streamlet rounds are wall-clock slots,
+	// so honest proposals only run ahead by clock skew; 0 keeps the
+	// permissive baseline (and existing fixed-seed runs bit-identical).
+	ProposalWindow types.Round
 
 	// Payload supplies block transactions; nil means empty blocks.
 	Payload func(r types.Round) types.Payload
@@ -117,6 +126,10 @@ type Replica struct {
 	// observation callbacks without a `now` parameter in scope. Only the
 	// event-loop goroutine touches it.
 	evNow time.Duration
+
+	// curRound mirrors round for the Prevalidate goroutines' future-window
+	// checks; the event loop owns round itself.
+	curRound atomic.Int64
 
 	outs []engine.Output
 }
@@ -268,6 +281,7 @@ func (r *Replica) Init(now time.Duration) []engine.Output {
 	if slot := types.Round(now / (2 * r.cfg.Delta)); slot+1 > r.round {
 		r.round = slot + 1
 	}
+	r.curRound.Store(int64(r.round))
 	r.cfg.Obs.OnRoundEnter(r.round, now, false)
 	// Align the first timer to the next slot boundary so a mid-run restart
 	// keeps ticking in phase with the rest of the cluster.
@@ -289,6 +303,7 @@ func (r *Replica) OnTimer(now time.Duration, id int) []engine.Output {
 	r.evNow = now
 	if types.Round(id) == r.round {
 		r.round++
+		r.curRound.Store(int64(r.round))
 		r.cfg.Obs.OnRoundEnter(r.round, now, false)
 		r.outs = append(r.outs, engine.SetTimer{ID: int(r.round), Delay: 2 * r.cfg.Delta})
 		r.maybePropose(now)
@@ -545,6 +560,13 @@ func (r *Replica) onProposal(now time.Duration, p *types.Proposal) {
 
 func (r *Replica) validProposal(p *types.Proposal) bool {
 	if p.Block.Round != p.Round || p.Block.Proposer != p.Sender {
+		return false
+	}
+	if w := r.cfg.ProposalWindow; w > 0 && p.Round > r.round+w {
+		// Bounded future window: an honest leader's proposal is at most a
+		// clock skew ahead of our lock-step slot; a far-future round number
+		// is spam angling for unbounded orphan buffering.
+		r.cfg.Obs.OnRoundEntryRejected(obs.ReasonFutureWindow)
 		return false
 	}
 	if pacemaker.Leader(p.Round, r.cfg.N) != p.Sender {

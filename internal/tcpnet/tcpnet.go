@@ -35,6 +35,7 @@ func RegisterMessages() {
 		gob.Register(&types.SyncResponse{})
 		gob.Register(&types.StateSyncRequest{})
 		gob.Register(&types.StateSyncResponse{})
+		gob.Register(&types.RoundEntry{})
 	})
 }
 

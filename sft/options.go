@@ -45,6 +45,7 @@ type settings struct {
 	disableEcho  bool
 	maxCommitLog int
 	pruneKeep    Height
+	pacemaker    PacemakerConfig
 }
 
 func defaultSettings() settings {
@@ -316,4 +317,49 @@ func WithCommitLog(k int) Option {
 // committed height, bounding memory on long runs.
 func WithPruneKeep(keep Height) Option {
 	return func(s *settings) { s.pruneKeep = keep }
+}
+
+// PacemakerConfig hardens DiemBFT round synchronization against liveness
+// attacks (WithPacemaker).
+type PacemakerConfig struct {
+	// Active turns on justified round entry: every round advance broadcasts
+	// a RoundEntry whose QC-or-TC justification peers validate before
+	// following, and timeouts claiming rounds more than Window ahead of the
+	// local round are dropped at prevalidation.
+	Active bool
+	// Window is the active-mode future window in rounds (0 = default 8).
+	Window Round
+	// PerPeerTimeoutCap bounds buffered timeout messages per peer (0 =
+	// default 8). Enforced in passive mode too, so timeout-spam cannot
+	// exhaust memory either way.
+	PerPeerTimeoutCap int
+	// LeaderReputation, when > 0, skips leaders whose most recent slot in
+	// the last LeaderReputation rounds timed out (visible as round gaps on
+	// the proposal's own justify ancestry), until they certify a block
+	// again. Deterministic and WAL-recovery free, but it changes leader
+	// schedules: with it off (the default), fixed-seed runs are bit-identical
+	// to the passive baseline.
+	LeaderReputation Round
+}
+
+// WithPacemaker configures the attack-hardened active pacemaker (DiemBFT
+// only). The zero config is the passive paper baseline.
+//
+// Determinism contract: a fixed-seed simulation pins bit-identical to the
+// passive baseline as long as LeaderReputation is off — Active mode only
+// adds validated messages and rejections, it never changes what honest
+// replicas do on an honest schedule. Turning LeaderReputation on changes
+// leader schedules (that is its purpose) but remains deterministic per seed.
+func WithPacemaker(cfg PacemakerConfig) Option {
+	return func(s *settings) {
+		if cfg.Window < 0 || cfg.PerPeerTimeoutCap < 0 || cfg.LeaderReputation < 0 {
+			s.fail(fmt.Errorf("sft: pacemaker windows and caps must be non-negative"))
+			return
+		}
+		if !cfg.Active && cfg.Window > 0 {
+			s.fail(fmt.Errorf("sft: pacemaker Window requires Active"))
+			return
+		}
+		s.pacemaker = cfg
+	}
 }

@@ -115,6 +115,14 @@ const (
 	AdversaryDelay = adversary.Delay
 	// AdversaryDuplicate re-sends outbound transmissions with probability P.
 	AdversaryDuplicate = adversary.Duplicate
+	// AdversaryTimeoutSpam floods peers with validly signed far-future
+	// timeouts — the buffer-exhaustion attack WithPacemaker's future window
+	// and per-peer cap bound.
+	AdversaryTimeoutSpam = adversary.TimeoutSpam
+	// AdversaryLieRoundEntry broadcasts round-entry announcements with
+	// missing, mismatched, or fabricated justification — the round-dragging
+	// attack justified round entry rejects.
+	AdversaryLieRoundEntry = adversary.LieRoundEntry
 )
 
 // AdversaryKinds lists every built-in behavior kind.
@@ -354,6 +362,15 @@ func New(cfg Config, opts ...Option) (*Node, error) {
 	}
 	if s.engine == DiemBFT && rule.Votes == VoteIntervals {
 		spec.VoteMode = diembft.VoteIntervals
+	}
+	if s.pacemaker != (PacemakerConfig{}) {
+		if s.engine != DiemBFT {
+			return nil, fmt.Errorf("sft: WithPacemaker is DiemBFT-only (Streamlet rounds are wall-clock slots)")
+		}
+		spec.ActivePacemaker = s.pacemaker.Active
+		spec.TimeoutWindow = s.pacemaker.Window
+		spec.PerPeerTimeoutCap = s.pacemaker.PerPeerTimeoutCap
+		spec.LeaderReputationWindow = s.pacemaker.LeaderReputation
 	}
 	if len(s.adversary) > 0 {
 		spec.Adversary = s.adversary
