@@ -10,11 +10,12 @@ FUZZ_TARGETS = \
 	./internal/types:FuzzDecodeBlock \
 	./internal/types:FuzzDecodeTC \
 	./internal/tcpnet:FuzzServeFrames$$ \
-	./internal/tcpnet:FuzzServeFramesMultiPeer
+	./internal/tcpnet:FuzzServeFramesMultiPeer \
+	./internal/app:FuzzBankApply
 FUZZTIME_SMOKE ?= 20s
 FUZZTIME_LONG ?= 10m
 
-.PHONY: all build build-examples vet test test-race bench bench-smoke bench-micro bench-guard fuzz-smoke fuzz-long adversary-fuzz adversary-fuzz-agg compactcert liveness-attack obs-smoke
+.PHONY: all build build-examples vet test test-race bench bench-smoke bench-micro bench-guard fuzz-smoke fuzz-long adversary-fuzz adversary-fuzz-agg compactcert liveness-attack bank-workload obs-smoke
 
 all: test
 
@@ -62,7 +63,7 @@ bench-micro:
 # micro-benchmarks for the numbers. CI runs this; record results in
 # BENCH_PR<n>.json when they move.
 bench-guard:
-	$(GO) test -run 'Alloc' -count=1 ./internal/types/ ./internal/simnet/ ./internal/core/ ./internal/wal/ ./internal/crypto/ ./internal/obs/
+	$(GO) test -run 'Alloc' -count=1 ./internal/types/ ./internal/simnet/ ./internal/core/ ./internal/wal/ ./internal/crypto/ ./internal/obs/ ./internal/app/
 	$(GO) test -run 'TestCompactQCSizeFlat' -count=1 ./internal/types/
 	$(MAKE) bench-micro
 
@@ -102,6 +103,14 @@ compactcert:
 # bounded while the passive arm's grows without bound.
 liveness-attack:
 	$(GO) run ./cmd/sftbench -experiment livenessattack -seed 1 -n 7 -duration 10s
+
+# The execution-layer workload at its acceptance shape: n=7 replicas each
+# executing the signed-transfer bank before voting, >= 100k accounts with
+# per-transaction ed25519 signatures, reporting submit -> f-strong and
+# submit -> 2f-strong latency into BENCH_PR9.json. The run fails unless every
+# committed height's state root agrees across all replicas.
+bank-workload:
+	$(GO) run ./cmd/sftbench -experiment bankworkload -n 7 -duration 30s -seed 1 -json BENCH_PR9.json
 
 # Ops-surface smoke: start a live 4-node TCP cluster with -obs-addr and
 # assert /metrics serves well-formed Prometheus exposition, /healthz is 200,

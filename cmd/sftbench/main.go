@@ -10,7 +10,7 @@
 //
 // Experiments: fig7a, fig7b, fig8, throughput, msgcomplexity, theorem2,
 // theorem3, streamlet, crashrecovery, adversary, verifypipeline,
-// compactcert, all.
+// compactcert, bankworkload, all.
 // crashrecovery exercises the durability layer: a replica is killed
 // mid-run, restored from its write-ahead log, and re-joins via state sync;
 // the report compares its commits against the no-crash baseline. adversary
@@ -24,6 +24,12 @@
 // batched signature checking) under real crypto and prints the determinism
 // verdict; because it defaults to ed25519 (expensive at paper scale), it
 // runs only when named explicitly, not under "all".
+//
+// bankworkload drives the execute-before-vote bank (deterministic execution
+// with AppHash-certified state) over -accounts accounts with per-transaction
+// ed25519 signatures and reports submit→f-strong vs submit→2f-strong
+// latency. Explicit-only; acceptance shape
+// `-experiment bankworkload -n 7 -duration 30s -json BENCH_PR9.json`.
 //
 // compactcert measures the compact O(1) certificates at committee sizes
 // n=31 vs n=103: quorum-certificate wire bytes and cold verify CPU in
@@ -48,6 +54,7 @@ import (
 
 	"repro/internal/crypto"
 	"repro/internal/harness"
+	"repro/internal/metrics"
 	"repro/internal/pacemaker"
 )
 
@@ -56,7 +63,7 @@ import (
 var experimentNames = []string{
 	"fig7a", "fig7b", "fig8", "throughput", "msgcomplexity",
 	"theorem2", "theorem3", "streamlet", "crashrecovery", "adversary",
-	"verifypipeline", "compactcert", "livenessattack", "all",
+	"verifypipeline", "compactcert", "livenessattack", "bankworkload", "all",
 }
 
 var validExperiments = func() map[string]bool {
@@ -69,7 +76,7 @@ var validExperiments = func() map[string]bool {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run (fig7a|fig7b|fig8|throughput|msgcomplexity|theorem2|theorem3|streamlet|crashrecovery|adversary|verifypipeline|compactcert|livenessattack|all)")
+		experiment = flag.String("experiment", "all", "which experiment to run (fig7a|fig7b|fig8|throughput|msgcomplexity|theorem2|theorem3|streamlet|crashrecovery|adversary|verifypipeline|compactcert|livenessattack|bankworkload|all)")
 		n          = flag.Int("n", 100, "number of replicas (3f+1)")
 		duration   = flag.Duration("duration", 5*time.Minute, "virtual run duration")
 		delta      = flag.Duration("delta", 0, "inter-region delay; 0 sweeps the paper's {100ms,200ms}")
@@ -77,6 +84,9 @@ func main() {
 		scheme     = flag.String("scheme", crypto.SchemeSim, "signature scheme (sim|ed25519|sim-agg|ed25519-agg); the ed25519 schemes imply signature verification, the -agg schemes compact certificates")
 		pipeline   = flag.Bool("pipeline", false, "route experiments through the verification pipeline (prevalidate/apply split)")
 		scenarios  = flag.Int("scenarios", 60, "randomized scenarios for -experiment adversary")
+		accounts   = flag.Uint("accounts", 1<<17, "bank accounts for -experiment bankworkload")
+		txnsPer    = flag.Int("txns-per-block", 128, "transactions per proposal for -experiment bankworkload")
+		unsigned   = flag.Bool("unsigned", false, "skip per-transaction ed25519 signatures in -experiment bankworkload")
 		workers    = flag.Int("workers", 0, "concurrent scenarios for -experiment adversary (0 = GOMAXPROCS; results are identical at any worker count)")
 		jsonPath   = flag.String("json", "", "write machine-readable results (per-experiment latency and per-level strength histograms) to this file")
 	)
@@ -167,6 +177,13 @@ func main() {
 	// adversarial clusters for 5 virtual minutes each.
 	if *experiment == "livenessattack" {
 		run("livenessattack", func() error { return livenessAttack(sc) })
+	}
+	// bankworkload is explicit-only: it drives the execute-before-vote bank
+	// over a large account population (per-transaction ed25519 by default)
+	// and measures submit→x-strong latency at the two assurance levels. Its
+	// acceptance shape is `-experiment bankworkload -n 7 -duration 30s`.
+	if *experiment == "bankworkload" {
+		run("bankworkload", func() error { return bankWorkload(sc, uint32(*accounts), *txnsPer, !*unsigned) })
 	}
 	if *jsonPath != "" {
 		if err := benchWrite(*jsonPath); err != nil {
@@ -370,6 +387,43 @@ func livenessAttack(sc harness.Scale) error {
 		})
 	fmt.Printf("    verdict: hardened pacemaker bounded the buffer (%d <= %d) the passive baseline grew to %d\n",
 		res.ActivePeak, res.Cap, res.PassivePeak)
+	return nil
+}
+
+// bankWorkload drives the deterministic execution layer end to end: every
+// replica executes a signed-transfer bank before voting (AppHash-certified
+// state), the workload pushes transfers and withdrawals across `accounts`
+// accounts, and the report is the paper's knob applied to execution —
+// submit→f-strong (the classical guarantee) vs submit→2f-strong (maximum
+// assurance) latency, over a chain whose state roots all replicas agree on.
+func bankWorkload(sc harness.Scale, accounts uint32, txnsPerBlock int, sign bool) error {
+	res, err := harness.BankWorkload(sc, accounts, txnsPerBlock, sign)
+	if err != nil {
+		return err
+	}
+	sigs := "ed25519 per txn"
+	if !res.Signed {
+		sigs = "disabled"
+	}
+	row := func(name string, s metrics.Summary) []string {
+		return []string{name, fmt.Sprintf("%d", s.Count),
+			fmt.Sprintf("%.3f", s.P50), fmt.Sprintf("%.3f", s.P99), fmt.Sprintf("%.3f", s.Mean)}
+	}
+	printTable(fmt.Sprintf("Bank workload: %d accounts, %d txns/block, signatures %s", res.Accounts, txnsPerBlock, sigs),
+		[]string{"assurance", "samples", "p50 (s)", "p99 (s)", "mean (s)"},
+		[][]string{
+			row(fmt.Sprintf("submit -> f-strong (x=%d)", res.Result.Scenario.F), res.SubmitToF),
+			row(fmt.Sprintf("submit -> 2f-strong (x=%d)", 2*res.Result.Scenario.F), res.SubmitTo2F),
+		})
+	fmt.Printf("    %d blocks committed, %d txns generated, %d blocks executed; %d/%d heights state-root agreed across all replicas\n",
+		res.Result.CommittedBlocks, res.Generated, res.ExecutedBlocks,
+		res.AgreedHeights, len(res.Result.AppHashes[res.Result.Observer]))
+	if res.AgreedHeights == 0 {
+		return fmt.Errorf("no committed height had all replicas agreeing on the state root")
+	}
+	e := benchExperimentOf("bankworkload", res.Result, res.Result.Scenario.F, 0, 0)
+	e.ThroughputTPS = res.Result.ThroughputTPS
+	benchRecord(e)
 	return nil
 }
 

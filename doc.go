@@ -92,6 +92,37 @@
 //     sft_pacemaker_rejected_timeouts_total{reason} /
 //     sft_round_entry_rejected_total{reason} expose rejections on
 //     /metrics.
+//   - WithApp(factory) — the deterministic execution layer (PR 9):
+//     every replica builds a StateMachine from the factory and executes
+//     each proposal BEFORE voting on it; the resulting 32-byte state root
+//     (AppHash) joins the vote's signed payload and every QC, so
+//     certificates certify ordering AND state, and an honest replica
+//     refuses to vote for a proposal whose certified parent root
+//     disagrees with its own execution — state forks die at the vote.
+//     Determinism contract: Apply must be a pure function of
+//     (parent root, block) — no clocks, no map-iteration order, no
+//     randomness — and the factory runs once per engine incarnation, so
+//     crash recovery re-executes the restored chain on a fresh instance.
+//     Vote-payload versioning keeps the wire compatible: a flag byte
+//     marks votes carrying an AppHash, app-less votes encode exactly the
+//     legacy bytes (fixed-seed determinism pins hold bit-identical with
+//     the layer off), and compact QCs reserve a second sentinel word for
+//     the aggregated-form root. Node.AppState()/Node.AppHash() read the
+//     live instance and the committed root; CommitEvent.Results carries
+//     each committed block's per-transaction verdicts without payload
+//     re-decoding. The flagship app is the signed-transfer bank
+//     (NewBank: accounts, nonces, per-transaction ed25519, balance
+//     invariants, order-independent state commitment); `sftbench
+//     -experiment bankworkload` (make bank-workload) drives it over
+//     100k+ accounts and reports submit→f-strong vs submit→2f-strong
+//     latency.
+//   - WithPayloadNow(fn), WithMempool(m) — the workload-side companions:
+//     PayloadNow is WithPayload with the node's clock alongside the
+//     round (latency-stamping generators); NewMempool wraps the bounded
+//     FIFO pool behind the Section 5 conflict gate, so a transaction
+//     submitted with a required strength holds the sender's later
+//     traffic until its block is that strong — wired synchronously into
+//     the commit path of the node carrying WithMempool.
 //
 // Commit-strength subscriptions are how clients consume the paper's
 // contribution. Node.Commits() returns an independent channel of

@@ -1,6 +1,7 @@
 package adversary
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"sort"
 	"time"
@@ -74,6 +75,17 @@ const (
 	// certificate, trying to drag validators into rounds no quorum entered.
 	// Justified-entry validation must reject every variant.
 	LieRoundEntry Kind = "lie-round-entry"
+	// WrongAppHash rewrites the replica's own strong-votes to certify a
+	// fabricated execution state root (validly re-signed, since AppHash lives
+	// inside the vote's signing payload). The execution layer's defenses must
+	// contain it: honest leaders drop root-disagreeing votes at collection,
+	// certificate structure checks reject mixed-root vote sets, and with at
+	// most f such liars no fabricated root can reach a quorum — so honest
+	// replicas never commit divergent state. Note the proposal side needs no
+	// counterpart behavior: a Byzantine leader cannot forge a state-lying
+	// certificate at all, because certificates are made of votes whose
+	// signatures cover their AppHash.
+	WrongAppHash Kind = "wrong-apphash"
 )
 
 // Kinds lists every built-in behavior, in a stable order the scenario
@@ -81,7 +93,7 @@ const (
 var Kinds = []Kind{
 	Equivocate, Withhold, DoubleVote, LieMarkers, ForkRevive, WithholdUncontested,
 	CorruptSigs, Garbage, ReplayStale, Drop, Delay, Duplicate,
-	TimeoutSpam, LieRoundEntry,
+	TimeoutSpam, LieRoundEntry, WrongAppHash,
 }
 
 // Forges reports whether the behavior can fabricate protocol content —
@@ -100,7 +112,7 @@ var Kinds = []Kind{
 // checker, which is exactly the property the pacemaker A/B experiments need.
 func (k Kind) Forges() bool {
 	switch k {
-	case Equivocate, DoubleVote, LieMarkers, ForkRevive, Garbage:
+	case Equivocate, DoubleVote, LieMarkers, ForkRevive, Garbage, WrongAppHash:
 		return true
 	default:
 		return false
@@ -200,6 +212,8 @@ func (s Spec) Build() (Behavior, error) {
 		return &timeoutSpam{every: s.cadence()}, nil
 	case LieRoundEntry:
 		return &lieRoundEntry{every: s.cadence()}, nil
+	case WrongAppHash:
+		return wrongAppHash{}, nil
 	default:
 		return nil, fmt.Errorf("adversary: unknown behavior kind %q", s.Kind)
 	}
@@ -797,6 +811,33 @@ func (w *withholdUncontested) Emit(ctx *Context, now time.Duration, emit func(Ou
 		emit(out)
 	}
 	w.pending = w.pending[:0]
+}
+
+// wrongAppHash replaces the state root in the replica's own strong-votes
+// with a fabricated one and re-signs — the state-lying vote of the
+// execute-before-vote model (the signing payload covers AppHash, so the lie
+// needs the replica's real key and cannot be injected in transit). The lie is
+// deterministic per (block, voter): colluders running the behavior all lie,
+// but differently, so even a full coalition cannot hand any single fabricated
+// root more than one vote. Votes without an AppHash (execution layer off)
+// pass through untouched — there is no state to lie about.
+type wrongAppHash struct{}
+
+func (wrongAppHash) Name() string { return string(WrongAppHash) }
+
+func (wrongAppHash) Apply(ctx *Context, now time.Duration, out Outbound, emit func(Outbound)) {
+	vm, ok := out.Msg.(*types.VoteMsg)
+	if !ok || vm.Vote.Voter != ctx.ID() || !vm.Vote.HasAppHash() {
+		emit(out)
+		return
+	}
+	v := vm.Vote
+	material := append([]byte("lieroot/"), v.Block[:]...)
+	material = types.AppendUint32(material, uint32(v.Voter))
+	v.AppHash = sha256.Sum256(material)
+	v.Signature = ctx.Sign(v.SigningPayload())
+	out.Msg = &types.VoteMsg{Vote: v}
+	emit(out)
 }
 
 // --- injection behaviors ---

@@ -1,0 +1,113 @@
+package app
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Bank operations.
+const (
+	// OpTransfer moves Amount from From to To.
+	OpTransfer byte = 1
+	// OpWithdraw removes Amount from From (funds leave the system — the
+	// high-value irreversible operation applications gate on strength).
+	OpWithdraw byte = 2
+)
+
+// BankTxSize is the fixed wire size of a bank transaction: op(1) + from(4) +
+// to(4) + amount(8) + nonce(8) + signature(64).
+const BankTxSize = 1 + 4 + 4 + 8 + 8 + ed25519.SignatureSize
+
+// BankTx is one signed bank operation, carried as the Data of a
+// types.Transaction. The wire form is fixed-width and pinned: it is what the
+// account holder signs over (minus the signature) and what replicas decode
+// during execution, so encode(decode(x)) == x for every valid x.
+type BankTx struct {
+	Op     byte
+	From   uint32
+	To     uint32 // ignored for OpWithdraw
+	Amount uint64
+	Nonce  uint64 // must be exactly the sender account's nonce + 1
+	Sig    [ed25519.SignatureSize]byte
+}
+
+// Encode appends the deterministic wire form of the transaction.
+func (t *BankTx) Encode(b []byte) []byte {
+	b = append(b, t.Op)
+	b = types.AppendUint32(b, t.From)
+	b = types.AppendUint32(b, t.To)
+	b = types.AppendUint64(b, t.Amount)
+	b = types.AppendUint64(b, t.Nonce)
+	return append(b, t.Sig[:]...)
+}
+
+// DecodeBankTx parses one bank transaction from the front of b.
+func DecodeBankTx(b []byte) (BankTx, []byte, error) {
+	var t BankTx
+	if len(b) < BankTxSize {
+		return t, nil, types.ErrShortBuffer
+	}
+	t.Op = b[0]
+	b = b[1:]
+	var err error
+	t.From, b, err = types.ConsumeUint32(b)
+	if err != nil {
+		return t, nil, err
+	}
+	t.To, b, err = types.ConsumeUint32(b)
+	if err != nil {
+		return t, nil, err
+	}
+	t.Amount, b, err = types.ConsumeUint64(b)
+	if err != nil {
+		return t, nil, err
+	}
+	t.Nonce, b, err = types.ConsumeUint64(b)
+	if err != nil {
+		return t, nil, err
+	}
+	copy(t.Sig[:], b)
+	b = b[len(t.Sig):]
+	if t.Op != OpTransfer && t.Op != OpWithdraw {
+		return t, nil, fmt.Errorf("app: unknown bank op %d", t.Op)
+	}
+	return t, b, nil
+}
+
+// AppendSigningPayload appends the byte string the account holder signs:
+// everything but the signature, behind a domain separator.
+func (t *BankTx) AppendSigningPayload(b []byte) []byte {
+	b = append(b, "banktx/"...)
+	b = append(b, t.Op)
+	b = types.AppendUint32(b, t.From)
+	b = types.AppendUint32(b, t.To)
+	b = types.AppendUint64(b, t.Amount)
+	return types.AppendUint64(b, t.Nonce)
+}
+
+// AccountKey deterministically derives account id's ed25519 key from the
+// bank seed — the simulation stand-in for client key custody, letting
+// workloads drive millions of accounts without storing key material.
+func AccountKey(seed int64, id uint32) ed25519.PrivateKey {
+	material := types.AppendUint64([]byte("bankacct/"), uint64(seed))
+	material = types.AppendUint32(material, id)
+	s := sha256.Sum256(material)
+	return ed25519.NewKeyFromSeed(s[:])
+}
+
+// SignBankTx signs the transaction in place with the account key derived
+// from seed and t.From.
+func SignBankTx(seed int64, t *BankTx) {
+	payload := t.AppendSigningPayload(make([]byte, 0, 32+BankTxSize))
+	copy(t.Sig[:], ed25519.Sign(AccountKey(seed, t.From), payload))
+}
+
+// AsTransaction wraps the bank transaction into the consensus-layer
+// transaction envelope (Sender/Seq mirror From/Nonce so the mempool's
+// conflict gate and the linearizability checkers identify it).
+func (t *BankTx) AsTransaction() types.Transaction {
+	return types.Transaction{Sender: t.From, Seq: t.Nonce, Data: t.Encode(make([]byte, 0, BankTxSize))}
+}

@@ -1,0 +1,91 @@
+package app
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// FuzzBankApply is the execution-layer determinism fuzzer: arbitrary bytes
+// become a transaction stream, two independent Bank instances apply it as one
+// block, and any divergence in root or results is a crash. It also pins the
+// BankTx wire form's decode→encode fixpoint, mirroring the consensus-message
+// fuzzers in internal/types.
+func FuzzBankApply(f *testing.F) {
+	seedTx := BankTx{Op: OpTransfer, From: 1, To: 2, Amount: 50, Nonce: 1}
+	SignBankTx(3, &seedTx)
+	f.Add(seedTx.Encode(nil), uint8(4))
+	f.Add([]byte{}, uint8(1))
+	f.Add(bytes.Repeat([]byte{0xff}, BankTxSize*3), uint8(16))
+
+	f.Fuzz(func(t *testing.T, data []byte, chunks uint8) {
+		// Fixpoint: every decodable prefix re-encodes to the same bytes.
+		if tx, rest, err := DecodeBankTx(data); err == nil {
+			if got := tx.Encode(nil); !bytes.Equal(got, data[:len(data)-len(rest)]) {
+				t.Fatalf("decode→encode not a fixpoint:\n in  %x\n out %x", data[:len(data)-len(rest)], got)
+			}
+		}
+
+		// Slice the input into transactions: each chunk becomes one txn's
+		// Data (valid or garbage — the bank must classify either way,
+		// deterministically). Signature verification is off: the fuzzer
+		// exercises state mechanics, not ed25519.
+		n := int(chunks%8) + 1
+		var txns []types.Transaction
+		for i := 0; i < n && len(data) > 0; i++ {
+			cut := len(data) / (n - i)
+			if cut == 0 {
+				cut = len(data)
+			}
+			txns = append(txns, types.Transaction{Sender: uint32(i), Seq: uint64(i), Data: data[:cut]})
+			data = data[cut:]
+		}
+		blk := &types.Block{
+			Parent:  types.Genesis().ID(),
+			Round:   1,
+			Height:  1,
+			Payload: types.Payload{Txns: txns},
+		}
+
+		cfg := BankConfig{Seed: 1, Accounts: 256, InitialBalance: 1000, DisableSigVerify: true}
+		b1, b2 := NewBank(cfg), NewBank(cfg)
+		r1, res1, err1 := b1.Apply(b1.GenesisRoot(), blk)
+		r2, res2, err2 := b2.Apply(b2.GenesisRoot(), blk)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("apply error divergence: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		if r1 != r2 {
+			t.Fatalf("root divergence on identical input: %x vs %x", r1[:8], r2[:8])
+		}
+		if len(res1) != len(res2) {
+			t.Fatalf("result count divergence: %d vs %d", len(res1), len(res2))
+		}
+		for i := range res1 {
+			if res1[i] != res2[i] {
+				t.Fatalf("result %d divergence: %+v vs %+v", i, res1[i], res2[i])
+			}
+		}
+		// Committing the block and snapshotting must also agree.
+		if err := b1.Commit(r1); err != nil {
+			t.Fatal(err)
+		}
+		if err := b2.Commit(r2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1.Snapshot(), b2.Snapshot()) {
+			t.Fatal("snapshot divergence after identical commits")
+		}
+		// And a bank restored from the snapshot lands on the same root.
+		b3 := NewBank(cfg)
+		if err := b3.Restore(b1.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		if b3.Committed() != b1.Committed() {
+			t.Fatal("restored bank root differs from source")
+		}
+	})
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/adversary"
+	"repro/internal/app"
 	"repro/internal/core"
 	"repro/internal/crypto"
 	"repro/internal/diembft"
@@ -94,7 +95,19 @@ type Spec struct {
 
 	// Shared.
 	Payload func(r types.Round) types.Payload
-	Journal *core.Journal
+	// PayloadNow supersedes Payload when non-nil: it also receives the
+	// engine's virtual time, which latency-accounting workload generators
+	// need (submit→commit measurement).
+	PayloadNow func(r types.Round, now time.Duration) types.Payload
+	Journal    *core.Journal
+
+	// App, when non-nil, is the execution-layer factory: it is invoked once
+	// per engine construction so every incarnation — including a rebuild
+	// after a crash — starts from a FRESH state machine and deterministically
+	// re-executes the restored chain (reusing an instance across a restart
+	// would double-apply). The executor wraps the instance; engines expose it
+	// via their AppExecutor accessor.
+	App func() app.StateMachine
 
 	// Obs, if non-nil, is the observability sink the engine reports into
 	// (see internal/obs). Pure observation: identical specs produce
@@ -127,6 +140,10 @@ type Spec struct {
 func Engine(s Spec) (engine.Engine, error) {
 	var eng engine.Engine
 	var err error
+	var executor *app.Executor
+	if s.App != nil {
+		executor = app.NewExecutor(s.App())
+	}
 	switch s.Protocol {
 	case Streamlet:
 		if s.FBFT || s.VoteMode != 0 {
@@ -148,6 +165,8 @@ func Engine(s Spec) (engine.Engine, error) {
 			DisableEcho:       s.DisableEcho,
 			ProposalWindow:    s.ProposalWindow,
 			Payload:           s.Payload,
+			PayloadNow:        s.PayloadNow,
+			App:               executor,
 			NaiveEndorsements: s.NaiveEndorsements,
 			Journal:           s.Journal,
 			Obs:               s.Obs,
@@ -175,6 +194,8 @@ func Engine(s Spec) (engine.Engine, error) {
 			ExtraWait:         s.ExtraWait,
 			ExtraWaitFor:      s.ExtraWaitFor,
 			Payload:           s.Payload,
+			PayloadNow:        s.PayloadNow,
+			App:               executor,
 			MaxCommitLog:      s.MaxCommitLog,
 			PruneKeep:         s.PruneKeep,
 			NaiveEndorsements: s.NaiveEndorsements,

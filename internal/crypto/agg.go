@@ -67,16 +67,28 @@ func hashToScalar(payload []byte) *big.Int {
 	return k.Mod(k, aggOrder)
 }
 
-// appendAggSuffix appends the marker/interval portion of a vote's aggregation
-// payload — the part that differs between votes of one QC and therefore the
-// grouping key for verification.
+// appendAggSuffix appends the marker/interval/AppHash portion of a vote's
+// aggregation payload — the part that differs between votes of one QC and
+// therefore the grouping key for verification. The flag byte mirrors the
+// vote signing payload's bitfield: bit 0 intervals, bit 1 AppHash. Votes
+// without an execution root (the pre-execution steady state) produce the
+// exact legacy suffix bytes, so existing aggregate signatures verify
+// unchanged.
 func appendAggSuffix(b []byte, v *types.Vote) []byte {
 	b = types.AppendUint64(b, uint64(v.Marker))
+	var flags byte
 	if v.HasIntervals {
-		b = append(b, 1)
+		flags |= 1 << 0
+	}
+	if v.HasAppHash() {
+		flags |= 1 << 1
+	}
+	b = append(b, flags)
+	if v.HasIntervals {
 		b = v.Intervals.Encode(b)
-	} else {
-		b = append(b, 0)
+	}
+	if v.HasAppHash() {
+		b = append(b, v.AppHash[:]...)
 	}
 	return b
 }

@@ -10,9 +10,11 @@ import (
 	"time"
 
 	"repro/internal/adversary"
+	"repro/internal/app"
 	"repro/internal/diembft"
 	"repro/internal/simnet"
 	"repro/internal/types"
+	"repro/internal/workload"
 )
 
 // This file is the randomized adversarial scenario fuzzer: a seeded
@@ -98,6 +100,13 @@ type FuzzScenario struct {
 	ActivePacemaker  bool
 	LeaderReputation types.Round
 	PerPeerCap       int
+
+	// BankApp attaches the execution layer: every replica runs a small bank
+	// state machine (signature verification off for sweep speed), leaders
+	// propose bank-transfer payloads, and votes carry AppHashes — so the
+	// execute-before-vote path faces the same adversary mix as consensus
+	// itself, and the execution-agreement invariant below gets checked.
+	BankApp bool
 
 	// Network model (uniform latency keeps specs compact).
 	LatencyBase, LatencyJitter time.Duration
@@ -199,6 +208,10 @@ func GenFuzzScenario(seed int64, index int, opts FuzzOptions) FuzzScenario {
 		sort.Slice(s.Crashes, func(i, j int) bool { return s.Crashes[i].Replica < s.Crashes[j].Replica })
 	}
 
+	// A third of the scenarios run the execution layer, so AppHash-carrying
+	// votes and vote filtering face every behavior composition above.
+	s.BankApp = rng.Float64() < 0.35
+
 	// One partition window: a random split installed mid-run, usually
 	// healed.
 	if rng.Float64() < 0.4 {
@@ -273,6 +286,8 @@ func sampleBehavior(rng *rand.Rand) adversary.Spec {
 		return adversary.Spec{Kind: adversary.TimeoutSpam, Every: 2 + rng.Intn(4)}
 	case adversary.LieRoundEntry:
 		return adversary.Spec{Kind: adversary.LieRoundEntry, Every: 2 + rng.Intn(4)}
+	case adversary.WrongAppHash:
+		return adversary.Spec{Kind: adversary.WrongAppHash}
 	case adversary.Drop:
 		return adversary.Spec{Kind: adversary.Drop, P: 0.1 + 0.4*rng.Float64()}
 	case adversary.Delay:
@@ -317,6 +332,13 @@ func (s FuzzScenario) Scenario() *Scenario {
 		RecordChains:    true,
 		RecordStrengths: true,
 	}
+	if s.BankApp {
+		cfg := app.BankConfig{Seed: s.SubSeed, Accounts: 128, InitialBalance: 1 << 20, DisableSigVerify: true}
+		sc.App = func() app.StateMachine { return app.NewBank(cfg) }
+		// One shared generator models one client population submitting to
+		// whoever leads; batches stay small to keep sweep cost flat.
+		sc.PayloadNow = workload.NewBankWorkload(s.SubSeed, cfg, 24, false).Payload
+	}
 	return sc
 }
 
@@ -343,6 +365,9 @@ func (s FuzzScenario) String() string {
 	}
 	if s.PerPeerCap > 0 {
 		fmt.Fprintf(&b, " peercap=%d", s.PerPeerCap)
+	}
+	if s.BankApp {
+		b.WriteString(" bank-app")
 	}
 	if s.Naive {
 		b.WriteString(" NAIVE-RULE")
@@ -482,6 +507,36 @@ func CheckInvariants(res *Result, byz int) []string {
 					out = append(out, fmt.Sprintf(
 						"chain consistency violated at height %d: replica %d committed %s, replica %d committed %s",
 						h, owner[h], ref, rep, id))
+				}
+			}
+		}
+	}
+
+	// Execution agreement: with at most f Byzantine replicas, honest replicas
+	// running the execution layer must commit the SAME state root at every
+	// height — the fork-detection property the AppHash-in-vote design exists
+	// for (a wrong-apphash coalition at t <= f must never split the committed
+	// state).
+	if byz <= res.Scenario.F && res.AppHashes != nil {
+		agreed := make(map[types.Height][32]byte)
+		owner := make(map[types.Height]types.ReplicaID)
+		reps := make([]types.ReplicaID, 0, len(res.AppHashes))
+		for rep := range res.AppHashes {
+			reps = append(reps, rep)
+		}
+		sort.Slice(reps, func(i, j int) bool { return reps[i] < reps[j] })
+		for _, rep := range reps {
+			if !honest(rep) {
+				continue
+			}
+			for h, root := range res.AppHashes[rep] {
+				if ref, ok := agreed[h]; !ok {
+					agreed[h] = root
+					owner[h] = rep
+				} else if ref != root {
+					out = append(out, fmt.Sprintf(
+						"execution agreement violated at height %d: replica %d committed state root %x, replica %d committed %x",
+						h, owner[h], ref[:8], rep, root[:8]))
 				}
 			}
 		}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/adversary"
+	"repro/internal/app"
 	"repro/internal/compose"
 	"repro/internal/core"
 	"repro/internal/crypto"
@@ -153,6 +154,18 @@ type Scenario struct {
 	// to the paper's ~1000 txns / ~450KB).
 	PayloadTxns  int
 	PayloadBytes int
+
+	// PayloadNow, when non-nil, replaces the default synthetic payload
+	// source with a time-aware one (see compose.Spec.PayloadNow); the bank
+	// workload uses it so submit timestamps equal block creation times.
+	PayloadNow func(r types.Round, now time.Duration) types.Payload
+
+	// App, when non-nil, attaches the execution layer: every replica runs a
+	// fresh instance from this factory (fresh again on restart, so recovery
+	// re-executes the restored chain — see compose.Spec.App) and votes carry
+	// the resulting AppHash. Result.AppHashes records each replica's
+	// committed state root per height when RecordChains is also set.
+	App func() app.StateMachine
 }
 
 // PartitionPlan schedules one network split: Groups install at At (replicas
@@ -223,6 +236,15 @@ type Result struct {
 	StrengthViolations []string
 	// PartitionDrops counts deliveries discarded by scheduled partitions.
 	PartitionDrops int64
+
+	// AppHashes maps replica -> height -> the execution-layer state root the
+	// replica committed there, recorded at commit time when Scenario.App and
+	// Scenario.RecordChains are both set. The fuzzer's execution-agreement
+	// invariant and the bank-workload experiment read it.
+	AppHashes map[types.ReplicaID]map[types.Height][32]byte
+	// AppExecutedBlocks is the number of blocks the observer's replica ran
+	// through its state machine (Scenario.App runs only).
+	AppExecutedBlocks int64
 
 	// Pacemakers holds each DiemBFT replica's final timeout-buffer
 	// accounting (buffered entries, per-peer high-watermark, cap drops) —
@@ -535,11 +557,39 @@ func Run(sc *Scenario) (*Result, error) {
 	}
 	col := newCollector(s, observer)
 
+	// Keep the engine handles: the commit observer reads committed AppHashes
+	// out of them, and after the run the harness harvests per-replica
+	// pacemaker stats (restarted replicas overwrite their slot, so the map
+	// always points at the final incarnation).
+	engines := make(map[types.ReplicaID]engine.Engine, s.N)
+
+	onCommit := col.onCommit
+	var appHashes map[types.ReplicaID]map[types.Height][32]byte
+	if s.App != nil && s.RecordChains {
+		// Record each replica's committed state root at commit time — the
+		// executor is guaranteed to still hold the root then (it prunes only
+		// far below the committed height).
+		appHashes = make(map[types.ReplicaID]map[types.Height][32]byte)
+		onCommit = func(rep types.ReplicaID, now time.Duration, b *types.Block) {
+			col.onCommit(rep, now, b)
+			if exec := engineExecutor(engines[rep]); exec != nil {
+				if root, ok := exec.Root(b.ID()); ok {
+					m := appHashes[rep]
+					if m == nil {
+						m = make(map[types.Height][32]byte)
+						appHashes[rep] = m
+					}
+					m[b.Height] = root
+				}
+			}
+		}
+	}
+
 	simCfg := simnet.Config{
 		N:           s.N,
 		Latency:     s.Latency,
 		Seed:        s.Seed,
-		OnCommit:    col.onCommit,
+		OnCommit:    onCommit,
 		OnStrength:  col.onStrength,
 		Prevalidate: s.VerifyPipeline,
 	}
@@ -587,10 +637,6 @@ func Run(sc *Scenario) (*Result, error) {
 		return compose.OpenWAL(walDir(id), false)
 	}
 
-	// Keep the engine handles: after the run the harness harvests per-replica
-	// pacemaker stats from them (restarted replicas overwrite their slot, so
-	// the map always points at the final incarnation).
-	engines := make(map[types.ReplicaID]engine.Engine, s.N)
 	for i := 0; i < s.N; i++ {
 		id := types.ReplicaID(i)
 		var journal *core.Journal
@@ -668,6 +714,10 @@ func Run(sc *Scenario) (*Result, error) {
 		res.BytesPerBlock = float64(res.Msgs.Bytes) / float64(res.CommittedBlocks)
 	}
 	res.Chains = col.chains
+	res.AppHashes = appHashes
+	if exec := engineExecutor(engines[observer]); exec != nil {
+		res.AppExecutedBlocks = exec.Executed()
+	}
 	res.Strengths = col.strengths
 	res.Blocks = col.blocks
 	res.StrengthViolations = col.violations
@@ -682,6 +732,21 @@ func Run(sc *Scenario) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// engineExecutor digs the execution-layer executor out of an engine handle,
+// unwrapping an adversary shell first; nil when the engine runs no app.
+func engineExecutor(e engine.Engine) *app.Executor {
+	if e == nil {
+		return nil
+	}
+	if w, ok := e.(*adversary.Replica); ok {
+		e = w.Inner()
+	}
+	if ax, ok := e.(interface{ AppExecutor() *app.Executor }); ok {
+		return ax.AppExecutor()
+	}
+	return nil
 }
 
 // engineSpec maps a scenario onto the shared composition path
@@ -704,6 +769,8 @@ func engineSpec(s *Scenario, id types.ReplicaID, ring *crypto.KeyRing, payload f
 			DisableEcho:       s.DisableEcho,
 			ProposalWindow:    s.ProposalWindow,
 			Payload:           payload,
+			PayloadNow:        s.PayloadNow,
+			App:               s.App,
 			NaiveEndorsements: s.NaiveEndorsements,
 			Journal:           journal,
 		}
@@ -728,6 +795,8 @@ func engineSpec(s *Scenario, id types.ReplicaID, ring *crypto.KeyRing, payload f
 			ExtraWait:         s.ExtraWait,
 			ExtraWaitFor:      s.ExtraWaitFor,
 			Payload:           payload,
+			PayloadNow:        s.PayloadNow,
+			App:               s.App,
 			PruneKeep:         s.PruneKeep,
 			NaiveEndorsements: s.NaiveEndorsements,
 			Journal:           journal,

@@ -22,6 +22,10 @@ var (
 type Entry struct {
 	Block    *types.Block
 	Strength int // highest known x such that the block is x-strong committed
+	// AppHash is the execution-layer state root the replica computed for the
+	// block (zero when no execution layer ran). Recorded via SetAppHash; the
+	// consistency checker compares it across replicas per height.
+	AppHash [32]byte
 }
 
 // Applier consumes committed transactions in order; the application's state
@@ -78,6 +82,14 @@ func (l *Ledger) Commit(b *types.Block) error {
 func (l *Ledger) Strengthen(id types.BlockID, x int) {
 	if i, ok := l.index[id]; ok && x > l.entries[i].Strength {
 		l.entries[i].Strength = x
+	}
+}
+
+// SetAppHash records the execution-layer state root the replica computed for
+// a committed block. Unknown blocks are ignored.
+func (l *Ledger) SetAppHash(id types.BlockID, root [32]byte) {
+	if i, ok := l.index[id]; ok {
+		l.entries[i].AppHash = root
 	}
 }
 
@@ -144,6 +156,13 @@ func CheckPrefixConsistency(ledgers []*Ledger) error {
 			if e.Block.ID() != ref.Block.ID() {
 				return fmt.Errorf("%w %d: replica %d has %v, replica %d has %v",
 					ErrConflict, h, refIdx, ref.Block.ID(), i, e.Block.ID())
+			}
+			// Same block, different executed state: a state fork the ordering
+			// check alone cannot see. Roots are compared only where both
+			// replicas recorded one (zero = no execution layer on that side).
+			if e.AppHash != ref.AppHash && e.AppHash != ([32]byte{}) && ref.AppHash != ([32]byte{}) {
+				return fmt.Errorf("%w %d: replica %d state root %x, replica %d state root %x",
+					ErrConflict, h, refIdx, ref.AppHash[:8], i, e.AppHash[:8])
 			}
 		}
 		if !any {

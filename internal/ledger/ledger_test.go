@@ -121,3 +121,35 @@ func TestCheckPrefixConsistency(t *testing.T) {
 		t.Fatal("empty set must pass")
 	}
 }
+
+func TestCheckPrefixConsistencyAppHash(t *testing.T) {
+	g := types.Genesis()
+	b1 := mkBlock(g.ID(), 1)
+
+	mk := func(root [32]byte) *ledger.Ledger {
+		l := ledger.New(nil)
+		if err := l.Commit(b1); err != nil {
+			t.Fatal(err)
+		}
+		l.SetAppHash(b1.ID(), root)
+		return l
+	}
+	rootA := [32]byte{1}
+	rootB := [32]byte{2}
+
+	// Same block, same executed root: fine.
+	if err := ledger.CheckPrefixConsistency([]*ledger.Ledger{mk(rootA), mk(rootA)}); err != nil {
+		t.Fatalf("agreeing roots flagged: %v", err)
+	}
+	// Same block, divergent roots: a state fork the block-ID check cannot see.
+	err := ledger.CheckPrefixConsistency([]*ledger.Ledger{mk(rootA), mk(rootB)})
+	if !errors.Is(err, ledger.ErrConflict) {
+		t.Fatalf("want ErrConflict for divergent roots, got %v", err)
+	}
+	// One side without an execution layer (zero root): tolerated.
+	if err := ledger.CheckPrefixConsistency([]*ledger.Ledger{mk(rootA), mk([32]byte{})}); err != nil {
+		t.Fatalf("zero-root side flagged: %v", err)
+	}
+	// SetAppHash for an unknown block: ignored, no panic.
+	mk(rootA).SetAppHash(types.BlockID{9}, rootB)
+}

@@ -58,6 +58,14 @@ type Obs struct {
 	prevalDropped *Counter
 	prevalQueue   *Gauge
 
+	// Execution layer (execute-before-vote): blocks run through the state
+	// machine, and AppHash disagreements — a vote or justify certificate
+	// certifying a state root the local execution did not produce, the
+	// genuine fork signal the paper's safety argument turns into a refusal
+	// to vote.
+	appExecuted   *Counter
+	appMismatches *Counter
+
 	// Pacemaker hardening: rejected timeouts and round entries, by reason.
 	// Children are pre-registered per reason so hot-path (and prevalidation
 	// reader-goroutine) increments never touch the registry lock.
@@ -123,6 +131,9 @@ func New(o Options) *Obs {
 		prevalChecked: r.Counter("sft_prevalidate_checked_total", "Messages run through signature prevalidation."),
 		prevalDropped: r.Counter("sft_prevalidate_dropped_total", "Messages dropped by signature prevalidation."),
 		prevalQueue:   r.Gauge("sft_prevalidate_queue_depth", "Messages queued awaiting prevalidation workers."),
+
+		appExecuted:   r.Counter("sft_app_blocks_executed_total", "Blocks executed through the application state machine (execute-before-vote)."),
+		appMismatches: r.Counter("sft_app_apphash_mismatches_total", "AppHash disagreements detected (vote or certificate state root differs from local execution)."),
 	}
 
 	levels := 2 * o.F
@@ -287,6 +298,23 @@ func (o *Obs) OnStrength(b *types.Block, x int, now time.Duration) {
 	o.tracer.Rise(b, x, now)
 }
 
+// OnAppExecuted records one block run through the application state machine.
+func (o *Obs) OnAppExecuted() {
+	if o == nil {
+		return
+	}
+	o.appExecuted.Inc()
+}
+
+// OnAppHashMismatch records an AppHash disagreement: a vote or justify
+// certificate certified a state root the local execution did not produce.
+func (o *Obs) OnAppHashMismatch() {
+	if o == nil {
+		return
+	}
+	o.appMismatches.Inc()
+}
+
 // --- operational hooks (wall clock; may run off the event loop) -----------
 
 // ObserveVerifyBatch records the wall-clock latency of one batch/aggregate
@@ -415,6 +443,14 @@ func (o *Obs) Commits() int64 {
 		return 0
 	}
 	return o.commits.Value()
+}
+
+// AppHashMismatches returns the number of AppHash disagreements detected.
+func (o *Obs) AppHashMismatches() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.appMismatches.Value()
 }
 
 // RejectedTimeouts returns the total timeout messages rejected across all

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/app"
 	"repro/internal/blockstore"
 	"repro/internal/core"
 	"repro/internal/crypto"
@@ -55,6 +56,16 @@ type Config struct {
 
 	// Payload supplies block transactions; nil means empty blocks.
 	Payload func(r types.Round) types.Payload
+
+	// PayloadNow, if non-nil, supersedes Payload with a variant that also
+	// receives the engine's current virtual time (see the DiemBFT config).
+	PayloadNow func(r types.Round, now time.Duration) types.Payload
+
+	// App, if non-nil, enables the deterministic execution layer: proposals
+	// are executed before voting, votes carry the state root (AppHash) inside
+	// their signed payload, and state-divergent proposals are refused. See
+	// the DiemBFT config's App field for the full contract.
+	App *app.Executor
 
 	// NaiveEndorsements switches the SFT tracker to the UNSAFE marker-free
 	// counting of Appendix C — only for the scenario fuzzer's checker
@@ -201,6 +212,28 @@ func (r *Replica) LastCommitted() types.BlockID { return r.lastCommitted }
 // History exposes the vote history (tests and recovery diagnostics).
 func (r *Replica) History() *core.VoteHistory { return r.history }
 
+// AppExecutor exposes the execution layer (nil when no app is configured).
+func (r *Replica) AppExecutor() *app.Executor { return r.cfg.App }
+
+// executeBlock runs b through the execution layer (memoized; fresh
+// executions tick the observation counter).
+func (r *Replica) executeBlock(b *types.Block) ([32]byte, error) {
+	before := r.cfg.App.Executed()
+	root, err := r.cfg.App.Execute(b)
+	if err == nil && r.cfg.App.Executed() > before {
+		r.cfg.Obs.OnAppExecuted()
+	}
+	return root, err
+}
+
+// tryExecute executes b if the execution layer is on, tolerating failure
+// (the block is stored for ordering but gets no vote).
+func (r *Replica) tryExecute(b *types.Block) {
+	if r.cfg.App != nil {
+		_, _ = r.executeBlock(b)
+	}
+}
+
 // Restore rebuilds the replica from a journal replay; call after New,
 // before Init. Votes, certificates and the committed prefix are reinstated
 // so post-restart height markers cannot contradict pre-crash ones.
@@ -212,6 +245,9 @@ func (r *Replica) Restore(rec *core.Recovery) error {
 	defer func() { r.restoring = false }()
 	r.store.Restore(rec.Blocks, func(b *types.Block, qcImproved bool) {
 		r.seenProp[b.ID()] = true
+		// Re-execute in log order so the execution layer reconverges to the
+		// exact pre-crash roots (parents precede children in the journal).
+		r.tryExecute(b)
 		if qcImproved {
 			r.noteRestoredCert(b.Justify)
 		}
@@ -240,6 +276,15 @@ func (r *Replica) Restore(rec *core.Recovery) error {
 	if rec.CommittedHeight > 0 {
 		r.lastCommitted = rec.Committed
 		r.committedH = rec.CommittedHeight
+		if r.cfg.App != nil {
+			// Advance the state machine's committed base to the recovered
+			// commit point (the blocks were re-executed above).
+			if b := r.store.Block(rec.Committed); b != nil {
+				if err := r.cfg.App.OnCommit(b); err != nil {
+					return fmt.Errorf("streamlet: restore app commit: %w", err)
+				}
+			}
+		}
 	}
 	r.recovered = true
 	return nil
@@ -411,6 +456,7 @@ func (r *Replica) onStateSyncResponse(m *types.StateSyncResponse) {
 		OnInstall: func(b *types.Block) {
 			r.seenProp[b.ID()] = true
 			r.journalBlock(b)
+			r.tryExecute(b)
 		},
 		OnQC:     r.afterCert,
 		OnHighQC: r.onHighCert,
@@ -527,7 +573,9 @@ func (r *Replica) maybePropose(now time.Duration) {
 		return
 	}
 	var payload types.Payload
-	if r.cfg.Payload != nil {
+	if r.cfg.PayloadNow != nil {
+		payload = r.cfg.PayloadNow(r.round, now)
+	} else if r.cfg.Payload != nil {
 		payload = r.cfg.Payload(r.round)
 	}
 	qc := r.store.QCFor(parent.ID())
@@ -588,6 +636,7 @@ func (r *Replica) acceptProposal(now time.Duration, p *types.Proposal) {
 		r.journalBlock(b)
 	}
 	r.cfg.Obs.OnBlockSeen(b, now)
+	r.tryExecute(b)
 	r.maybeVote(b)
 	r.tryCertify(b)
 	if kids := r.orphans[b.ID()]; len(kids) > 0 {
@@ -608,11 +657,29 @@ func (r *Replica) maybeVote(b *types.Block) {
 	if parent == nil || !r.store.IsCertified(parent.ID()) || parent.Height != r.maxCertH {
 		return
 	}
+	var appRoot [32]byte
+	if r.cfg.App != nil {
+		// Execute before voting; refuse unexecutable blocks and proposals
+		// whose justify certificate disagrees with our own execution of the
+		// parent (state-fork detection, as in the DiemBFT engine).
+		root, err := r.executeBlock(b)
+		if err != nil {
+			return
+		}
+		if b.Justify != nil && len(b.Justify.Votes) > 0 {
+			if parentRoot, known := r.cfg.App.Root(b.Parent); known && b.Justify.AppHash() != parentRoot {
+				r.cfg.Obs.OnAppHashMismatch()
+				return
+			}
+		}
+		appRoot = root
+	}
 	v := types.Vote{
-		Block:  b.ID(),
-		Round:  b.Round,
-		Height: b.Height,
-		Voter:  r.cfg.ID,
+		Block:   b.ID(),
+		Round:   b.Round,
+		Height:  b.Height,
+		Voter:   r.cfg.ID,
+		AppHash: appRoot,
 		// SFT-Streamlet: the marker field carries the height marker.
 		Marker: types.Round(r.history.HeightMarker(b)),
 	}
@@ -637,6 +704,9 @@ func (r *Replica) onVote(now time.Duration, v types.Vote) {
 	if r.checkSigs() && crypto.VerifyVote(r.cfg.Verifier, v) != nil {
 		return
 	}
+	if !r.voteRootOK(&v) {
+		return
+	}
 	set, ok := r.votes[v.Block]
 	if !ok {
 		set = &core.VoteSet{}
@@ -649,6 +719,23 @@ func (r *Replica) onVote(now time.Duration, v types.Vote) {
 	}
 }
 
+// voteRootOK filters collected votes by execution root (see the DiemBFT
+// engine's voteRootOK): with the app on, only votes matching this replica's
+// own execution of the block are credited; votes for still-unknown blocks
+// pass provisionally and are re-judged in tryCertify. With the app off,
+// AppHash-bearing votes are alien traffic and dropped.
+func (r *Replica) voteRootOK(v *types.Vote) bool {
+	if r.cfg.App == nil {
+		return !v.HasAppHash()
+	}
+	b := r.store.Block(v.Block)
+	if b == nil {
+		return true
+	}
+	root, err := r.executeBlock(b)
+	return err == nil && v.AppHash == root
+}
+
 func (r *Replica) tryCertify(b *types.Block) {
 	id := b.ID()
 	collected := r.votes[id]
@@ -658,6 +745,24 @@ func (r *Replica) tryCertify(b *types.Block) {
 	// Ascending voter order keeps QC hashes byte-identical to the map-based
 	// collection this replaced.
 	votes := collected.Sorted()
+	if r.cfg.App != nil {
+		// Re-judge provisionally accepted votes against our own execution
+		// and certify only from root-agreeing ones (see the DiemBFT engine's
+		// formQC).
+		root, err := r.executeBlock(b)
+		if err != nil {
+			return
+		}
+		kept := votes[:0]
+		for _, v := range votes {
+			if v.AppHash == root {
+				kept = append(kept, v)
+			}
+		}
+		if votes = kept; len(votes) < r.cfg.quorum() {
+			return
+		}
+	}
 	qc := &types.QC{Block: id, Round: b.Round, Height: b.Height, Votes: votes}
 	if r.aggregate {
 		// Compact before registering: stored, journaled and echoed forms are
@@ -727,6 +832,14 @@ func (r *Replica) commitTo(b *types.Block) {
 		return
 	}
 	for _, blk := range chain {
+		if r.cfg.App != nil {
+			if err := r.cfg.App.OnCommit(blk); err != nil {
+				// Certified state this replica cannot reproduce: its execution
+				// state is corrupt, and crash-stop beats serving divergence
+				// (same contract as a WAL flush failure).
+				panic(fmt.Sprintf("streamlet: app commit: %v", err))
+			}
+		}
 		r.outs = append(r.outs, engine.Commit{Block: blk})
 		r.cfg.Obs.OnCommit(blk, r.evNow)
 	}

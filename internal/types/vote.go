@@ -31,8 +31,30 @@ type Vote struct {
 	Intervals    intervals.Set
 	HasIntervals bool
 
+	// AppHash is the state root the voter computed by executing Block before
+	// voting (execute-before-vote). The zero hash means "no execution layer":
+	// nodes without an application emit it, and the signing payload then
+	// degrades to the exact legacy encoding, so pre-execution vectors and
+	// fixed-seed determinism pins decode and reproduce unchanged. A non-zero
+	// AppHash enters the signing payload, so a certificate over such votes
+	// certifies the state, not just the ordering.
+	AppHash [32]byte
+
 	Signature []byte
 }
+
+// Vote payload flag bits. The trailing flag byte of the signing payload is a
+// bitfield: bit 0 marks an interval set (the pre-existing 0/1 flag), bit 1
+// marks a trailing 32-byte AppHash. Legacy encoders only ever wrote 0 or 1,
+// so old vectors decode unchanged and new encoders emit old bytes whenever
+// the AppHash is zero.
+const (
+	voteFlagIntervals = 1 << 0
+	voteFlagAppHash   = 1 << 1
+)
+
+// HasAppHash reports whether the vote carries an execution state root.
+func (v *Vote) HasAppHash() bool { return v.AppHash != ([32]byte{}) }
 
 // SigningPayload returns the deterministic byte string a replica signs to
 // produce the vote signature. It covers everything except the signature.
@@ -51,11 +73,19 @@ func (v *Vote) AppendSigningPayload(b []byte) []byte {
 	b = AppendUint64(b, uint64(v.Height))
 	b = AppendUint32(b, uint32(v.Voter))
 	b = AppendUint64(b, uint64(v.Marker))
+	var flags byte
 	if v.HasIntervals {
-		b = append(b, 1)
+		flags |= voteFlagIntervals
+	}
+	if v.HasAppHash() {
+		flags |= voteFlagAppHash
+	}
+	b = append(b, flags)
+	if v.HasIntervals {
 		b = v.Intervals.Encode(b)
-	} else {
-		b = append(b, 0)
+	}
+	if flags&voteFlagAppHash != 0 {
+		b = append(b, v.AppHash[:]...)
 	}
 	return b
 }
@@ -84,6 +114,9 @@ func (v Vote) Size() int {
 	n := 32 + 8 + 8 + 4 + 8 + 1 + len(v.Signature)
 	if v.HasIntervals {
 		n += 4 + 16*v.Intervals.Len()
+	}
+	if v.HasAppHash() {
+		n += 32
 	}
 	return n
 }
@@ -156,6 +189,18 @@ func NewGenesisQC(genesisID BlockID) *QC {
 	return &QC{Block: genesisID, Round: 0, Height: 0}
 }
 
+// AppHash returns the execution state root the certificate certifies: the
+// (structurally uniform) AppHash of its votes. Genesis certificates and
+// certificates formed without an execution layer return the zero hash. The
+// value is derived from the votes rather than stored, so the certificate can
+// never disagree with what its voters actually signed.
+func (q *QC) AppHash() [32]byte {
+	if len(q.Votes) > 0 {
+		return q.Votes[0].AppHash
+	}
+	return [32]byte{}
+}
+
 // RanksHigher reports whether q should replace other as the highest known
 // QC. QCs are ranked by round number (Section 2.1).
 func (q *QC) RanksHigher(other *QC) bool {
@@ -200,6 +245,13 @@ func (q *QC) CheckStructure(quorum int) error {
 		if v.Block != q.Block || v.Round != q.Round {
 			return fmt.Errorf("qc for %s r%d: vote %s mismatched", q.Block, q.Round, v)
 		}
+		// Execute-before-vote: a certificate certifies exactly one state
+		// root, so every aggregated vote must carry the same AppHash. A
+		// Byzantine leader cannot launder a minority wrong-root vote into a
+		// quorum this way.
+		if v.AppHash != q.Votes[0].AppHash {
+			return fmt.Errorf("qc for %s r%d: vote %s certifies a different AppHash", q.Block, q.Round, v)
+		}
 		if v.Voter < ReplicaID(len(bits)*64) {
 			w, m := v.Voter>>6, uint64(1)<<(v.Voter&63)
 			if bits[w]&m != 0 {
@@ -236,6 +288,9 @@ func (q *QC) Size() int {
 	n := 32 + 8 + 8 + 4
 	if q.Agg != nil {
 		n += 4 + 8*len(q.Agg.Signers) + 4 + len(q.Agg.Sig)
+		if q.AppHash() != ([32]byte{}) {
+			n += 32
+		}
 		for i := range q.Votes {
 			v := &q.Votes[i]
 			if v.Marker == 0 && !v.HasIntervals {
@@ -257,7 +312,14 @@ func (q *QC) Size() int {
 // aggSentinel marks the compact encoding in the vote-count slot. It can
 // never collide with a legacy vote count: DecodeQC bounds real counts by
 // input length / minVoteFrame, which 0xFFFFFFFF always exceeds.
-const aggSentinel = 0xFFFFFFFF
+// aggAppSentinel (same technique, next value down) marks a compact
+// certificate whose body is prefixed with the 32-byte AppHash its votes
+// certify — the versioned extension the execution layer rides on, leaving
+// pre-execution compact vectors decoding byte-for-byte as before.
+const (
+	aggSentinel    = 0xFFFFFFFF
+	aggAppSentinel = 0xFFFFFFFE
+)
 
 // Encode appends a deterministic encoding of the QC, used when hashing the
 // block that carries it. Per-vote payloads are appended in place (length
@@ -276,7 +338,12 @@ func (q *QC) Encode(b []byte) []byte {
 	b = AppendUint64(b, uint64(q.Round))
 	b = AppendUint64(b, uint64(q.Height))
 	if a := q.Agg; a != nil {
-		b = AppendUint32(b, aggSentinel)
+		if app := q.AppHash(); app != ([32]byte{}) {
+			b = AppendUint32(b, aggAppSentinel)
+			b = append(b, app[:]...)
+		} else {
+			b = AppendUint32(b, aggSentinel)
+		}
 		b = AppendUint32(b, uint32(len(a.Signers)))
 		for _, w := range a.Signers {
 			b = AppendUint64(b, w)

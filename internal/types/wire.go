@@ -77,19 +77,31 @@ func decodeVotePayload(b []byte) (Vote, []byte, error) {
 	if len(b) < 1 {
 		return v, nil, ErrShortBuffer
 	}
-	hasIntervals := b[0]
+	flags := b[0]
 	b = b[1:]
 	v.Round, v.Height, v.Voter, v.Marker = Round(r), Height(h), ReplicaID(voter), Round(m)
-	switch hasIntervals {
-	case 0:
-	case 1:
+	if flags&^(voteFlagIntervals|voteFlagAppHash) != 0 {
+		return v, nil, fmt.Errorf("types: bad vote flags %d", flags)
+	}
+	if flags&voteFlagIntervals != 0 {
 		v.HasIntervals = true
 		v.Intervals, b, err = intervals.Decode(b)
 		if err != nil {
 			return v, nil, err
 		}
-	default:
-		return v, nil, fmt.Errorf("types: bad interval flag %d", hasIntervals)
+	}
+	if flags&voteFlagAppHash != 0 {
+		if len(b) < len(v.AppHash) {
+			return v, nil, ErrShortBuffer
+		}
+		copy(v.AppHash[:], b)
+		b = b[len(v.AppHash):]
+		if !v.HasAppHash() {
+			// A zero AppHash must be encoded as flag 0 (the legacy form);
+			// accepting a flagged zero would make the encoding ambiguous and
+			// break the decode→encode fixpoint the fuzzers pin.
+			return v, nil, fmt.Errorf("types: vote flags a zero AppHash")
+		}
 	}
 	return v, b, nil
 }
@@ -133,8 +145,19 @@ func DecodeQC(b []byte) (*QC, []byte, error) {
 		return nil, nil, err
 	}
 	q.Round, q.Height = Round(r), Height(h)
-	if n == aggSentinel {
-		b, err = decodeCompactQC(q, b)
+	if n == aggSentinel || n == aggAppSentinel {
+		var appHash [32]byte
+		if n == aggAppSentinel {
+			if len(b) < len(appHash) {
+				return nil, nil, ErrShortBuffer
+			}
+			copy(appHash[:], b)
+			b = b[len(appHash):]
+			if appHash == ([32]byte{}) {
+				return nil, nil, fmt.Errorf("types: compact qc flags a zero AppHash")
+			}
+		}
+		b, err = decodeCompactQC(q, b, appHash)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -178,12 +201,15 @@ func DecodeQC(b []byte) (*QC, []byte, error) {
 }
 
 // decodeCompactQC parses the compact certificate body (everything after the
-// aggSentinel vote-count slot): signer bitmap, sparse marker overrides,
-// aggregated signature. It materializes one vote per bitmap bit, ascending
-// by voter, so every consumer of qc.Votes (endorsement tracking, quorum
-// comparisons, journal replay) sees the same view as the vector form — minus
-// the per-vote signatures, which the compact form does not carry.
-func decodeCompactQC(q *QC, b []byte) ([]byte, error) {
+// aggSentinel vote-count slot, or after the AppHash that follows an
+// aggAppSentinel): signer bitmap, sparse marker overrides, aggregated
+// signature. It materializes one vote per bitmap bit, ascending by voter —
+// each carrying the certificate-level appHash, which is uniform across the
+// votes by CheckStructure — so every consumer of qc.Votes (endorsement
+// tracking, quorum comparisons, journal replay) sees the same view as the
+// vector form, minus the per-vote signatures, which the compact form does
+// not carry.
+func decodeCompactQC(q *QC, b []byte, appHash [32]byte) ([]byte, error) {
 	words, b, err := ConsumeUint32(b)
 	if err != nil {
 		return nil, err
@@ -209,10 +235,11 @@ func decodeCompactQC(q *QC, b []byte) ([]byte, error) {
 			bit := bits.TrailingZeros64(word)
 			word &^= 1 << bit
 			q.Votes = append(q.Votes, Vote{
-				Block:  q.Block,
-				Round:  q.Round,
-				Height: q.Height,
-				Voter:  ReplicaID(w*64 + bit),
+				Block:   q.Block,
+				Round:   q.Round,
+				Height:  q.Height,
+				Voter:   ReplicaID(w*64 + bit),
+				AppHash: appHash,
 			})
 		}
 	}

@@ -44,6 +44,12 @@ type CommitEvent struct {
 	// first report at x = F, which may accompany the regular commit) carry
 	// Regular false.
 	Regular bool
+	// Results carries the block's per-transaction execution outcomes on the
+	// regular commit of a node built WithApp — the deterministic verdicts the
+	// certified state root commits to, exposed so consumers never re-decode
+	// or re-execute the payload. Nil on strength-rise events and without an
+	// execution layer. Results[i] corresponds to Block.Payload.Txns[i].
+	Results []TxResult
 	// Time is the node's clock when the event was observed — wall-clock
 	// elapsed since Run for real transports, virtual time under Simnet.
 	Time time.Duration
@@ -113,6 +119,7 @@ type Node struct {
 
 	metrics  *Metrics
 	observer func(CommitEvent)
+	mempool  *Mempool
 
 	// obs and health are set by WithObservability; both read as nil-safe
 	// no-ops when the option is absent.
@@ -403,7 +410,11 @@ func (n *Node) now() time.Duration {
 func (n *Node) onCommit(now time.Duration, b *Block) {
 	n.metrics.onCommit(b.Height)
 	n.health.observe(b.Justify)
-	n.publish(CommitEvent{Block: b, Height: b.Height, Round: b.Round, Strength: n.cfg.F(), Regular: true, Time: now})
+	ev := CommitEvent{Block: b, Height: b.Height, Round: b.Round, Strength: n.cfg.F(), Regular: true, Time: now}
+	if exec := n.executor(); exec != nil {
+		ev.Results = exec.Results(b.ID())
+	}
+	n.publish(ev)
 }
 
 func (n *Node) onStrength(now time.Duration, b *Block, x int) {
@@ -439,6 +450,12 @@ func (n *Node) publish(ev CommitEvent) {
 		subs = n.subs
 	}
 	n.mu.Unlock()
+	// The conflict gate observes every event (below MinStrength too — holds
+	// must release at the transaction's OWN requirement, not the node's
+	// subscription filter), synchronously so Simnet runs stay deterministic.
+	if n.mempool != nil {
+		n.mempool.observe(ev)
+	}
 	for _, sub := range subs {
 		sub.push(ev)
 	}

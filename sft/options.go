@@ -38,6 +38,9 @@ type settings struct {
 	obsCfg     ObsConfig
 
 	payload      func(Round) Payload
+	payloadNow   func(Round, time.Duration) Payload
+	app          func() StateMachine
+	mempool      *Mempool
 	roundTimeout time.Duration
 	extraWait    time.Duration
 	extraWaitFor func(Round) time.Duration

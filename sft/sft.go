@@ -123,6 +123,12 @@ const (
 	// missing, mismatched, or fabricated justification — the round-dragging
 	// attack justified round entry rejects.
 	AdversaryLieRoundEntry = adversary.LieRoundEntry
+	// AdversaryWrongAppHash re-signs the replica's votes over a fabricated
+	// execution state root — the state-fork attack execute-before-vote
+	// certification exists to catch. Honest leaders drop the mismatching
+	// votes when forming QCs, so at t <= f it costs the liar its vote and
+	// nothing else (requires WithApp on the honest replicas to matter).
+	AdversaryWrongAppHash = adversary.WrongAppHash
 )
 
 // AdversaryKinds lists every built-in behavior kind.
@@ -300,6 +306,7 @@ func New(cfg Config, opts ...Option) (*Node, error) {
 		rule:     rule,
 		metrics:  s.metrics,
 		observer: s.observer,
+		mempool:  s.mempool,
 		strength: make(map[BlockID]int),
 	}
 	if n.metrics == nil {
@@ -357,6 +364,8 @@ func New(cfg Config, opts ...Option) (*Node, error) {
 		Delta:            s.delta,
 		DisableEcho:      s.disableEcho,
 		Payload:          s.payload,
+		PayloadNow:       s.payloadNow,
+		App:              s.app,
 		BatchWorkers:     s.batchWorkers(cfg.N),
 		Obs:              n.obs,
 	}
