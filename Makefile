@@ -11,11 +11,13 @@ FUZZ_TARGETS = \
 	./internal/types:FuzzDecodeTC \
 	./internal/tcpnet:FuzzServeFrames$$ \
 	./internal/tcpnet:FuzzServeFramesMultiPeer \
-	./internal/app:FuzzBankApply
+	./internal/app:FuzzBankApply \
+	./internal/gateway:FuzzDecodeEventFrame \
+	./internal/gateway:FuzzDecodeSubscribeFrame
 FUZZTIME_SMOKE ?= 20s
 FUZZTIME_LONG ?= 10m
 
-.PHONY: all build build-examples vet test test-race bench bench-smoke bench-micro bench-guard fuzz-smoke fuzz-long adversary-fuzz adversary-fuzz-agg compactcert liveness-attack bank-workload obs-smoke
+.PHONY: all build build-examples vet test test-race bench bench-smoke bench-micro bench-guard fuzz-smoke fuzz-long adversary-fuzz adversary-fuzz-agg compactcert liveness-attack bank-workload obs-smoke gateway-smoke gateway-scale
 
 all: test
 
@@ -117,3 +119,17 @@ bank-workload:
 # and /tracez + /debug/pprof respond. CI runs this.
 obs-smoke:
 	bash scripts/obs_smoke.sh
+
+# Access-tier smoke: a live 4-node cluster, an sftgateway following it, and
+# the sftclient -subscribe probe verifying streamed strength proofs against
+# the committee's PKI, plus the gateway's own /metrics + /healthz. CI runs
+# this.
+gateway-smoke:
+	bash scripts/gateway_smoke.sh
+
+# The access-tier scale experiment at its acceptance shape: 1000 concurrent
+# proof-verified strength subscriptions on one gateway against an n=7
+# cluster, commit cadence compared to a no-gateway baseline, and a lying
+# gateway every subscriber must reject. Results go to BENCH_PR10.json.
+gateway-scale:
+	$(GO) run ./cmd/sftbench -experiment gateway -n 7 -duration 15s -seed 1 -json BENCH_PR10.json

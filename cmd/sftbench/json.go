@@ -34,6 +34,46 @@ type benchExperiment struct {
 	MsgsPerCommit   float64      `json:"msgs_per_commit,omitempty"`
 	RegularLatency  benchSummary `json:"regular_latency"`
 	Levels          []benchLevel `json:"levels,omitempty"`
+	// CommitInterval reports wall-clock inter-commit intervals for the
+	// real-socket gateway arms (which have no virtual-time latency series).
+	CommitInterval *benchSummary `json:"commit_interval_s,omitempty"`
+	Gateway        *benchGateway `json:"gateway,omitempty"`
+}
+
+// benchGateway is the access-tier scale experiment's verdict data.
+type benchGateway struct {
+	Subscribers            int     `json:"subscribers"`
+	SubscribersServed      int     `json:"subscribers_served"`
+	MinEventsPerSubscriber int     `json:"min_events_per_subscriber"`
+	EventsVerified         int64   `json:"events_verified"`
+	ProvenBlocks           int     `json:"proven_blocks"`
+	SlowdownP50            float64 `json:"slowdown_p50"`
+	LyingSubscribers       int     `json:"lying_subscribers"`
+	LyingRejected          int     `json:"lying_rejected"`
+}
+
+// benchGatewayExperiment shapes one gateway arm; res is nil for the
+// baseline arm.
+func benchGatewayExperiment(name string, arm harness.GatewayArm, res *harness.GatewayScaleResult) benchExperiment {
+	interval := toBenchSummary(arm.Interval)
+	e := benchExperiment{
+		Name:            name,
+		CommittedBlocks: arm.Commits,
+		CommitInterval:  &interval,
+	}
+	if res != nil {
+		e.Gateway = &benchGateway{
+			Subscribers:            res.Subscribers,
+			SubscribersServed:      res.SubscribersServed,
+			MinEventsPerSubscriber: res.MinEventsPerSubscriber,
+			EventsVerified:         res.EventsVerified,
+			ProvenBlocks:           res.ProvenBlocks,
+			SlowdownP50:            res.SlowdownP50,
+			LyingSubscribers:       res.LyingSubscribers,
+			LyingRejected:          res.LyingRejected,
+		}
+	}
+	return e
 }
 
 // benchLevel reports one strength level's two latency distributions: block

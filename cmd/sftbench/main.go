@@ -63,7 +63,8 @@ import (
 var experimentNames = []string{
 	"fig7a", "fig7b", "fig8", "throughput", "msgcomplexity",
 	"theorem2", "theorem3", "streamlet", "crashrecovery", "adversary",
-	"verifypipeline", "compactcert", "livenessattack", "bankworkload", "all",
+	"verifypipeline", "compactcert", "livenessattack", "bankworkload",
+	"gateway", "all",
 }
 
 var validExperiments = func() map[string]bool {
@@ -76,7 +77,7 @@ var validExperiments = func() map[string]bool {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run (fig7a|fig7b|fig8|throughput|msgcomplexity|theorem2|theorem3|streamlet|crashrecovery|adversary|verifypipeline|compactcert|livenessattack|bankworkload|all)")
+		experiment = flag.String("experiment", "all", "which experiment to run (fig7a|fig7b|fig8|throughput|msgcomplexity|theorem2|theorem3|streamlet|crashrecovery|adversary|verifypipeline|compactcert|livenessattack|bankworkload|gateway|all)")
 		n          = flag.Int("n", 100, "number of replicas (3f+1)")
 		duration   = flag.Duration("duration", 5*time.Minute, "virtual run duration")
 		delta      = flag.Duration("delta", 0, "inter-region delay; 0 sweeps the paper's {100ms,200ms}")
@@ -88,6 +89,7 @@ func main() {
 		txnsPer    = flag.Int("txns-per-block", 128, "transactions per proposal for -experiment bankworkload")
 		unsigned   = flag.Bool("unsigned", false, "skip per-transaction ed25519 signatures in -experiment bankworkload")
 		workers    = flag.Int("workers", 0, "concurrent scenarios for -experiment adversary (0 = GOMAXPROCS; results are identical at any worker count)")
+		subs       = flag.Int("subscribers", 1000, "concurrent verified subscriptions for -experiment gateway")
 		jsonPath   = flag.String("json", "", "write machine-readable results (per-experiment latency and per-level strength histograms) to this file")
 	)
 	flag.Parse()
@@ -184,6 +186,15 @@ func main() {
 	// acceptance shape is `-experiment bankworkload -n 7 -duration 30s`.
 	if *experiment == "bankworkload" {
 		run("bankworkload", func() error { return bankWorkload(sc, uint32(*accounts), *txnsPer, !*unsigned) })
+	}
+	// gateway is explicit-only: unlike the simulated experiments it runs
+	// three wall-clock arms over real loopback sockets — a bare cluster, the
+	// same cluster serving -subscribers proof-verified strength
+	// subscriptions through an observer-fed gateway, and a lying gateway
+	// every subscriber must catch. Its acceptance shape is
+	// `-experiment gateway -n 7 -duration 15s`.
+	if *experiment == "gateway" {
+		run("gateway", func() error { return gatewayScale(sc, *subs) })
 	}
 	if *jsonPath != "" {
 		if err := benchWrite(*jsonPath); err != nil {
@@ -425,6 +436,40 @@ func bankWorkload(sc harness.Scale, accounts uint32, txnsPerBlock int, sign bool
 	e.ThroughputTPS = res.Result.ThroughputTPS
 	benchRecord(e)
 	return nil
+}
+
+// gatewayScale runs the access-tier scale experiment: a bare n-replica TCP
+// cluster vs the same cluster with a non-voting observer feeding a gateway
+// that serves `subscribers` concurrent proof-verified strength
+// subscriptions, plus a lying-gateway arm that must be rejected by every
+// client. The headline numbers are the commit-cadence slowdown (the read
+// path's tax on the write path) and the subscriber coverage.
+func gatewayScale(sc harness.Scale, subscribers int) error {
+	res, err := harness.GatewayScaleExperiment(harness.GatewayScale{
+		N: sc.N, Seed: sc.Seed, Scheme: sc.Scheme,
+		Duration: sc.Duration, Subscribers: subscribers,
+	})
+	if err != nil {
+		return err
+	}
+	row := func(name string, arm harness.GatewayArm) []string {
+		return []string{name, fmt.Sprintf("%d", arm.Commits),
+			fmt.Sprintf("%.1f", arm.Interval.P50*1e3), fmt.Sprintf("%.1f", arm.Interval.P95*1e3)}
+	}
+	printTable(fmt.Sprintf("Gateway scale: %d proof-verified subscriptions on one gateway", res.Subscribers),
+		[]string{"arm", "commits", "interval p50 (ms)", "interval p95 (ms)"},
+		[][]string{
+			row("baseline (no gateway)", res.Baseline),
+			row(fmt.Sprintf("gateway + %d subscribers", res.Subscribers), res.WithGateway),
+		})
+	fmt.Printf("    commit-cadence slowdown p50: %.2fx; %d/%d subscribers served (min %d events each, %d total), %d blocks proven\n",
+		res.SlowdownP50, res.SubscribersServed, res.Subscribers,
+		res.MinEventsPerSubscriber, res.EventsVerified, res.ProvenBlocks)
+	fmt.Printf("    lying gateway: %d/%d subscribers rejected the fabricated proof\n",
+		res.LyingRejected, res.LyingSubscribers)
+	benchRecord(benchGatewayExperiment("gateway-baseline", res.Baseline, nil))
+	benchRecord(benchGatewayExperiment("gateway", res.WithGateway, res))
+	return res.Verdict()
 }
 
 // compactCert sweeps committee sizes n=31 and n=103: for each it encodes

@@ -3,6 +3,13 @@
 // application load against a real cluster.
 //
 //	sftclient -node 127.0.0.1:9000 -rate 500 -run 30s
+//
+// With -subscribe it is a gateway probe instead: it dials an sftgateway,
+// verifies each streamed strength event's proof against the committee's PKI
+// (-n and -seed must match the cluster), and exits zero after -count
+// verified events.
+//
+//	sftclient -subscribe 127.0.0.1:8000 -n 4 -seed 42 -count 3
 package main
 
 import (
@@ -22,7 +29,11 @@ func main() {
 		size    = flag.Int("size", 128, "transaction payload bytes")
 		run     = flag.Duration("run", 30*time.Second, "how long to stream")
 		clients = flag.Uint("clients", 8, "simulated client identities")
-		seed    = flag.Int64("seed", 1, "workload seed")
+		seed    = flag.Int64("seed", 1, "workload seed; with -subscribe, the committee PKI seed")
+		gwAddr  = flag.String("subscribe", "", "gateway address: verify streamed strength events instead of sending transactions")
+		n       = flag.Int("n", 4, "committee size for -subscribe proof verification")
+		count   = flag.Int("count", 3, "verified events to receive before exiting (with -subscribe)")
+		minX    = flag.Int("min-strength", 0, "server-side strength filter (with -subscribe)")
 		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -32,6 +43,11 @@ func main() {
 	}
 	log.SetFlags(log.Lmicroseconds)
 	log.SetPrefix("sftclient ")
+
+	if *gwAddr != "" {
+		subscribe(*gwAddr, *n, *seed, *minX, *count, *run)
+		return
+	}
 
 	stream, err := sft.DialTransactions(*node, 3*time.Second)
 	if err != nil {
@@ -57,4 +73,29 @@ func main() {
 		}
 	}
 	log.Printf("done: %d transactions in %v (%.0f tps)", sent, *run, float64(sent)/run.Seconds())
+}
+
+// subscribe dials a gateway and consumes its verified strength stream. Every
+// event printed here carried a Section 5 proof this process checked itself —
+// a lying gateway terminates the stream with a non-zero exit instead.
+func subscribe(addr string, n int, seed int64, minX, count int, wait time.Duration) {
+	sub, err := sft.Subscribe(addr, sft.SubscriberConfig{N: n, Seed: seed, MinStrength: minX})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sub.Close()
+	deadline := time.After(wait)
+	for got := 0; got < count; {
+		select {
+		case ev, ok := <-sub.Events():
+			if !ok {
+				log.Fatalf("subscription ended after %d events: %v", got, sub.Err())
+			}
+			got++
+			log.Printf("verified: block %x height %d round %d strength %d", ev.Block[:8], ev.Height, ev.Round, ev.Strength)
+		case <-deadline:
+			log.Fatalf("only %d/%d verified events within %v", got, count, wait)
+		}
+	}
+	log.Printf("subscribe probe: %d proof-verified events", count)
 }

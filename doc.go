@@ -135,6 +135,49 @@
 // consumers never back-pressure consensus, and channels close when the
 // node closes.
 //
+// # Access tier
+//
+// PR 10 scaled the read path past the committee without adding voting
+// weight. Three pieces compose, all through the facade:
+//
+//   - NewObserver(ObserverConfig, ObserverTCP(...) | Simnet.ObserverTransport(i))
+//     — a non-voting follower (internal/observer) with a wire identity
+//     outside [0, n). Over TCP it dials upstream replicas with an observer
+//     handshake; the replicas mirror their certified-chain traffic
+//     (proposals, QCs, round entries, state-sync segments) to it and drop —
+//     and count — anything from it that is not a catch-up request, so an
+//     observer's vote power is structurally zero and its back-pressure can
+//     never stall consensus. The observer verifies every signature and
+//     certificate itself through the same engine pipeline replicas use,
+//     tracks strength with the paper's marker rule, and serves the Node
+//     subscription surface (Commits, Strength, WaitStrength,
+//     CommittedHeight). It recovers from restarts via state sync, like a
+//     crashed replica re-joining.
+//   - NewGateway(GatewayConfig) — a strength-subscription fan-out service
+//     (internal/gateway, cmd/sftgateway) fed by observers
+//     (ObserverConfig.Gateway). Every certified (block, QC) pair is
+//     re-verified by the gateway's own light client; fresh strength rises
+//     fan out to subscribers as length-delimited frames carrying the
+//     Section 5 proof — the carrier block whose CommitLog proves the rise,
+//     plus the QC certifying that carrier. Per-subscriber queues are
+//     bounded (GatewayConfig.QueueBound); a subscriber that falls further
+//     behind is evicted rather than ever back-pressuring the feed.
+//     sft_gateway_* metric families expose subscribers, events, evictions
+//     and ingest counts on /metrics.
+//   - Subscribe(addr, SubscriberConfig) — the client end. Each streamed
+//     event is re-verified against the committee's PKI by the subscriber's
+//     own lightclient (certificate check + CommitLog membership) before
+//     delivery, so the gateway needs no trust: a lying gateway terminates
+//     the stream with *ErrProofInvalid instead of being believed
+//     (sftclient -subscribe is this as a probe).
+//
+// `sftbench -experiment gateway` (make gateway-scale) is the acceptance
+// experiment: an n=7 cluster serving 1000 concurrent proof-verified
+// subscriptions through one gateway, commit cadence compared against a
+// no-gateway baseline, plus a lying-gateway arm every subscriber must
+// reject. BENCH_PR10.json records the numbers; make gateway-smoke runs the
+// live-binary smoke (sftnode cluster + sftgateway + sftclient -subscribe).
+//
 // # Performance
 //
 // The simulation hot path is engineered so that fixed-seed experiment

@@ -1,0 +1,165 @@
+package gateway
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/types"
+)
+
+// The subscription wire protocol: length-delimited binary frames using the
+// repo's pinned deterministic encodings (types.Append*/Consume*), NOT gob —
+// subscribers exist outside the trust domain, so the decoder must be
+// fuzzable and allocation-bounded against adversarial bytes.
+//
+//	frame   := uint32(len(payload)) payload        (big-endian length)
+//	payload := kind:byte body
+//	kind 's' (client→gateway) subscribe: minLevel:uint32
+//	kind 'e' (gateway→client) event:     record  carrier  qc
+//	          record  = types.StrengthRecord.Encode   (the claimed rise)
+//	          carrier = uint32-length-prefixed types.Block.AppendEncoding
+//	          qc      = uint32-length-prefixed types.QC.Encode
+//
+// The carrier is a certified block whose CommitLog contains the record, and
+// qc certifies the carrier — the §5 proof. A subscriber re-verifies both
+// via its own lightclient before trusting the record, so a gateway that
+// forges or inflates levels is caught on the client.
+
+// Frame kinds.
+const (
+	frameSubscribe = byte('s')
+	frameEvent     = byte('e')
+)
+
+// MaxFrame bounds one frame's payload. A block carries at most the
+// engine-capped payload plus a bounded CommitLog; 1 MiB leaves generous
+// headroom while keeping a malicious length prefix from ballooning memory.
+const MaxFrame = 1 << 20
+
+// Event is one proof-carrying strength rise as it crosses the wire.
+type Event struct {
+	// Record is the claimed rise: block, height, round, level.
+	Record types.StrengthRecord
+	// Carrier is the certified block whose CommitLog proves the record.
+	Carrier *types.Block
+	// QC certifies Carrier.
+	QC *types.QC
+}
+
+// AppendEventFrame appends the payload (no length prefix) of an event frame.
+func AppendEventFrame(b []byte, ev Event) []byte {
+	b = append(b, frameEvent)
+	b = ev.Record.Encode(b)
+	blk := ev.Carrier.AppendEncoding(nil)
+	b = types.AppendUint32(b, uint32(len(blk)))
+	b = append(b, blk...)
+	qc := ev.QC.Encode(nil)
+	b = types.AppendUint32(b, uint32(len(qc)))
+	b = append(b, qc...)
+	return b
+}
+
+// DecodeEventFrame parses an event frame payload (including the kind byte).
+func DecodeEventFrame(b []byte) (Event, error) {
+	var ev Event
+	if len(b) == 0 || b[0] != frameEvent {
+		return ev, fmt.Errorf("gateway: not an event frame")
+	}
+	rest := b[1:]
+	rec, rest, err := types.DecodeStrengthRecord(rest)
+	if err != nil {
+		return ev, fmt.Errorf("gateway: event record: %w", err)
+	}
+	ev.Record = rec
+	blkBytes, rest, err := consumeChunk(rest)
+	if err != nil {
+		return ev, fmt.Errorf("gateway: event carrier: %w", err)
+	}
+	blk, blkRest, err := types.DecodeBlock(blkBytes)
+	if err != nil {
+		return ev, fmt.Errorf("gateway: event carrier: %w", err)
+	}
+	if len(blkRest) != 0 {
+		return ev, fmt.Errorf("gateway: trailing bytes after carrier")
+	}
+	ev.Carrier = blk
+	qcBytes, rest, err := consumeChunk(rest)
+	if err != nil {
+		return ev, fmt.Errorf("gateway: event qc: %w", err)
+	}
+	qc, trailing, err := types.DecodeQC(qcBytes)
+	if err != nil {
+		return ev, fmt.Errorf("gateway: event qc: %w", err)
+	}
+	if len(trailing) != 0 || len(rest) != 0 {
+		return ev, fmt.Errorf("gateway: trailing bytes in event frame")
+	}
+	ev.QC = qc
+	return ev, nil
+}
+
+// AppendSubscribeFrame appends the payload of a subscribe frame.
+func AppendSubscribeFrame(b []byte, minLevel int) []byte {
+	b = append(b, frameSubscribe)
+	return types.AppendUint32(b, uint32(minLevel))
+}
+
+// DecodeSubscribeFrame parses a subscribe frame payload.
+func DecodeSubscribeFrame(b []byte) (minLevel int, err error) {
+	if len(b) == 0 || b[0] != frameSubscribe {
+		return 0, fmt.Errorf("gateway: not a subscribe frame")
+	}
+	v, rest, err := types.ConsumeUint32(b[1:])
+	if err != nil {
+		return 0, fmt.Errorf("gateway: subscribe frame: %w", err)
+	}
+	if len(rest) != 0 {
+		return 0, fmt.Errorf("gateway: trailing bytes in subscribe frame")
+	}
+	return int(v), nil
+}
+
+// consumeChunk reads one uint32-length-prefixed byte chunk.
+func consumeChunk(b []byte) (chunk, rest []byte, err error) {
+	n, rest, err := types.ConsumeUint32(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if uint64(n) > uint64(len(rest)) {
+		return nil, nil, fmt.Errorf("chunk length %d exceeds remaining %d", n, len(rest))
+	}
+	return rest[:n], rest[n:], nil
+}
+
+// WriteFrame writes one length-delimited frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("gateway: frame %d exceeds MaxFrame", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-delimited frame, rejecting oversized lengths
+// before allocating.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("gateway: frame length %d exceeds MaxFrame", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

@@ -53,18 +53,26 @@ func (c *Client) ProcessCertified(b *types.Block, qc *types.QC) error {
 		return fmt.Errorf("lightclient: %w", err)
 	}
 	for _, rec := range b.CommitLog {
-		if rec.X > c.levels[rec.Block] || c.heights[rec.Block] == 0 {
-			if rec.X > c.levels[rec.Block] {
-				c.levels[rec.Block] = rec.X
-			}
-			c.heights[rec.Block] = rec.Height
-			if rec.X > c.maxLevel {
-				c.maxLevel = rec.X
-				c.maxBlock = rec.Block
-			}
-		}
+		c.record(rec)
 	}
 	return nil
+}
+
+// record applies one proven Log entry. Updates are strictly monotone per
+// block: a duplicate or out-of-order entry with a level at or below what is
+// already proven changes nothing — in particular it cannot overwrite the
+// height recorded for the stronger entry.
+func (c *Client) record(rec types.StrengthRecord) bool {
+	if old, ok := c.levels[rec.Block]; ok && rec.X <= old {
+		return false
+	}
+	c.levels[rec.Block] = rec.X
+	c.heights[rec.Block] = rec.Height
+	if rec.X > c.maxLevel {
+		c.maxLevel = rec.X
+		c.maxBlock = rec.Block
+	}
+	return true
 }
 
 // StrengthOf returns the proven strong-commit level of a block, or -1 if no
@@ -76,8 +84,13 @@ func (c *Client) StrengthOf(id types.BlockID) int {
 	return -1
 }
 
-// HeightOf returns the chain height a proven block was recorded at, or 0.
-func (c *Client) HeightOf(id types.BlockID) types.Height { return c.heights[id] }
+// HeightOf returns the chain height a proven block was recorded at. The
+// second result distinguishes "no certified Log entry mentions this block"
+// from a legitimately recorded height (including genesis height 0).
+func (c *Client) HeightOf(id types.BlockID) (types.Height, bool) {
+	h, ok := c.heights[id]
+	return h, ok
+}
 
 // Proven returns how many distinct blocks have proven strength levels.
 func (c *Client) Proven() int { return len(c.levels) }

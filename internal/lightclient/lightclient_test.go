@@ -48,8 +48,8 @@ func TestAcceptsGenuineProof(t *testing.T) {
 	if got := f.client.StrengthOf(target); got != 2 {
 		t.Fatalf("strength = %d, want 2", got)
 	}
-	if got := f.client.HeightOf(target); got != 9 {
-		t.Fatalf("height = %d", got)
+	if got, ok := f.client.HeightOf(target); !ok || got != 9 {
+		t.Fatalf("height = %d, %v", got, ok)
 	}
 	blk, x := f.client.Strongest()
 	if blk != target || x != 2 {
@@ -111,6 +111,74 @@ func TestLevelsAreMonotone(t *testing.T) {
 	}
 	if got := f.client.StrengthOf(target); got != 2 {
 		t.Fatalf("level regressed to %d", got)
+	}
+}
+
+// TestDuplicateEntryKeepsHeight is the PR-10 regression: a duplicate Log
+// entry at a lower level used to slip past the `heights == 0` guard and
+// overwrite the height recorded for the stronger entry.
+func TestDuplicateEntryKeepsHeight(t *testing.T) {
+	f := newFixture(t)
+	target := types.BlockID{3}
+	b1, qc1 := f.certifiedBlock(t, []types.StrengthRecord{{Block: target, Height: 12, X: 2}}, 3)
+	if err := f.client.ProcessCertified(b1, qc1); err != nil {
+		t.Fatal(err)
+	}
+	// Replay a weaker, out-of-order entry for the same block recorded at a
+	// different (bogus) height. It must change nothing.
+	b2, qc2 := f.certifiedBlock(t, []types.StrengthRecord{{Block: target, Height: 40, X: 1}}, 3)
+	if err := f.client.ProcessCertified(b2, qc2); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := f.client.HeightOf(target); !ok || got != 12 {
+		t.Fatalf("height overwritten by weaker duplicate: %d, %v", got, ok)
+	}
+	if got := f.client.StrengthOf(target); got != 2 {
+		t.Fatalf("level regressed to %d", got)
+	}
+	// A genuinely stronger entry still advances both level and height.
+	b3, qc3 := f.certifiedBlock(t, []types.StrengthRecord{{Block: target, Height: 12, X: 3}}, 3)
+	if err := f.client.ProcessCertified(b3, qc3); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.client.StrengthOf(target); got != 3 {
+		t.Fatalf("level = %d, want 3", got)
+	}
+}
+
+// TestOutOfOrderEntriesConverge feeds the same block's rises in descending
+// order; the final state must match the ascending-order feed.
+func TestOutOfOrderEntriesConverge(t *testing.T) {
+	f := newFixture(t)
+	target := types.BlockID{5}
+	for _, x := range []int{3, 1, 2} {
+		b, qc := f.certifiedBlock(t, []types.StrengthRecord{{Block: target, Height: 4, X: x}}, 3)
+		if err := f.client.ProcessCertified(b, qc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.client.StrengthOf(target); got != 3 {
+		t.Fatalf("level = %d, want 3", got)
+	}
+	if got, ok := f.client.HeightOf(target); !ok || got != 4 {
+		t.Fatalf("height = %d, %v", got, ok)
+	}
+}
+
+// TestHeightOfDistinguishesUnknown covers the (Height, bool) form: height 0
+// is a legitimate recorded value, distinct from "never proven".
+func TestHeightOfDistinguishesUnknown(t *testing.T) {
+	f := newFixture(t)
+	target := types.BlockID{8}
+	if _, ok := f.client.HeightOf(target); ok {
+		t.Fatal("unknown block reported as recorded")
+	}
+	b, qc := f.certifiedBlock(t, []types.StrengthRecord{{Block: target, Height: 0, X: 1}}, 3)
+	if err := f.client.ProcessCertified(b, qc); err != nil {
+		t.Fatal(err)
+	}
+	if h, ok := f.client.HeightOf(target); !ok || h != 0 {
+		t.Fatalf("height-0 entry not distinguishable: %d, %v", h, ok)
 	}
 }
 

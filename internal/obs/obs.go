@@ -71,6 +71,18 @@ type Obs struct {
 	// reader-goroutine) increments never touch the registry lock.
 	rejTimeouts map[string]*Counter
 	rejEntries  map[string]*Counter
+
+	// Access tier: strength-subscription gateway fan-out. Subscriber counts
+	// and evictions make the bounded-queue policy observable; the
+	// ingested/rejected pair separates a healthy proof feed from one being
+	// fed garbage.
+	gwSubscribers *Gauge
+	gwEvents      *Counter
+	gwEvictions   *Counter
+	gwIngested    *Counter
+	gwRejected    *Counter
+	gwFramesOut   *Counter
+	gwBytesOut    *Counter
 }
 
 // Rejection reasons for the pacemaker-hardening counter families. The sets
@@ -134,6 +146,14 @@ func New(o Options) *Obs {
 
 		appExecuted:   r.Counter("sft_app_blocks_executed_total", "Blocks executed through the application state machine (execute-before-vote)."),
 		appMismatches: r.Counter("sft_app_apphash_mismatches_total", "AppHash disagreements detected (vote or certificate state root differs from local execution)."),
+
+		gwSubscribers: r.Gauge("sft_gateway_subscribers", "Strength-subscription connections currently attached to the gateway."),
+		gwEvents:      r.Counter("sft_gateway_events_total", "Proof-carrying strength-rise events fanned out (one per subscriber delivery)."),
+		gwEvictions:   r.Counter("sft_gateway_evictions_total", "Subscribers evicted because their bounded queue overflowed (slowest-subscriber policy)."),
+		gwIngested:    r.Counter("sft_gateway_certified_ingested_total", "Certified (block, QC) pairs accepted from the observer feed."),
+		gwRejected:    r.Counter("sft_gateway_certified_rejected_total", "Certified pairs rejected by the gateway's own proof verification."),
+		gwFramesOut:   r.Counter("sft_gateway_frames_sent_total", "Subscription protocol frames written to subscribers."),
+		gwBytesOut:    r.Counter("sft_gateway_bytes_sent_total", "Subscription protocol bytes written to subscribers."),
 	}
 
 	levels := 2 * o.F
@@ -477,4 +497,61 @@ func (o *Obs) RoundEntryRejections() int64 {
 		total += c.Value()
 	}
 	return total
+}
+
+// --- gateway hooks (access tier; called from gateway goroutines) ----------
+
+// OnGatewaySubscribed moves the live-subscriber gauge by delta (+1 attach,
+// -1 detach).
+func (o *Obs) OnGatewaySubscribed(delta int64) {
+	if o == nil {
+		return
+	}
+	o.gwSubscribers.Add(delta)
+}
+
+// OnGatewayEvicted records one slowest-subscriber eviction.
+func (o *Obs) OnGatewayEvicted() {
+	if o == nil {
+		return
+	}
+	o.gwEvictions.Inc()
+}
+
+// OnGatewayIngest records one certified pair arriving from the observer
+// feed; rejected marks pairs the gateway's own proof verification refused.
+func (o *Obs) OnGatewayIngest(rejected bool) {
+	if o == nil {
+		return
+	}
+	if rejected {
+		o.gwRejected.Inc()
+		return
+	}
+	o.gwIngested.Inc()
+}
+
+// OnGatewayEvent records one strength-rise delivery queued to a subscriber.
+func (o *Obs) OnGatewayEvent() {
+	if o == nil {
+		return
+	}
+	o.gwEvents.Inc()
+}
+
+// OnGatewayFrameOut records one subscription frame written to a subscriber.
+func (o *Obs) OnGatewayFrameOut(bytes int64) {
+	if o == nil {
+		return
+	}
+	o.gwFramesOut.Inc()
+	o.gwBytesOut.Add(bytes)
+}
+
+// GatewayEvictions returns the eviction counter (tests, smoke checks).
+func (o *Obs) GatewayEvictions() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.gwEvictions.Value()
 }

@@ -1,0 +1,507 @@
+// Package observer implements the non-voting follower of the access tier:
+// an engine that consumes the consensus tier's certified-chain traffic
+// (proposals with embedded justify QCs, echoes, round entries, state-sync
+// segments), verifies every signature and certificate itself, and tracks
+// commit strength with the paper's marker rule — without ever voting. Its
+// vote power is structurally zero: it emits no votes, no timeouts, no
+// proposals; the only messages it sends are catch-up requests.
+//
+// Observers exist so client load (strength subscriptions, read APIs) lands
+// on a tier that scales horizontally instead of on voting replicas' hot
+// path — Flow's access-node split, applied to SFT. An observer derives
+// regular commits from the same strength bookkeeping replicas use: the
+// first time the tracker reports a block at level f it is committed by the
+// regular rule (a certified 3-chain yields 2f+1 direct endorsers per block,
+// i.e. exactly f beyond the quorum's f+1 honest floor), so commit and
+// strength events observed here match the voting engines' event stream.
+package observer
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/blockstore"
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/engine"
+	"repro/internal/statesync"
+	"repro/internal/types"
+)
+
+// syncTimerID is the observer's only timer: the periodic catch-up probe.
+const syncTimerID = 9001
+
+// DefaultSyncInterval paces the catch-up probe when the feed stalls.
+const DefaultSyncInterval = 500 * time.Millisecond
+
+// maxOrphans bounds the buffer of blocks whose ancestry has not arrived
+// yet. An attacker spraying validly-signed blocks with unknown parents
+// cannot grow it without bound; evicted holes heal via state sync.
+const maxOrphans = 1024
+
+// maxEchoDepth bounds nested Echo unwrapping, mirroring the voting engines.
+const maxEchoDepth = 4
+
+// Config parameterizes an observer engine.
+type Config struct {
+	// ID is the observer's wire identity. By convention it lies outside the
+	// voting committee [0, N); replicas never count it toward quorums.
+	ID types.ReplicaID
+	// N and F describe the voting committee (n = 3f+1).
+	N, F int
+	// Mode selects the marker rule: core.ModeRound (DiemBFT) or
+	// core.ModeHeight (Streamlet). Defaults to ModeRound.
+	Mode core.Mode
+	// Verifier checks vote and proposal signatures (the cluster KeyRing).
+	Verifier crypto.Verifier
+	// VerifySignatures enables cryptographic checks (on for anything real;
+	// off only for pure-simulation tests, matching the voting engines).
+	VerifySignatures bool
+	// Horizon bounds the tracker's ancestor walk (0 = unbounded).
+	Horizon int
+	// Upstreams are the replicas catch-up requests rotate over. Defaults to
+	// the whole committee.
+	Upstreams []types.ReplicaID
+	// SyncInterval paces the stall-detection catch-up probe.
+	SyncInterval time.Duration
+	// BatchWorkers parallelizes cold QC verification (0 = sequential).
+	BatchWorkers int
+	// OnCertified, if non-nil, observes every (block, qc) pair where qc
+	// certifies block, exactly once per block, in arrival order. This is
+	// the §5 proof feed: a certified block's CommitLog entries are proven
+	// strength levels, which is what the gateway serves to subscribers.
+	OnCertified func(b *types.Block, qc *types.QC)
+}
+
+// Observer is the engine. It implements engine.Engine and engine.Pipelined,
+// so it runs unchanged under the discrete-event simulator and the TCP
+// runtime, with optional reader-side prevalidation.
+type Observer struct {
+	cfg     Config
+	store   *blockstore.Store
+	tracker *core.Tracker
+	qcCache *crypto.QCCache
+
+	// committed marks blocks already reported via engine.Commit.
+	committed  map[types.BlockID]bool
+	committedH types.Height
+	// certified marks blocks already reported via OnCertified.
+	certified map[types.BlockID]bool
+	// strength is the highest level already reported per block.
+	strength map[types.BlockID]int
+
+	// orphans buffers proposals whose parent has not arrived, keyed by the
+	// missing parent; orphanOrder implements FIFO eviction at maxOrphans.
+	orphans     map[types.BlockID][]*types.Proposal
+	orphanOrder []types.BlockID
+	syncAsked   map[types.BlockID]bool
+
+	// rises accumulates tracker callbacks during one event, drained by emit.
+	rises []rise
+	outs  []engine.Output
+
+	// lastTip detects a stalled feed between sync-timer firings.
+	lastTip types.Height
+	nextUp  int
+}
+
+type rise struct {
+	b *types.Block
+	x int
+}
+
+// New creates an observer engine.
+func New(cfg Config) (*Observer, error) {
+	if cfg.N <= 0 || cfg.F < 0 {
+		return nil, fmt.Errorf("observer: invalid committee n=%d f=%d", cfg.N, cfg.F)
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = core.ModeRound
+	}
+	if cfg.SyncInterval <= 0 {
+		cfg.SyncInterval = DefaultSyncInterval
+	}
+	if len(cfg.Upstreams) == 0 {
+		for i := 0; i < cfg.N; i++ {
+			cfg.Upstreams = append(cfg.Upstreams, types.ReplicaID(i))
+		}
+	}
+	o := &Observer{
+		cfg:       cfg,
+		store:     blockstore.New(),
+		committed: make(map[types.BlockID]bool),
+		certified: make(map[types.BlockID]bool),
+		strength:  make(map[types.BlockID]int),
+		orphans:   make(map[types.BlockID][]*types.Proposal),
+		syncAsked: make(map[types.BlockID]bool),
+		qcCache:   crypto.NewQCCache(0),
+	}
+	o.tracker = core.NewTracker(o.store, core.Config{
+		N:       cfg.N,
+		F:       cfg.F,
+		Mode:    cfg.Mode,
+		Horizon: cfg.Horizon,
+		OnStrength: func(b *types.Block, x int) {
+			o.rises = append(o.rises, rise{b, x})
+		},
+	})
+	return o, nil
+}
+
+// ID implements engine.Engine.
+func (o *Observer) ID() types.ReplicaID { return o.cfg.ID }
+
+// Store exposes the observer's block tree (read-only use).
+func (o *Observer) Store() *blockstore.Store { return o.store }
+
+// CommittedHeight returns the highest height reported committed.
+func (o *Observer) CommittedHeight() types.Height { return o.committedH }
+
+// Strength returns the highest reported strength of a block, or -1.
+func (o *Observer) Strength(id types.BlockID) int {
+	if x, ok := o.strength[id]; ok {
+		return x
+	}
+	return -1
+}
+
+// Init implements engine.Engine: ask an upstream where the chain is and
+// start the stall-detection timer.
+func (o *Observer) Init(now time.Duration) []engine.Output {
+	o.outs = o.outs[:0]
+	o.requestCatchUp()
+	o.outs = append(o.outs, engine.SetTimer{ID: syncTimerID, Delay: o.cfg.SyncInterval})
+	return o.take()
+}
+
+// OnTimer implements engine.Engine: if the chain tip has not advanced since
+// the last firing, probe the next upstream for missing blocks.
+func (o *Observer) OnTimer(now time.Duration, id int) []engine.Output {
+	if id != syncTimerID {
+		return nil
+	}
+	o.outs = o.outs[:0]
+	if tip := o.tipHeight(); tip == o.lastTip {
+		o.requestCatchUp()
+	} else {
+		o.lastTip = tip
+	}
+	o.outs = append(o.outs, engine.SetTimer{ID: syncTimerID, Delay: o.cfg.SyncInterval})
+	return o.take()
+}
+
+// OnMessage implements engine.Engine.
+func (o *Observer) OnMessage(now time.Duration, from types.ReplicaID, msg types.Message) []engine.Output {
+	return o.onMessage(from, msg, false)
+}
+
+// OnVerifiedMessage implements engine.Pipelined.
+func (o *Observer) OnVerifiedMessage(now time.Duration, from types.ReplicaID, msg types.Message) []engine.Output {
+	return o.onMessage(from, msg, true)
+}
+
+// Prevalidate implements engine.Pipelined: the stateless subset of the
+// observer's checks, safe to run concurrently on transport reader
+// goroutines. State-sync segments are never rejected here — their
+// signatures are re-checked link by link on application — so this only
+// front-loads proposal/echo/round-entry verification.
+func (o *Observer) Prevalidate(from types.ReplicaID, msg types.Message) error {
+	if !o.cfg.VerifySignatures {
+		return nil
+	}
+	switch m := msg.(type) {
+	case *types.Proposal:
+		return o.checkProposal(m)
+	case *types.Echo:
+		inner := m
+		for depth := 0; depth < maxEchoDepth; depth++ {
+			p, ok := inner.Inner.(*types.Proposal)
+			if ok {
+				return o.checkProposal(p)
+			}
+			next, ok := inner.Inner.(*types.Echo)
+			if !ok {
+				return fmt.Errorf("observer: echo wraps no proposal")
+			}
+			inner = next
+		}
+		return fmt.Errorf("observer: echo nesting too deep")
+	case *types.RoundEntry:
+		if m.Justify != nil {
+			return o.verifyQC(m.Justify)
+		}
+		return nil
+	}
+	return nil
+}
+
+func (o *Observer) onMessage(from types.ReplicaID, msg types.Message, verified bool) []engine.Output {
+	o.outs = o.outs[:0]
+	switch m := msg.(type) {
+	case *types.Proposal:
+		o.onProposal(from, m, verified)
+	case *types.Echo:
+		inner := m.Inner
+		for depth := 0; depth < maxEchoDepth; depth++ {
+			switch im := inner.(type) {
+			case *types.Proposal:
+				o.onProposal(from, im, verified)
+				inner = nil
+			case *types.Echo:
+				inner = im.Inner
+				continue
+			default:
+				inner = nil
+			}
+			break
+		}
+	case *types.RoundEntry:
+		// A round entry's QC certifies the previous round's block — feed it
+		// so strength can rise even when the next proposal is still in
+		// flight.
+		if m.Justify != nil {
+			o.noteQC(m.Justify, verified)
+		}
+	case *types.StateSyncResponse:
+		o.onStateSync(m)
+	}
+	o.emit()
+	return o.take()
+}
+
+// checkProposal is the stateless validity check: proposer signature and
+// justify certificate.
+func (o *Observer) checkProposal(p *types.Proposal) error {
+	if p.Block == nil || p.Block.Justify == nil {
+		return fmt.Errorf("observer: proposal without block or justify")
+	}
+	if p.Block.Justify.Block != p.Block.Parent {
+		return fmt.Errorf("observer: justify does not certify parent")
+	}
+	if !o.cfg.VerifySignatures {
+		return nil
+	}
+	if int(p.Sender) >= o.cfg.N || !o.cfg.Verifier.Verify(p.Sender, p.SigningPayload(), p.Signature) {
+		return fmt.Errorf("observer: bad proposal signature")
+	}
+	return o.verifyQC(p.Block.Justify)
+}
+
+func (o *Observer) verifyQC(qc *types.QC) error {
+	if err := qc.CheckStructure(o.quorum()); err != nil {
+		return err
+	}
+	if !o.cfg.VerifySignatures {
+		return nil
+	}
+	workers := o.cfg.BatchWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	return o.qcCache.VerifyQCBatch(o.cfg.Verifier, qc, o.quorum(), workers)
+}
+
+// isGenesisQC matches the round-0 no-votes convention (types.NewGenesisQC).
+func isGenesisQC(qc *types.QC) bool {
+	return qc.Round == 0 && len(qc.Votes) == 0 && qc.Agg == nil
+}
+
+func (o *Observer) quorum() int { return 2*o.cfg.F + 1 }
+
+func (o *Observer) onProposal(from types.ReplicaID, p *types.Proposal, verified bool) {
+	if p.Block == nil || p.Block.Justify == nil || o.store.Has(p.Block.ID()) {
+		return
+	}
+	if !verified {
+		if err := o.checkProposal(p); err != nil {
+			return
+		}
+	}
+	if !o.store.Has(p.Block.Parent) {
+		o.bufferOrphan(p)
+		o.requestCatchUp()
+		return
+	}
+	o.ingest(p.Block)
+	o.flushOrphans(p.Block.ID())
+}
+
+// ingest installs one block whose parent is present and whose signatures
+// are already verified, then routes its justify QC through the tracker and
+// the certified-pair feed.
+func (o *Observer) ingest(b *types.Block) {
+	if err := o.store.Insert(b); err != nil {
+		return
+	}
+	delete(o.syncAsked, b.ID())
+	o.noteQC(b.Justify, true)
+}
+
+// noteQC registers one QC (already structurally bound to a stored parent or
+// about to be): it updates the store's high QC, feeds the strength tracker,
+// and fires the certified feed the first time the certified block is seen.
+func (o *Observer) noteQC(qc *types.QC, verified bool) {
+	if qc == nil || isGenesisQC(qc) {
+		return
+	}
+	if !verified {
+		if err := o.verifyQC(qc); err != nil {
+			return
+		}
+	}
+	certified, _, err := o.store.RegisterQC(qc)
+	if err != nil || certified == nil {
+		return
+	}
+	o.tracker.OnQC(qc)
+	if o.cfg.OnCertified != nil && !o.certified[qc.Block] {
+		o.certified[qc.Block] = true
+		o.cfg.OnCertified(certified, qc)
+	}
+}
+
+func (o *Observer) bufferOrphan(p *types.Proposal) {
+	missing := p.Block.Parent
+	if len(o.orphanOrder) >= maxOrphans {
+		evict := o.orphanOrder[0]
+		o.orphanOrder = o.orphanOrder[1:]
+		delete(o.orphans, evict)
+	}
+	if _, ok := o.orphans[missing]; !ok {
+		o.orphanOrder = append(o.orphanOrder, missing)
+	}
+	o.orphans[missing] = append(o.orphans[missing], p)
+}
+
+// flushOrphans re-ingests buffered proposals whose parent just arrived,
+// cascading down the tree.
+func (o *Observer) flushOrphans(parent types.BlockID) {
+	queue := []types.BlockID{parent}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		buffered, ok := o.orphans[id]
+		if !ok {
+			continue
+		}
+		delete(o.orphans, id)
+		for i, oid := range o.orphanOrder {
+			if oid == id {
+				o.orphanOrder = append(o.orphanOrder[:i], o.orphanOrder[i+1:]...)
+				break
+			}
+		}
+		for _, p := range buffered {
+			if o.store.Has(p.Block.ID()) {
+				continue
+			}
+			o.ingest(p.Block)
+			queue = append(queue, p.Block.ID())
+		}
+	}
+}
+
+// onStateSync installs a catch-up segment; every link is re-verified (the
+// applier checks structure and, when enabled, signatures), so a lying
+// upstream cannot smuggle an uncertified block in.
+func (o *Observer) onStateSync(m *types.StateSyncResponse) {
+	applier := &statesync.Applier{
+		Store:  o.store,
+		Quorum: o.quorum(),
+		OnInstall: func(b *types.Block) {
+			delete(o.syncAsked, b.ID())
+			o.flushOrphans(b.ID())
+		},
+		OnQC: func(qc *types.QC) {
+			o.tracker.OnQC(qc)
+			if o.cfg.OnCertified != nil && !o.certified[qc.Block] {
+				if cb := o.store.Block(qc.Block); cb != nil {
+					o.certified[qc.Block] = true
+					o.cfg.OnCertified(cb, qc)
+				}
+			}
+		},
+	}
+	if o.cfg.VerifySignatures {
+		applier.VerifyQC = func(qc *types.QC) error { return o.verifyQC(qc) }
+	}
+	installed, _ := applier.Apply(m)
+	if installed > 0 && len(m.Blocks) >= statesync.DefaultMaxBlocks {
+		// Full segment: the upstream likely has more; ask again right away
+		// rather than waiting out the stall timer.
+		o.requestCatchUp()
+	}
+}
+
+// requestCatchUp asks the next upstream (round-robin) for everything above
+// the observer's current tip.
+func (o *Observer) requestCatchUp() {
+	up := o.cfg.Upstreams[o.nextUp%len(o.cfg.Upstreams)]
+	o.nextUp++
+	o.outs = append(o.outs, engine.Send{
+		To:  up,
+		Msg: statesync.NewRequest(o.tipHeight(), o.cfg.ID),
+	})
+}
+
+func (o *Observer) tipHeight() types.Height {
+	if b := o.store.Block(o.store.HighQC().Block); b != nil {
+		return b.Height
+	}
+	return 0
+}
+
+// emit drains the tracker rises accumulated during one event into outputs:
+// regular commits first (ascending height, each block exactly once — the
+// first rise to level f commits the block and its uncommitted ancestors),
+// then strength events, monotone per block.
+func (o *Observer) emit() {
+	if len(o.rises) == 0 {
+		return
+	}
+	rises := o.rises
+	o.rises = nil
+	sort.SliceStable(rises, func(i, j int) bool {
+		if rises[i].b.Height != rises[j].b.Height {
+			return rises[i].b.Height < rises[j].b.Height
+		}
+		return rises[i].x < rises[j].x
+	})
+	for _, r := range rises {
+		if !o.committed[r.b.ID()] {
+			o.commitChain(r.b)
+		}
+		if old, ok := o.strength[r.b.ID()]; !ok || r.x > old {
+			o.strength[r.b.ID()] = r.x
+			o.outs = append(o.outs, engine.Strength{Block: r.b, X: r.x})
+		}
+	}
+}
+
+// commitChain emits Commit for every uncommitted ancestor of b (ascending)
+// and then b itself.
+func (o *Observer) commitChain(b *types.Block) {
+	chain := []*types.Block{b}
+	o.store.WalkAncestors(b.ID(), func(a *types.Block) bool {
+		if a.IsGenesis() || o.committed[a.ID()] {
+			return false
+		}
+		chain = append(chain, a)
+		return true
+	})
+	for i := len(chain) - 1; i >= 0; i-- {
+		blk := chain[i]
+		o.committed[blk.ID()] = true
+		if blk.Height > o.committedH {
+			o.committedH = blk.Height
+		}
+		o.outs = append(o.outs, engine.Commit{Block: blk})
+	}
+}
+
+func (o *Observer) take() []engine.Output {
+	outs := o.outs
+	o.outs = nil
+	return outs
+}

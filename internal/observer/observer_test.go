@@ -1,0 +1,302 @@
+package observer_test
+
+import (
+	"testing"
+
+	"repro/internal/blockstore"
+	"repro/internal/crypto"
+	"repro/internal/engine"
+	"repro/internal/observer"
+	"repro/internal/statesync"
+	"repro/internal/types"
+)
+
+// fixture builds a linear certified chain over a 4-replica committee and
+// drives an observer engine with it message by message.
+type fixture struct {
+	t    *testing.T
+	ring *crypto.KeyRing
+	obs  *observer.Observer
+
+	chain []*types.Block // chain[0] = genesis
+}
+
+func newFixture(t *testing.T, cfg observer.Config) *fixture {
+	t.Helper()
+	ring, err := crypto.NewKeyRing(4, 7, crypto.SchemeSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ID == 0 {
+		cfg.ID = 4
+	}
+	cfg.N, cfg.F = 4, 1
+	cfg.Verifier = ring
+	o, err := observer.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{t: t, ring: ring, obs: o, chain: []*types.Block{types.Genesis()}}
+}
+
+// extend appends one block at the next round/height, certified by signers.
+func (f *fixture) extend(signers int) (*types.Block, *types.QC) {
+	f.t.Helper()
+	parent := f.chain[len(f.chain)-1]
+	justify := f.qcFor(parent, signers)
+	r := types.Round(len(f.chain))
+	b := types.NewBlock(parent.ID(), justify, r, types.Height(len(f.chain)), 0, 0, types.Payload{}, nil)
+	f.chain = append(f.chain, b)
+	return b, justify
+}
+
+func (f *fixture) qcFor(b *types.Block, signers int) *types.QC {
+	f.t.Helper()
+	if b.IsGenesis() {
+		return types.NewGenesisQC(b.ID())
+	}
+	votes := make([]types.Vote, signers)
+	for i := 0; i < signers; i++ {
+		v := types.Vote{Block: b.ID(), Round: b.Round, Height: b.Height, Voter: types.ReplicaID(i)}
+		v.Signature = f.ring.Signer(v.Voter).Sign(v.SigningPayload())
+		votes[i] = v
+	}
+	return &types.QC{Block: b.ID(), Round: b.Round, Height: b.Height, Votes: votes}
+}
+
+func (f *fixture) proposal(b *types.Block) *types.Proposal {
+	f.t.Helper()
+	p := &types.Proposal{Block: b, Round: b.Round, Sender: 0}
+	p.Signature = f.ring.Signer(0).Sign(p.SigningPayload())
+	return p
+}
+
+func (f *fixture) deliver(msg types.Message) []engine.Output {
+	return f.obs.OnMessage(0, 0, msg)
+}
+
+func commits(outs []engine.Output) []*types.Block {
+	var bs []*types.Block
+	for _, o := range outs {
+		if c, ok := o.(engine.Commit); ok {
+			bs = append(bs, c.Block)
+		}
+	}
+	return bs
+}
+
+func strengths(outs []engine.Output) map[types.BlockID]int {
+	m := map[types.BlockID]int{}
+	for _, o := range outs {
+		if s, ok := o.(engine.Strength); ok {
+			m[s.Block.ID()] = s.X
+		}
+	}
+	return m
+}
+
+// TestFollowsChainAndCommits feeds a certified chain via proposals and
+// checks the observer derives the same commits and strength rises a voting
+// replica would: the first block regular-commits when the 3-chain closes
+// (level f), and deeper certification raises its level toward 2f.
+func TestFollowsChainAndCommits(t *testing.T) {
+	var certified []types.BlockID
+	f := newFixture(t, observer.Config{
+		VerifySignatures: true,
+		OnCertified: func(b *types.Block, qc *types.QC) {
+			certified = append(certified, b.ID())
+		},
+	})
+
+	// b1..b3 certified by 3 = 2f+1 voters closes the 3-chain over b1.
+	var all []engine.Output
+	var blocks []*types.Block
+	for i := 0; i < 4; i++ {
+		b, _ := f.extend(3)
+		blocks = append(blocks, b)
+		all = append(all, f.deliver(f.proposal(b))...)
+	}
+	cs := commits(all)
+	if len(cs) == 0 || cs[0].ID() != blocks[0].ID() {
+		t.Fatalf("first commit = %v, want b1", cs)
+	}
+	// Commits must be height-ascending.
+	for i := 1; i < len(cs); i++ {
+		if cs[i].Height != cs[i-1].Height+1 {
+			t.Fatalf("commit order broken at %d: %v then %v", i, cs[i-1], cs[i])
+		}
+	}
+	if got := strengths(all)[blocks[0].ID()]; got != 1 {
+		t.Fatalf("b1 strength = %d, want f = 1", got)
+	}
+	if f.obs.CommittedHeight() == 0 {
+		t.Fatal("committed height not advanced")
+	}
+	// Every delivered block's parent got exactly one certified-feed event
+	// (the genesis justify carries no votes and is skipped).
+	if len(certified) != 3 {
+		t.Fatalf("certified feed fired %d times, want 3", len(certified))
+	}
+
+	// Certify with the full committee: strength rises to 2f = 2.
+	b5, _ := f.extend(4)
+	all = f.deliver(f.proposal(b5))
+	b6, _ := f.extend(4)
+	all = append(all, f.deliver(f.proposal(b6))...)
+	b7, _ := f.extend(4)
+	all = append(all, f.deliver(f.proposal(b7))...)
+	found := false
+	for _, x := range strengths(all) {
+		if x == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no block reached strength 2f with full-committee certificates")
+	}
+}
+
+// TestRejectsForgedTraffic: proposals with a bad signature, a sub-quorum
+// justify, or a justify that does not certify the parent never enter the
+// store.
+func TestRejectsForgedTraffic(t *testing.T) {
+	f := newFixture(t, observer.Config{VerifySignatures: true})
+	b1, _ := f.extend(3)
+	p := f.proposal(b1)
+	p.Signature = []byte("forged")
+	f.deliver(p)
+	if f.obs.Store().Has(b1.ID()) {
+		t.Fatal("forged proposal signature accepted")
+	}
+
+	b2 := types.NewBlock(b1.ID(), f.qcFor(b1, 2), 2, 2, 0, 0, types.Payload{}, nil)
+	f.deliver(f.proposal(b1)) // legit b1 first
+	f.deliver(f.proposal(b2))
+	if f.obs.Store().Has(b2.ID()) {
+		t.Fatal("sub-quorum justify accepted")
+	}
+
+	// Tampered vote signature inside an otherwise well-formed QC.
+	qc := f.qcFor(b1, 3)
+	qc.Votes[1].Signature = []byte("forged")
+	b3 := types.NewBlock(b1.ID(), qc, 2, 2, 0, 0, types.Payload{}, nil)
+	f.deliver(f.proposal(b3))
+	if f.obs.Store().Has(b3.ID()) {
+		t.Fatal("forged certificate accepted")
+	}
+}
+
+// TestOrphanHealsViaCatchUp: delivering a block whose parent is missing
+// buffers it and emits a state-sync request; the response heals the gap and
+// the buffered child flushes, with commits arriving in order.
+func TestOrphanHealsViaCatchUp(t *testing.T) {
+	f := newFixture(t, observer.Config{VerifySignatures: true})
+
+	// Build a served store with the full chain, as an upstream replica.
+	served := blockstore.New()
+	for i := 0; i < 5; i++ {
+		b, justify := f.extend(3)
+		if err := served.Insert(b); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := served.RegisterQC(justify); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Register the tip QC so the served high-QC covers the whole chain.
+	if _, _, err := served.RegisterQC(f.qcFor(f.chain[len(f.chain)-1], 3)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Deliver only the tip proposal: parent is missing.
+	tip := f.chain[len(f.chain)-1]
+	outs := f.deliver(f.proposal(tip))
+	var req *types.StateSyncRequest
+	for _, o := range outs {
+		if s, ok := o.(engine.Send); ok {
+			if r, ok := s.Msg.(*types.StateSyncRequest); ok {
+				req = r
+			}
+		}
+	}
+	if req == nil {
+		t.Fatal("no catch-up request for orphaned tip")
+	}
+
+	resp := statesync.Serve(served, req, 0, 0)
+	if resp == nil {
+		t.Fatal("upstream served nothing")
+	}
+	outs = f.deliver(resp)
+	if len(commits(outs)) == 0 {
+		t.Fatal("catch-up produced no commits")
+	}
+	if !f.obs.Store().Has(tip.ID()) {
+		t.Fatal("orphaned tip not flushed after catch-up")
+	}
+}
+
+// TestRestartResumesWithoutGaps: a fresh observer instance (as after a
+// crash) catching up via state sync reports the same committed chain the
+// original saw — no gaps, no reordering.
+func TestRestartResumesWithoutGaps(t *testing.T) {
+	var firstRun []types.BlockID
+	f := newFixture(t, observer.Config{VerifySignatures: true})
+	served := blockstore.New()
+	for i := 0; i < 6; i++ {
+		b, justify := f.extend(3)
+		if err := served.Insert(b); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := served.RegisterQC(justify); err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range commits(f.deliver(f.proposal(b))) {
+			firstRun = append(firstRun, c.ID())
+		}
+	}
+	if _, _, err := served.RegisterQC(f.qcFor(f.chain[len(f.chain)-1], 3)); err != nil {
+		t.Fatal(err)
+	}
+	if len(firstRun) == 0 {
+		t.Fatal("original observer committed nothing")
+	}
+
+	// "Restart": a brand-new engine with empty state syncs from scratch.
+	ring := f.ring
+	o2, err := observer.New(observer.Config{ID: 4, N: 4, F: 1, Verifier: ring, VerifySignatures: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second []types.BlockID
+	req := statesync.NewRequest(0, 4)
+	resp := statesync.Serve(served, req, 0, 0)
+	for _, c := range commits(o2.OnMessage(0, 0, resp)) {
+		second = append(second, c.ID())
+	}
+	if len(second) != len(firstRun) {
+		t.Fatalf("restart commits %d blocks, original %d", len(second), len(firstRun))
+	}
+	for i := range second {
+		if second[i] != firstRun[i] {
+			t.Fatalf("commit %d diverges after restart", i)
+		}
+	}
+}
+
+// TestRoundEntryFeedsStrength: a round entry's justify QC raises strength
+// even before the next proposal arrives.
+func TestRoundEntryFeedsStrength(t *testing.T) {
+	f := newFixture(t, observer.Config{VerifySignatures: true})
+	for i := 0; i < 3; i++ {
+		b, _ := f.extend(3)
+		f.deliver(f.proposal(b))
+	}
+	// The QC certifying the chain tip arrives via a round entry.
+	tip := f.chain[len(f.chain)-1]
+	re := &types.RoundEntry{Round: tip.Round + 1, Justify: f.qcFor(tip, 3), Sender: 0}
+	outs := f.deliver(re)
+	if len(commits(outs)) == 0 {
+		t.Fatal("round-entry QC closed a 3-chain but nothing committed")
+	}
+}

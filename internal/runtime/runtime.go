@@ -36,6 +36,15 @@ type Transport interface {
 	Close() error
 }
 
+// Feeder is optionally implemented by transports that relay a replica's own
+// broadcast traffic to attached read-only observers (tcpnet mirrors inbound
+// peer frames itself, but the node's own proposals never cross its inbound
+// path). The node calls FeedLocal once per Broadcast output, from the event
+// loop goroutine; implementations must not block.
+type Feeder interface {
+	FeedLocal(msg types.Message)
+}
+
 // Durable is the durability resource a node owns while running —
 // typically a *core.Journal wrapping the engine's write-ahead log. Close
 // must flush (with fsync) and release it.
@@ -201,6 +210,9 @@ func (n *Node) apply(outs []engine.Output) {
 					continue
 				}
 				_ = n.tr.Send(to, o.Msg)
+			}
+			if f, ok := n.tr.(Feeder); ok {
+				f.FeedLocal(o.Msg)
 			}
 			if o.SelfDeliver {
 				n.enqueueLoopback(Inbound{From: self, Msg: o.Msg, Verified: true})

@@ -152,6 +152,13 @@ type Config struct {
 	// ExtraDelay, if non-nil, adds to the model latency (e.g. unbounded
 	// delays before GST).
 	ExtraDelay func(from, to types.ReplicaID, now time.Duration) time.Duration
+	// Observers adds non-voting engine slots numbered N..N+Observers-1.
+	// Observer slots receive every replica broadcast (the fabric-level
+	// analogue of tcpnet's observer mirroring) but are outside the committee:
+	// replicas never address them except in reply to their own requests.
+	// Latency models that index per-replica state see observer endpoints as
+	// replica 0.
+	Observers int
 	// Prevalidate routes message deliveries through the engines'
 	// prevalidate/apply split (engine.Pipelined): each delivery is
 	// prevalidated synchronously — the simulator stays single-threaded and
@@ -191,13 +198,15 @@ type Sim struct {
 	partDrop  int64
 }
 
-// New creates a simulation with n empty engine slots.
+// New creates a simulation with n empty engine slots (plus observer slots,
+// when configured).
 func New(cfg Config) *Sim {
+	slots := cfg.N + cfg.Observers
 	s := &Sim{
 		cfg:       cfg,
-		engines:   make([]engine.Engine, cfg.N),
-		pipelined: make([]engine.Pipelined, cfg.N),
-		crashed:   make([]bool, cfg.N),
+		engines:   make([]engine.Engine, slots),
+		pipelined: make([]engine.Pipelined, slots),
+		crashed:   make([]bool, slots),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 	}
 	s.stats.ByType = make(map[types.MsgType]int64)
@@ -349,7 +358,9 @@ func (s *Sim) apply(id types.ReplicaID, outs []engine.Output) {
 		case engine.Send:
 			s.deliver(id, o.To, o.Msg)
 		case engine.Broadcast:
-			for i := 0; i < s.cfg.N; i++ {
+			// Observer slots (>= N) receive every broadcast too — the
+			// fabric-level form of tcpnet's mirroring.
+			for i := range s.engines {
 				to := types.ReplicaID(i)
 				if to == id {
 					continue
@@ -377,7 +388,7 @@ func (s *Sim) apply(id types.ReplicaID, outs []engine.Output) {
 // installPartition assigns each listed replica its group index; unlisted
 // replicas share the implicit final group.
 func (s *Sim) installPartition(groups [][]types.ReplicaID) {
-	part := make([]int32, s.cfg.N)
+	part := make([]int32, len(s.engines))
 	implicit := int32(len(groups))
 	for i := range part {
 		part[i] = implicit
@@ -393,6 +404,9 @@ func (s *Sim) installPartition(groups [][]types.ReplicaID) {
 }
 
 func (s *Sim) deliver(from, to types.ReplicaID, msg types.Message) {
+	if int(to) >= len(s.engines) {
+		return
+	}
 	if s.partition != nil && s.partition[from] != s.partition[to] {
 		s.partDrop++
 		return
@@ -403,7 +417,16 @@ func (s *Sim) deliver(from, to types.ReplicaID, msg types.Message) {
 	s.stats.Count++
 	s.stats.Bytes += int64(msg.Size())
 	s.stats.ByType[msg.Type()]++
-	d := s.cfg.Latency.Delay(from, to, msg.Size(), s.rng)
+	// Latency models size per-replica state by N; observer endpoints take
+	// replica 0's profile.
+	lf, lt := from, to
+	if int(lf) >= s.cfg.N {
+		lf = 0
+	}
+	if int(lt) >= s.cfg.N {
+		lt = 0
+	}
+	d := s.cfg.Latency.Delay(lf, lt, msg.Size(), s.rng)
 	if s.cfg.ExtraDelay != nil {
 		d += s.cfg.ExtraDelay(from, to, s.now)
 	}

@@ -1,0 +1,222 @@
+package tcpnet
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/runtime"
+	"repro/internal/types"
+)
+
+// ObserverConfig describes a non-voting follower's view of the cluster: the
+// identity it presents in handshakes (an ID outside the voting committee)
+// and the replicas it attaches to.
+type ObserverConfig struct {
+	// ID is the observer's wire identity; it must not collide with a voting
+	// replica ID (convention: committee N and up).
+	ID types.ReplicaID
+	// Upstreams maps replica IDs to dialable addresses. The observer keeps a
+	// mirror connection to every upstream, reconnecting with backoff, so one
+	// upstream crashing does not blind it.
+	Upstreams map[types.ReplicaID]string
+	// DialRetry is the pause between failed dials/reconnects (default 250ms).
+	DialRetry time.Duration
+	// Prevalidate, if non-nil, runs on every decoded frame on the upstream's
+	// reader goroutine (wire it to engine.Pipelined.Prevalidate).
+	Prevalidate func(from types.ReplicaID, msg types.Message) error
+	// Obs, if non-nil, receives frame/byte counts per upstream.
+	Obs *obs.Obs
+}
+
+// ObserverNet is the observer-side runtime.Transport: it dials the
+// configured upstream replicas with an Observer handshake, receives mirrored
+// consensus traffic from each, and can send catch-up requests back. Unlike
+// Net it never listens — observers are pure clients of the consensus tier.
+type ObserverNet struct {
+	cfg  ObserverConfig
+	recv chan runtime.Inbound
+
+	mu      sync.Mutex
+	conns   map[types.ReplicaID]*peerConn
+	closed  bool
+	closing chan struct{}
+	wg      sync.WaitGroup
+}
+
+// DialObservers connects an observer to its upstreams. Connections are
+// established (and re-established) in the background; the transport is
+// usable immediately.
+func DialObservers(cfg ObserverConfig) (*ObserverNet, error) {
+	RegisterMessages()
+	if len(cfg.Upstreams) == 0 {
+		return nil, fmt.Errorf("tcpnet: observer needs at least one upstream")
+	}
+	if cfg.DialRetry == 0 {
+		cfg.DialRetry = 250 * time.Millisecond
+	}
+	o := &ObserverNet{
+		cfg:     cfg,
+		recv:    make(chan runtime.Inbound, 4096),
+		conns:   make(map[types.ReplicaID]*peerConn),
+		closing: make(chan struct{}),
+	}
+	for id, addr := range cfg.Upstreams {
+		o.wg.Add(1)
+		go o.upstreamLoop(id, addr)
+	}
+	return o, nil
+}
+
+// Recv implements runtime.Transport.
+func (o *ObserverNet) Recv() <-chan runtime.Inbound { return o.recv }
+
+// Send implements runtime.Transport: catch-up requests go to whichever
+// upstream the engine addressed, provided its connection is currently up.
+func (o *ObserverNet) Send(to types.ReplicaID, msg types.Message) error {
+	o.mu.Lock()
+	pc := o.conns[to]
+	o.mu.Unlock()
+	if pc == nil {
+		return fmt.Errorf("tcpnet: upstream %v not connected", to)
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if err := pc.enc.Encode(envelope{From: o.cfg.ID, Msg: msg}); err != nil {
+		return fmt.Errorf("tcpnet: observer send to %v: %w", to, err)
+	}
+	o.cfg.Obs.OnFrameOut(to, pc.cw.take())
+	return nil
+}
+
+// Connected reports how many upstream connections are currently live.
+func (o *ObserverNet) Connected() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.conns)
+}
+
+// Close implements runtime.Transport.
+func (o *ObserverNet) Close() error {
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		return nil
+	}
+	o.closed = true
+	close(o.closing)
+	conns := o.conns
+	o.conns = map[types.ReplicaID]*peerConn{}
+	o.mu.Unlock()
+	for _, pc := range conns {
+		pc.mu.Lock()
+		_ = pc.conn.Close()
+		pc.mu.Unlock()
+	}
+	o.wg.Wait()
+	close(o.recv)
+	return nil
+}
+
+// upstreamLoop maintains one upstream connection for the observer's
+// lifetime: dial, Observer handshake, drain mirrored frames, and on any
+// failure tear down and retry after DialRetry. This is what makes observer
+// restarts and upstream restarts self-healing.
+func (o *ObserverNet) upstreamLoop(id types.ReplicaID, addr string) {
+	defer o.wg.Done()
+	for {
+		select {
+		case <-o.closing:
+			return
+		default:
+		}
+		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			if !o.pause() {
+				return
+			}
+			continue
+		}
+		cw := &countWriter{w: conn}
+		enc := gob.NewEncoder(cw)
+		if err := enc.Encode(hello{From: o.cfg.ID, Observer: true}); err != nil {
+			_ = conn.Close()
+			if !o.pause() {
+				return
+			}
+			continue
+		}
+		cw.take()
+		pc := &peerConn{conn: conn, enc: enc, cw: cw}
+		o.mu.Lock()
+		if o.closed {
+			o.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		o.conns[id] = pc
+		o.mu.Unlock()
+
+		o.drain(id, conn)
+
+		o.mu.Lock()
+		if o.conns[id] == pc {
+			delete(o.conns, id)
+		}
+		o.mu.Unlock()
+		_ = conn.Close()
+		if !o.pause() {
+			return
+		}
+	}
+}
+
+// drain reads mirrored envelopes from one upstream until the connection
+// fails. Frames keep their original From (an upstream relays other
+// replicas' traffic), so there is no spoof check here — the observer's
+// engine verifies every signature and certificate itself and trusts no
+// sender identity.
+func (o *ObserverNet) drain(upstream types.ReplicaID, conn net.Conn) {
+	cr := &countReader{r: conn}
+	dec := gob.NewDecoder(cr)
+	for {
+		var env envelope
+		err := dec.Decode(&env)
+		if err == nil {
+			o.cfg.Obs.OnFrameIn(upstream, cr.take())
+		}
+		if err != nil {
+			return
+		}
+		if env.Msg == nil {
+			continue
+		}
+		verified := false
+		if o.cfg.Prevalidate != nil {
+			if err := o.cfg.Prevalidate(env.From, env.Msg); err != nil {
+				o.cfg.Obs.OnPrevalidate(true)
+				continue
+			}
+			o.cfg.Obs.OnPrevalidate(false)
+			verified = true
+		}
+		select {
+		case o.recv <- runtime.Inbound{From: env.From, Msg: env.Msg, Verified: verified}:
+		case <-o.closing:
+			return
+		}
+	}
+}
+
+// pause sleeps one retry interval; false means the transport is closing.
+func (o *ObserverNet) pause() bool {
+	select {
+	case <-o.closing:
+		return false
+	case <-time.After(o.cfg.DialRetry):
+		return true
+	}
+}

@@ -45,9 +45,13 @@ type envelope struct {
 	Msg  types.Message
 }
 
-// hello is the first frame on every outbound connection.
+// hello is the first frame on every outbound connection. Observer marks a
+// non-voting read-only follower (internal/observer): the replica mirrors
+// consensus traffic to it and restricts what it may send back. The field is
+// a gob-compatible extension — old peers decode it as absent/false.
 type hello struct {
-	From types.ReplicaID
+	From     types.ReplicaID
+	Observer bool
 }
 
 // Config describes one replica's view of the cluster.
@@ -125,6 +129,10 @@ type FrameStats struct {
 	// Prevalidated frames failed the Prevalidate hook (bad signature or
 	// certificate).
 	Prevalidated int64
+	// Restricted frames arrived on an observer connection with a message
+	// type observers may not send (anything beyond sync requests). Observers
+	// are read-only peers; their frames must never reach the engine loop.
+	Restricted int64
 }
 
 // Net is a TCP-backed runtime.Transport.
@@ -136,13 +144,15 @@ type Net struct {
 	spoofed      metrics.Counter
 	malformed    metrics.Counter
 	prevalidated metrics.Counter
+	restricted   metrics.Counter
 
-	mu       sync.Mutex
-	conns    map[types.ReplicaID]*peerConn
-	accepted map[net.Conn]bool
-	closed   bool
-	wg       sync.WaitGroup
-	closing  chan struct{}
+	mu        sync.Mutex
+	conns     map[types.ReplicaID]*peerConn
+	accepted  map[net.Conn]bool
+	observers map[types.ReplicaID]*obsSink
+	closed    bool
+	wg        sync.WaitGroup
+	closing   chan struct{}
 }
 
 // FrameStats returns a snapshot of the dropped-frame counters.
@@ -151,6 +161,7 @@ func (n *Net) FrameStats() FrameStats {
 		Spoofed:      n.spoofed.Load(),
 		Malformed:    n.malformed.Load(),
 		Prevalidated: n.prevalidated.Load(),
+		Restricted:   n.restricted.Load(),
 	}
 }
 
@@ -172,12 +183,13 @@ func Listen(cfg Config) (*Net, error) {
 		return nil, fmt.Errorf("tcpnet: %w", err)
 	}
 	n := &Net{
-		cfg:      cfg,
-		ln:       ln,
-		recv:     make(chan runtime.Inbound, 4096),
-		conns:    make(map[types.ReplicaID]*peerConn),
-		accepted: make(map[net.Conn]bool),
-		closing:  make(chan struct{}),
+		cfg:       cfg,
+		ln:        ln,
+		recv:      make(chan runtime.Inbound, 4096),
+		conns:     make(map[types.ReplicaID]*peerConn),
+		accepted:  make(map[net.Conn]bool),
+		observers: make(map[types.ReplicaID]*obsSink),
+		closing:   make(chan struct{}),
 	}
 	n.wg.Add(1)
 	go n.acceptLoop()
@@ -203,7 +215,17 @@ func (n *Net) SetPeers(peers map[types.ReplicaID]string) {
 func (n *Net) Recv() <-chan runtime.Inbound { return n.recv }
 
 // Send implements runtime.Transport, dialing the peer on first use.
+// Sends addressed to an attached observer (a non-peer ID that completed an
+// observer handshake) are routed to its mirror queue instead — that is how
+// state-sync responses reach observers without them being dialable peers.
 func (n *Net) Send(to types.ReplicaID, msg types.Message) error {
+	n.mu.Lock()
+	sink, isObserver := n.observers[to]
+	n.mu.Unlock()
+	if isObserver {
+		n.sinkDeliver(sink, envelope{From: n.cfg.ID, Msg: msg})
+		return nil
+	}
 	pc, err := n.peer(to)
 	if err != nil {
 		return err
@@ -235,6 +257,7 @@ func (n *Net) Close() error {
 		inbound = append(inbound, c)
 	}
 	n.accepted = map[net.Conn]bool{}
+	n.observers = map[types.ReplicaID]*obsSink{}
 	n.mu.Unlock()
 
 	err := n.ln.Close()
@@ -330,7 +353,7 @@ func (n *Net) readLoop(conn net.Conn) {
 		n.mu.Unlock()
 	}()
 	cr := &countReader{r: conn}
-	n.serveFramesCounted(gob.NewDecoder(cr), cr)
+	n.serveFramesCounted(gob.NewDecoder(cr), cr, conn)
 }
 
 // serveFrames drains one peer connection's frame stream: the identifying
@@ -338,14 +361,15 @@ func (n *Net) readLoop(conn net.Conn) {
 // filtering. Factored off readLoop so the frame parser can be fuzzed
 // against raw attacker-controlled bytes without a socket.
 func (n *Net) serveFrames(dec *gob.Decoder) {
-	n.serveFramesCounted(dec, nil)
+	n.serveFramesCounted(dec, nil, nil)
 }
 
 // serveFramesCounted is serveFrames with an optional byte counter wrapped
 // around the decoder's source; every decoded envelope (accepted or dropped —
 // both are real traffic from the peer) is charged to the connection's
-// handshake identity.
-func (n *Net) serveFramesCounted(dec *gob.Decoder, cr *countReader) {
+// handshake identity. conn, when non-nil, is the underlying socket — needed
+// to attach a mirror sink when the handshake declares an observer.
+func (n *Net) serveFramesCounted(dec *gob.Decoder, cr *countReader, conn net.Conn) {
 	var h hello
 	if err := dec.Decode(&h); err != nil {
 		return
@@ -359,6 +383,20 @@ func (n *Net) serveFramesCounted(dec *gob.Decoder, cr *countReader) {
 		// connection must never produce inbound messages.
 		n.spoofed.Inc()
 		return
+	}
+	if h.Observer {
+		if _, isPeer := n.cfg.Peers[h.From]; isPeer {
+			// A voting peer masquerading as an observer would get consensus
+			// traffic mirrored back at it while dodging the peer path.
+			n.spoofed.Inc()
+			return
+		}
+		if conn != nil {
+			sink := n.registerObserver(h.From, conn)
+			if sink != nil {
+				defer n.dropObserver(h.From, sink)
+			}
+		}
 	}
 	for {
 		var env envelope
@@ -386,6 +424,12 @@ func (n *Net) serveFramesCounted(dec *gob.Decoder, cr *countReader) {
 			n.malformed.Inc()
 			continue
 		}
+		if h.Observer && !observerMay(env.Msg) {
+			// Observers are read-only: only catch-up requests may reach the
+			// engine loop; a vote or proposal from one is an attack, not load.
+			n.restricted.Inc()
+			continue
+		}
 		verified := false
 		if n.cfg.Prevalidate != nil {
 			// Stateless signature/certificate checks run here, on the
@@ -399,6 +443,11 @@ func (n *Net) serveFramesCounted(dec *gob.Decoder, cr *countReader) {
 			}
 			n.cfg.Obs.OnPrevalidate(false)
 			verified = true
+		}
+		if !h.Observer {
+			// Mirror accepted consensus frames from voting peers to attached
+			// observers (the replica's own broadcasts arrive via FeedLocal).
+			n.mirror(env)
 		}
 		select {
 		case n.recv <- runtime.Inbound{From: env.From, Msg: env.Msg, Verified: verified}:
@@ -415,6 +464,145 @@ func (n *Net) isClosing() bool {
 	default:
 		return false
 	}
+}
+
+// obsSinkDepth bounds each observer's mirror queue. A stalled observer is
+// disconnected when its queue fills — replica reader goroutines never block
+// on observer back-pressure, and the observer heals the gap via state sync
+// when it reconnects.
+const obsSinkDepth = 1024
+
+// obsSink is the replica-side write end of one attached observer: a bounded
+// queue drained by a dedicated writer goroutine.
+type obsSink struct {
+	conn net.Conn
+	ch   chan envelope
+	stop chan struct{} // closed once to disconnect the sink
+	once sync.Once
+}
+
+func (s *obsSink) close() {
+	s.once.Do(func() { close(s.stop) })
+}
+
+// Observers reports how many observer connections are currently attached.
+func (n *Net) Observers() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.observers)
+}
+
+// registerObserver attaches a mirror sink for an observer handshake; a
+// reconnect under the same ID replaces (and disconnects) the previous sink.
+func (n *Net) registerObserver(id types.ReplicaID, conn net.Conn) *obsSink {
+	sink := &obsSink{conn: conn, ch: make(chan envelope, obsSinkDepth), stop: make(chan struct{})}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	old := n.observers[id]
+	n.observers[id] = sink
+	n.wg.Add(1)
+	n.mu.Unlock()
+	if old != nil {
+		old.close()
+	}
+	go n.sinkWriter(id, sink)
+	return sink
+}
+
+func (n *Net) dropObserver(id types.ReplicaID, sink *obsSink) {
+	sink.close()
+	n.mu.Lock()
+	if n.observers[id] == sink {
+		delete(n.observers, id)
+	}
+	n.mu.Unlock()
+}
+
+// sinkWriter drains one observer's mirror queue onto its socket. It shares
+// the socket with the observer's reader goroutine only for Close, which is
+// safe on net.Conn.
+func (n *Net) sinkWriter(id types.ReplicaID, sink *obsSink) {
+	defer n.wg.Done()
+	defer sink.conn.Close()
+	cw := &countWriter{w: sink.conn}
+	enc := gob.NewEncoder(cw)
+	for {
+		select {
+		case env := <-sink.ch:
+			if err := enc.Encode(env); err != nil {
+				n.dropObserver(id, sink)
+				return
+			}
+			n.cfg.Obs.OnFrameOut(id, cw.take())
+		case <-sink.stop:
+			return
+		case <-n.closing:
+			return
+		}
+	}
+}
+
+// sinkDeliver enqueues one envelope for an observer without ever blocking;
+// a full queue means the observer is too slow to follow and is disconnected.
+func (n *Net) sinkDeliver(sink *obsSink, env envelope) {
+	select {
+	case sink.ch <- env:
+	default:
+		sink.close()
+	}
+}
+
+// mirror relays one accepted consensus frame to every attached observer.
+func (n *Net) mirror(env envelope) {
+	if !mirrorable(env.Msg) {
+		return
+	}
+	n.mu.Lock()
+	if len(n.observers) == 0 {
+		n.mu.Unlock()
+		return
+	}
+	sinks := make([]*obsSink, 0, len(n.observers))
+	for _, s := range n.observers {
+		sinks = append(sinks, s)
+	}
+	n.mu.Unlock()
+	for _, s := range sinks {
+		n.sinkDeliver(s, env)
+	}
+}
+
+// FeedLocal mirrors one of this replica's own broadcast messages to attached
+// observers; runtime.Node calls it once per Broadcast output (see
+// runtime.Feeder). Without it a leader's own proposals would never reach
+// observers attached only to that leader.
+func (n *Net) FeedLocal(msg types.Message) {
+	n.mirror(envelope{From: n.cfg.ID, Msg: msg})
+}
+
+// mirrorable limits mirroring to the certified-chain traffic an observer
+// follows: proposals (blocks + embedded justify QCs), echoes of proposals,
+// and round entries (QC/TC round-advance justifications). Votes and sync
+// chatter stay between voting peers.
+func mirrorable(msg types.Message) bool {
+	switch msg.(type) {
+	case *types.Proposal, *types.Echo, *types.RoundEntry:
+		return true
+	}
+	return false
+}
+
+// observerMay whitelists what an observer connection can feed the engine:
+// catch-up requests only.
+func observerMay(msg types.Message) bool {
+	switch msg.(type) {
+	case *types.SyncRequest, *types.StateSyncRequest:
+		return true
+	}
+	return false
 }
 
 // isDecodeGarbage distinguishes a corrupt frame from an ordinary transport

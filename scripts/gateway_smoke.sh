@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# gateway_smoke.sh — end-to-end smoke of the access tier over real binaries:
+# start a 4-replica sftnode cluster, attach an sftgateway (observer + gateway
+# + ops surface), then run the sftclient -subscribe probe, which must verify
+# streamed strength proofs against the committee's PKI. Finishes by checking
+# the gateway's /metrics families and /healthz payload.
+set -euo pipefail
+
+BINDIR=$(mktemp -d)
+OBS_PORT=${OBS_PORT:-17991}
+BASE_PORT=${BASE_PORT:-17910}
+GW_PORT=${GW_PORT:-17980}
+PEERS="127.0.0.1:${BASE_PORT},127.0.0.1:$((BASE_PORT + 1)),127.0.0.1:$((BASE_PORT + 2)),127.0.0.1:$((BASE_PORT + 3))"
+
+go build -o "$BINDIR/sftnode" ./cmd/sftnode
+go build -o "$BINDIR/sftgateway" ./cmd/sftgateway
+go build -o "$BINDIR/sftclient" ./cmd/sftclient
+
+pids=()
+cleanup() {
+    kill "${pids[@]}" 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$BINDIR"
+}
+trap cleanup EXIT
+
+for id in 0 1 2 3; do
+    "$BINDIR/sftnode" -id "$id" -n 4 -listen "127.0.0.1:$((BASE_PORT + id))" \
+        -peers "$PEERS" -timeout 1s -txns 10 -quiet &
+    pids+=($!)
+done
+
+"$BINDIR/sftgateway" -n 4 -upstreams "$PEERS" -listen "127.0.0.1:${GW_PORT}" \
+    -obs-addr "127.0.0.1:${OBS_PORT}" &
+pids+=($!)
+
+base="http://127.0.0.1:${OBS_PORT}"
+
+# Wait for the gateway's ops server.
+for i in $(seq 1 50); do
+    if curl -fsS -o /dev/null "$base/healthz" 2>/dev/null; then
+        break
+    fi
+    [ "$i" -eq 50 ] && { echo "FAIL: gateway /healthz never came up"; exit 1; }
+    sleep 0.2
+done
+
+# The probe is the real acceptance check: it must receive 3 strength events
+# whose Section 5 proofs verify client-side against the cluster's PKI.
+"$BINDIR/sftclient" -subscribe "127.0.0.1:${GW_PORT}" -n 4 -seed 42 -count 3 -run 60s \
+    || { echo "FAIL: subscribe probe"; exit 1; }
+echo "OK: subscribe probe verified 3 events"
+
+# The gateway must have proven strength for some blocks by now.
+health=$(curl -fsS "$base/healthz")
+grep -q '"status":"ok"' <<<"$health" || { echo "FAIL: /healthz $health"; exit 1; }
+proven=$(grep -o '"proven_blocks":[0-9]*' <<<"$health" | cut -d: -f2)
+if [ "${proven:-0}" -le 0 ]; then
+    echo "FAIL: /healthz reports no proven blocks: $health"
+    exit 1
+fi
+echo "OK: /healthz 200, proven_blocks=$proven"
+
+# Exposition well-formedness plus the sft_gateway_* families the read-path
+# dashboards key on.
+metrics=$(curl -fsS "$base/metrics")
+bad=$(grep -vE '^(#|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (-?[0-9.eE+-]+|[+-]Inf|NaN)$)' <<<"$metrics" || true)
+if [ -n "$bad" ]; then
+    echo "FAIL: malformed exposition lines:"
+    echo "$bad"
+    exit 1
+fi
+for fam in sft_gateway_subscribers sft_gateway_events_total \
+    sft_gateway_certified_ingested_total sft_gateway_frames_sent_total; do
+    if ! grep -q "^$fam" <<<"$metrics"; then
+        echo "FAIL: metric family $fam missing from /metrics"
+        exit 1
+    fi
+done
+ingested=$(awk '$1 == "sft_gateway_certified_ingested_total" {print $2}' <<<"$metrics")
+if [ "${ingested:-0}" -le 0 ]; then
+    echo "FAIL: gateway ingested no certified pairs"
+    exit 1
+fi
+echo "OK: /metrics well-formed, sft_gateway_certified_ingested_total=$ingested"
+
+echo "gateway smoke: PASS"

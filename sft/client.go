@@ -35,25 +35,49 @@ func (s *TxnStream) Submit(txn Transaction) error { return s.enc.Encode(txn) }
 // Close closes the stream.
 func (s *TxnStream) Close() error { return s.conn.Close() }
 
+// DefaultMaxTxnConns caps concurrent client streams per TxnServer unless
+// ListenTransactionsLimit says otherwise.
+const DefaultMaxTxnConns = 1024
+
 // TxnServer accepts transaction streams from clients and pools the
 // submitted transactions until the node's payload function drains them
 // (cmd/sftnode's -client-listen).
 type TxnServer struct {
-	ln net.Listener
+	ln       net.Listener
+	maxConns int
 
-	mu   sync.Mutex
-	pool *mempool.Pool
+	mu     sync.Mutex
+	pool   *mempool.Pool
+	conns  map[net.Conn]struct{}
+	closed bool
 }
 
 // ListenTransactions starts accepting client transaction streams on addr.
 // capacity bounds the pool (0 = unbounded); transactions over it are
-// dropped, as a saturated mempool would.
+// dropped, as a saturated mempool would. At most DefaultMaxTxnConns clients
+// are served concurrently; use ListenTransactionsLimit to tune that.
 func ListenTransactions(addr string, capacity int) (*TxnServer, error) {
+	return ListenTransactionsLimit(addr, capacity, DefaultMaxTxnConns)
+}
+
+// ListenTransactionsLimit is ListenTransactions with an explicit cap on
+// concurrent client connections (0 or negative = DefaultMaxTxnConns).
+// Connections over the cap are closed immediately on accept, so a
+// connection flood cannot exhaust the node's goroutines or descriptors.
+func ListenTransactionsLimit(addr string, capacity, maxConns int) (*TxnServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &TxnServer{ln: ln, pool: mempool.New(capacity)}
+	if maxConns <= 0 {
+		maxConns = DefaultMaxTxnConns
+	}
+	s := &TxnServer{
+		ln:       ln,
+		maxConns: maxConns,
+		pool:     mempool.New(capacity),
+		conns:    make(map[net.Conn]struct{}),
+	}
 	go s.acceptLoop()
 	return s, nil
 }
@@ -76,8 +100,44 @@ func (s *TxnServer) Pending() int {
 	return s.pool.Len()
 }
 
-// Close stops accepting clients.
-func (s *TxnServer) Close() error { return s.ln.Close() }
+// Conns returns the number of live client streams.
+func (s *TxnServer) Conns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// Close stops accepting clients and severs every live stream; their decode
+// goroutines exit and nothing feeds the pool afterwards.
+func (s *TxnServer) Close() error {
+	err := s.ln.Close()
+	s.mu.Lock()
+	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.conns = make(map[net.Conn]struct{})
+	s.mu.Unlock()
+	return err
+}
+
+// track registers a freshly accepted conn unless the server is closed or at
+// its connection cap; false means the caller must drop the conn.
+func (s *TxnServer) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || len(s.conns) >= s.maxConns {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *TxnServer) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
 
 func (s *TxnServer) acceptLoop() {
 	for {
@@ -85,7 +145,12 @@ func (s *TxnServer) acceptLoop() {
 		if err != nil {
 			return
 		}
+		if !s.track(conn) {
+			conn.Close()
+			continue
+		}
 		go func() {
+			defer s.untrack(conn)
 			defer conn.Close()
 			dec := gob.NewDecoder(conn)
 			for {
@@ -94,8 +159,14 @@ func (s *TxnServer) acceptLoop() {
 					return
 				}
 				s.mu.Lock()
-				s.pool.Add(txn)
+				closed := s.closed
+				if !closed {
+					s.pool.Add(txn)
+				}
 				s.mu.Unlock()
+				if closed {
+					return
+				}
 			}
 		}()
 	}

@@ -29,6 +29,13 @@
 // NewSimnet (the deterministic discrete-event simulator the experiments run
 // on — attach n nodes, then drive virtual time with Simnet.Run).
 //
+// The access tier scales the read path past the committee: NewObserver
+// composes a non-voting follower that derives the same commit-strength
+// stream a replica reports, NewGateway fans proof-carrying strength events
+// out to many subscribers, and Subscribe is the client end, re-verifying
+// every event's Section 5 proof so a lying gateway is caught rather than
+// believed (see access.go).
+//
 // See doc.go at the repository root for the full option matrix and the
 // commit-strength subscription semantics.
 package sft
@@ -49,7 +56,7 @@ import (
 )
 
 // Version identifies the facade API generation (cmd/sftnode -version).
-const Version = "0.5.0"
+const Version = "0.6.0"
 
 // Re-exported chain types: the facade's vocabulary is the same as the
 // engines', so values flow between the public API and the internal packages

@@ -19,6 +19,11 @@ type SimnetConfig struct {
 	// Seed drives all simulated randomness: same seed, same run,
 	// bit-identical results.
 	Seed int64
+	// Observers adds non-voting observer slots numbered N..N+Observers-1,
+	// attached with Simnet.ObserverTransport. Observer slots receive every
+	// replica broadcast but never vote; with Observers = 0 the fabric is
+	// bit-identical to one built before observer support existed.
+	Observers int
 	// VerifyPipeline routes every delivery through the engines'
 	// prevalidate/apply split, synchronously — the simulator stays
 	// single-threaded, so results are bit-identical to the pipeline being
@@ -32,9 +37,10 @@ type SimnetConfig struct {
 // WithTransport(world.Transport(id)), then drive virtual time with Run.
 // Unattached slots model replicas that are down from the start.
 type Simnet struct {
-	cfg   SimnetConfig
-	sim   *simnet.Sim
-	nodes []*Node
+	cfg       SimnetConfig
+	sim       *simnet.Sim
+	nodes     []*Node
+	observers []*ObserverNode
 }
 
 // NewSimnet creates a simulation fabric with cfg.N empty replica slots.
@@ -45,18 +51,38 @@ func NewSimnet(cfg SimnetConfig) (*Simnet, error) {
 	if cfg.Latency == nil {
 		return nil, fmt.Errorf("sft: simnet needs a latency model (e.g. sft.UniformLatency or sft.SymmetricLatency)")
 	}
-	w := &Simnet{cfg: cfg, nodes: make([]*Node, cfg.N)}
+	if cfg.Observers < 0 {
+		return nil, fmt.Errorf("sft: simnet observers must be non-negative")
+	}
+	w := &Simnet{
+		cfg:       cfg,
+		nodes:     make([]*Node, cfg.N),
+		observers: make([]*ObserverNode, cfg.Observers),
+	}
 	w.sim = simnet.New(simnet.Config{
 		N:           cfg.N,
+		Observers:   cfg.Observers,
 		Latency:     cfg.Latency,
 		Seed:        cfg.Seed,
 		Prevalidate: cfg.VerifyPipeline,
 		OnCommit: func(rep types.ReplicaID, now time.Duration, b *types.Block) {
+			if int(rep) >= cfg.N {
+				if o := w.observers[int(rep)-cfg.N]; o != nil {
+					o.onCommit(now, b)
+				}
+				return
+			}
 			if n := w.nodes[rep]; n != nil {
 				n.onCommit(now, b)
 			}
 		},
 		OnStrength: func(rep types.ReplicaID, now time.Duration, b *types.Block, x int) {
+			if int(rep) >= cfg.N {
+				if o := w.observers[int(rep)-cfg.N]; o != nil {
+					o.onStrength(now, b, x)
+				}
+				return
+			}
 			if n := w.nodes[rep]; n != nil {
 				n.onStrength(now, b, x)
 			}
@@ -68,6 +94,34 @@ func NewSimnet(cfg SimnetConfig) (*Simnet, error) {
 // Transport returns the fabric slot for replica id, for WithTransport.
 func (w *Simnet) Transport(id ReplicaID) Transport {
 	return &simTransport{world: w, id: id}
+}
+
+// ObserverTransport returns observer slot i (of SimnetConfig.Observers), for
+// NewObserver. The attached observer's wire identity is N+i.
+func (w *Simnet) ObserverTransport(i int) ObserverTransport {
+	return &simObserverTransport{world: w, slot: i}
+}
+
+type simObserverTransport struct {
+	world *Simnet
+	slot  int
+}
+
+func (t *simObserverTransport) attachObserver(o *ObserverNode) error {
+	w := t.world
+	if t.slot < 0 || t.slot >= len(w.observers) {
+		return fmt.Errorf("sft: observer slot %d outside simnet with %d observer slots", t.slot, len(w.observers))
+	}
+	want := ReplicaID(w.cfg.N + t.slot)
+	if o.id != want {
+		return fmt.Errorf("sft: simnet observer slot %d requires ID %d, node has %d", t.slot, want, o.id)
+	}
+	if w.observers[t.slot] != nil {
+		return fmt.Errorf("sft: simnet observer slot %d already attached", t.slot)
+	}
+	w.observers[t.slot] = o
+	w.sim.SetEngine(want, o.eng)
+	return nil
 }
 
 // Run advances virtual time until `until` (an absolute virtual timestamp),
@@ -157,6 +211,14 @@ func (w *Simnet) Close() error {
 			continue
 		}
 		if err := n.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, o := range w.observers {
+		if o == nil {
+			continue
+		}
+		if err := o.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
